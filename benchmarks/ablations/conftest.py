@@ -1,0 +1,18 @@
+"""Fixtures for the ablation benchmarks."""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent.parent))
+
+import pytest
+
+from figreport import FigureReport
+
+
+@pytest.fixture()
+def report(request):
+    figure_id = "ablation_" + request.module.__name__.replace("test_", "")
+    rep = FigureReport(figure_id)
+    yield rep
+    rep.write()

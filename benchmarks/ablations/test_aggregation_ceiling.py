@@ -1,0 +1,55 @@
+"""Ablation: the aggregation ceiling (25 us vs an 802.11ac-style 8 ms).
+
+The paper's Figure 1 primer and Section 5 "Aggregation" discussion:
+802.11ad gets a 5.4x gain from only 25 us of aggregation because its
+data rate is enormous; 802.11ac needs 8 ms frames for a 2x gain.  The
+trade-off is delay.  This ablation sweeps the frame-duration ceiling
+and reports throughput and worst-case medium holding time.
+"""
+
+import pytest
+
+from repro.mac.frames import WIGIG_TIMING
+from repro.mac.wigig import MPDU_BITS, data_frame_duration_s
+from repro.phy.mcs import mcs_by_index
+
+
+def sweep_ceilings():
+    """Analytic saturation goodput and per-frame delay per ceiling."""
+    mcs = mcs_by_index(11)
+    rows = []
+    for ceiling_us in (6.5, 12.0, 25.0, 100.0, 8000.0):
+        ceiling = ceiling_us * 1e-6
+        n = 1
+        while data_frame_duration_s(n + 1, mcs) <= ceiling and n < 4000:
+            n += 1
+        frame = data_frame_duration_s(n, mcs)
+        cycle = frame + 2 * WIGIG_TIMING.sifs_s + WIGIG_TIMING.ack_frame_s
+        goodput = n * MPDU_BITS / cycle
+        rows.append((ceiling_us, n, goodput, frame))
+    return rows
+
+
+def test_aggregation_ceiling_tradeoff(benchmark, report):
+    rows = benchmark.pedantic(sweep_ceilings, rounds=1, iterations=1)
+    report.add("Ablation: aggregation ceiling vs goodput and medium holding")
+    report.add(f"{'ceiling us':>11} {'MPDUs':>6} {'goodput mbps':>13} {'frame us':>9}")
+    for ceiling, n, goodput, frame in rows:
+        report.add(f"{ceiling:11.1f} {n:6d} {goodput / 1e6:13.0f} {frame * 1e6:9.1f}")
+    report.add("")
+    base = rows[0][2]
+    paper_point = rows[2][2]
+    report.add(
+        f"25 us ceiling gains {paper_point / base:.1f}x over single-MPDU frames "
+        f"(paper: 5.4x); an 8 ms ceiling would gain "
+        f"{rows[-1][2] / base:.1f}x but hold the medium {rows[-1][3] * 1e3:.1f} ms per frame"
+    )
+
+    goodputs = [g for _, _, g, _ in rows]
+    assert goodputs == sorted(goodputs)  # bigger ceiling, more goodput
+    # The paper's design point: ~5x gain at 25 us.
+    assert 3.5 < paper_point / base < 6.5
+    # Diminishing returns: 8 ms buys well under 2x over 25 us while
+    # holding the medium ~300x longer.
+    assert rows[-1][2] / paper_point < 1.8
+    assert rows[-1][3] / rows[2][3] > 100

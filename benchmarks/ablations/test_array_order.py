@@ -1,0 +1,52 @@
+"""Ablation: antenna array order vs beam width and gain.
+
+"Current devices use electronic beam steering with relatively low
+order antenna arrays" (Section 1).  This ablation shows what a
+higher-order array would buy: narrower beams and more gain — i.e. the
+interference problems the paper measures are a direct consequence of
+the 2x8 design point.
+"""
+
+import numpy as np
+import pytest
+
+from repro.phy.antenna import PhaseShifterModel, UniformRectangularArray
+
+FREQ = 60.48e9
+
+
+def sweep_orders():
+    rows = []
+    for rows_, cols in ((1, 4), (2, 8), (4, 8), (8, 8)):
+        arr = UniformRectangularArray(
+            rows_, cols, FREQ,
+            phase_shifter=PhaseShifterModel(2),
+            scatter_level_db=-300.0,
+            amplitude_error_std_db=0.0,
+            phase_error_std_rad=0.0,
+            rng=np.random.default_rng(1),
+        )
+        p = arr.steered_pattern(0.0)
+        rows.append((
+            f"{rows_}x{cols}",
+            arr.num_elements,
+            p.half_power_beam_width_deg(),
+            p.peak_gain_dbi(),
+        ))
+    return rows
+
+
+def test_array_order_vs_directivity(benchmark, report):
+    rows = benchmark.pedantic(sweep_orders, rounds=1, iterations=1)
+    report.add("Ablation: array order (ideal elements, 2-bit shifters)")
+    report.add(f"{'array':>6} {'elements':>9} {'HPBW deg':>9} {'peak dBi':>9}")
+    for label, n, hpbw, peak in rows:
+        report.add(f"{label:>6} {n:>9} {hpbw:9.1f} {peak:9.1f}")
+
+    # More columns -> narrower azimuth beam.
+    assert rows[0][2] > rows[1][2]          # 1x4 wider than 2x8
+    assert rows[3][2] <= rows[1][2]         # 8x8 at most as wide (same cols)
+    # More elements -> more gain, ~3 dB per doubling.
+    gains = [peak for *_, peak in rows]
+    assert gains == sorted(gains)
+    assert gains[3] - gains[1] == pytest.approx(6.0, abs=1.5)  # 16 -> 64 elements

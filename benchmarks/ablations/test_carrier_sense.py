@@ -1,0 +1,52 @@
+"""Ablation: carrier sensing on the interfering system.
+
+The root cause of the paper's inter-system interference is that the
+WiHD system performs no carrier sensing and "blindly transmits data
+causing collisions and retransmissions at the D5000 systems".  This
+ablation gives the interferer an idealized listen-before-talk gate and
+measures how many WiGig retransmissions disappear.
+"""
+
+import pytest
+
+from repro.experiments.interference import build_interference_scenario
+
+
+def run_both():
+    # Baseline: the real (blind) WiHD behavior.
+    blind = build_interference_scenario(wihd_offset_m=0.3, seed=21)
+    blind.run(0.25)
+
+    # Ablated: a genie-aided listen-before-talk gate - the WiHD
+    # transmitter defers whenever ANY frame is on the air.  (A
+    # realistic energy-detection gate at the WiHD position barely
+    # helps: the interferer sits behind the WiGig transmitter and only
+    # hears its back lobes - a textbook hidden-terminal geometry - so
+    # the genie isolates the upper bound of what carrier sensing could
+    # ever buy.)
+    polite = build_interference_scenario(wihd_offset_m=0.3, seed=21)
+    original_send = polite.wihd._send_data
+
+    def gated_send():
+        if polite.medium.active_count() == 0:
+            original_send()
+
+    polite.wihd._send_data = gated_send
+    polite.run(0.25)
+    return blind, polite
+
+
+def test_carrier_sense_ablation(benchmark, report):
+    blind, polite = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    b = blind.link_a.stats
+    p = polite.link_a.stats
+    report.add("Ablation: carrier sensing at the interferer (0.3 m separation)")
+    report.add(f"{'variant':>12} {'wigig retx':>11} {'wigig delivered':>16}")
+    report.add(f"{'blind WiHD':>12} {b.retransmissions:11d} {b.mpdus_delivered:16d}")
+    report.add(f"{'LBT WiHD':>12} {p.retransmissions:11d} {p.mpdus_delivered:16d}")
+
+    # Blind transmission causes heavy retransmissions; the genie LBT
+    # removes a large share of them - quantifying the paper's
+    # diagnosis that the missing carrier sense is the root cause.
+    assert b.retransmissions > 50
+    assert p.retransmissions < 0.7 * b.retransmissions

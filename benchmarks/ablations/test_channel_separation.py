@@ -1,0 +1,57 @@
+"""Ablation: moving the interferer to the other 60 GHz channel.
+
+The devices under test support two channel centers (60.48 and
+62.64 GHz, Section 3.1) and the paper *forces* both systems onto the
+same channel to study interference.  This ablation undoes that: with
+the WiHD pair on channel 3 the inter-system interference of Figure 22
+must vanish entirely — validating both the channel model and the
+obvious mitigation.
+"""
+
+import pytest
+
+from repro.experiments.interference import (
+    build_interference_scenario,
+    channel_utilization,
+)
+
+
+def run_all():
+    results = {}
+    for label, wihd_channel, with_wihd in (
+        ("co-channel", 2, True),
+        ("other channel", 3, True),
+        ("no WiHD", 2, False),
+    ):
+        scen = build_interference_scenario(
+            wihd_offset_m=0.3, seed=31, with_wihd=with_wihd
+        )
+        if with_wihd and wihd_channel != 2:
+            for name in ("wihd-tx", "wihd-rx"):
+                scen.medium.station(name).channel = wihd_channel
+        scen.run(0.3)
+        util = channel_utilization(scen, 0.1, scen.sim.now)
+        results[label] = (scen.link_a.stats.retransmissions, util, scen.flow_a.throughput_bps())
+    return results
+
+
+def test_channel_separation_removes_interference(benchmark, report):
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    report.add("Ablation: WiHD on the same vs the other 60 GHz channel (0.3 m)")
+    report.add(f"{'setup':>14} {'wigig retx':>11} {'utilization %':>14} {'tput mbps':>10}")
+    for label, (retx, util, tput) in results.items():
+        report.add(f"{label:>14} {retx:>11} {util * 100:>14.1f} {tput / 1e6:>10.1f}")
+
+    co_retx, co_util, _ = results["co-channel"]
+    other_retx, other_util, _ = results["other channel"]
+    base_retx, base_util, _ = results["no WiHD"]
+    # Co-channel: the Figure 21/22 pathology, far beyond the residual
+    # WiGig-vs-WiGig hidden-terminal losses.
+    assert co_retx > 3 * base_retx
+    # Other channel: the WiHD contribution vanishes - what remains is
+    # the same residue the WiHD-free baseline shows.
+    assert other_retx < 1.5 * base_retx + 50
+    # Note: channel_utilization measures what a wideband probe hears,
+    # which still includes the WiHD frames RF energy; the *collisions*
+    # are what the channel split removes.
+    assert other_util <= co_util + 0.05

@@ -1,0 +1,52 @@
+"""Ablation: what if the devices used the 802.11ad OFDM PHY?
+
+The D5000's reported rates match the single-carrier table; OFDM
+(MCS 13-24) was the standard's high-end option that consumer hardware
+skipped.  This ablation re-runs the MCS-vs-distance ladder with the
+OFDM table to quantify what the cost-effective design left behind —
+and where it would not have mattered at all.
+"""
+
+import pytest
+
+from repro.experiments.range_vs_distance import link_snr_db
+from repro.phy.mcs import MCS_TABLE, OFDM_MCS_TABLE, select_mcs
+
+
+def run_ladder():
+    rows = []
+    for distance in (1.0, 2.0, 4.0, 8.0, 12.0, 16.0):
+        snr = link_snr_db(distance)
+        sc = select_mcs(snr, max_index=12, table=MCS_TABLE)
+        ofdm = select_mcs(snr, max_index=24, table=OFDM_MCS_TABLE)
+        rows.append((distance, snr, sc, ofdm))
+    return rows
+
+
+def test_ofdm_vs_single_carrier(benchmark, report):
+    rows = benchmark.pedantic(run_ladder, rounds=1, iterations=1)
+    report.add("Ablation: single-carrier vs OFDM PHY over distance")
+    report.add(f"{'d (m)':>6} {'SNR dB':>7} {'SC rate':>10} {'OFDM rate':>10} {'gain':>6}")
+    for d, snr, sc, ofdm in rows:
+        sc_r = sc.phy_rate_bps if sc else 0.0
+        of_r = ofdm.phy_rate_bps if ofdm else 0.0
+        gain = of_r / sc_r if sc_r else float("nan")
+        report.add(
+            f"{d:6.1f} {snr:7.1f} {sc_r / 1e9:10.2f} {of_r / 1e9:10.2f} {gain:6.2f}"
+        )
+
+    # At short range OFDM's dense constellations buy a large PHY-rate
+    # premium...
+    d, snr, sc, ofdm = rows[0]
+    assert ofdm.phy_rate_bps > 1.3 * sc.phy_rate_bps
+    # ...which TCP could not even use (GigE caps at 940 mbps), matching
+    # the paper's implicit account of why consumer devices skipped it.
+    # At long range the SNR only supports low orders and the advantage
+    # collapses.
+    d, snr, sc, ofdm = rows[-1]
+    if sc is not None and ofdm is not None:
+        assert ofdm.phy_rate_bps < 1.3 * sc.phy_rate_bps
+    # Both tables die at about the same distance (thresholds dominate).
+    sc_alive = [d for d, _, sc, _ in rows if sc is not None]
+    ofdm_alive = [d for d, _, _, of in rows if of is not None]
+    assert abs(max(sc_alive) - max(ofdm_alive)) <= 4.0

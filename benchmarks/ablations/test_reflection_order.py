@@ -1,0 +1,45 @@
+"""Ablation: ray-tracing reflection order in the conference room.
+
+The paper's design principle: geometric MAC designs "should extend
+this geometric approach to include up to two signal reflections off
+walls".  This ablation measures how much angular-profile energy and
+how many lobes first- and second-order reflections each contribute.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.reflections import measure_room_profiles
+
+
+def run_orders():
+    return {
+        order: measure_room_profiles("d5000", steps=60, max_order=order)
+        for order in (0, 1, 2)
+    }
+
+
+def test_reflection_order_contribution(benchmark, report):
+    results = benchmark.pedantic(run_orders, rounds=1, iterations=1)
+    report.add("Ablation: reflection order in the Figure 4 room (D5000 link)")
+    report.add(f"{'max order':>10} {'total lobes':>12} {'reflection lobes':>17}")
+    totals = {}
+    for order, res in results.items():
+        total = sum(len(v) for v in res.lobes.values())
+        refl = res.total_reflection_lobes()
+        totals[order] = (total, refl)
+        report.add(f"{order:>10} {total:>12} {refl:>17}")
+
+    # LOS-only: no reflection lobes at all.
+    assert totals[0][1] == 0
+    # First order adds reflections; second order adds more (the
+    # paper's second-order finding at location B).
+    assert totals[1][1] > 0
+    assert totals[2][1] >= totals[1][1]
+    # Mean received power never decreases with added orders.
+    mean_power = {
+        order: np.mean([p.power_dbm.max() for p in res.profiles.values()])
+        for order, res in results.items()
+    }
+    assert mean_power[1] >= mean_power[0] - 0.1
+    assert mean_power[2] >= mean_power[1] - 0.1

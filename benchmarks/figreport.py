@@ -1,0 +1,56 @@
+"""Shared helpers for the per-figure benchmarks (reporting + caches)."""
+
+from __future__ import annotations
+
+import functools
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+class FigureReport:
+    """Collects and persists the reproduced rows of one figure."""
+
+    def __init__(self, figure_id: str):
+        self.figure_id = figure_id
+        self.lines = []
+
+    def add(self, line: str = "") -> None:
+        self.lines.append(line)
+
+    def write(self) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{self.figure_id}.txt"
+        path.write_text("\n".join(self.lines) + "\n")
+
+
+@functools.lru_cache(maxsize=1)
+def cached_aggregation_sweep():
+    """The Figures 9-11 TCP sweep, computed once per session."""
+    from repro.experiments.frame_level import aggregation_sweep
+
+    return aggregation_sweep(duration_s=0.15, warmup_s=0.05)
+
+
+@functools.lru_cache(maxsize=1)
+def cached_interference_sweeps():
+    """The Figure 22 aligned + rotated sweeps, computed once."""
+    from repro.experiments.interference import (
+        interference_free_baseline,
+        interference_sweep,
+    )
+
+    distances = (0.0, 0.5, 1.0, 1.6, 2.0, 2.5, 3.0)
+    aligned = interference_sweep(distances, rotated=False, duration_s=0.3)
+    rotated = interference_sweep(distances, rotated=True, duration_s=0.3)
+    base_aligned = interference_free_baseline(duration_s=0.3)
+    base_rotated = interference_free_baseline(rotated=True, duration_s=0.3)
+    return aligned, rotated, base_aligned, base_rotated
+
+
+@functools.lru_cache(maxsize=1)
+def cached_room_profiles():
+    """The Figures 18/19 conference-room sweeps, computed once."""
+    from repro.experiments.reflections import compare_systems
+
+    return compare_systems(steps=72)

@@ -1,0 +1,79 @@
+"""Figure 1: the aggregation primer (throughput/medium-usage vs delay).
+
+The paper's schematic: aggregation doubles packets-per-unit-time and
+frees medium time, at the cost of per-packet delay.  The benchmark
+measures the real trade-off on the simulated D5000 link by comparing
+an unaggregated operating point with a fully aggregated one:
+
+* medium time spent per delivered megabit (the spatial-reuse currency);
+* per-MPDU MAC delay (queueing + service).
+
+It also checks the paper's headline scale argument: the delay cost of
+802.11ad aggregation is microseconds, not the milliseconds 802.11ac
+pays for a smaller gain.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.utilization import medium_usage_from_records
+from repro.experiments.frame_level import run_wigig_tcp
+from repro.mac.frames import FrameKind
+
+
+def measure_point(window_bytes: int):
+    setup = run_wigig_tcp(window_bytes=window_bytes, duration_s=0.15, warmup_s=0.05)
+    start = setup.sim.now - 0.15
+    usage = medium_usage_from_records(
+        [r for r in setup.medium.history if r.start_s >= start],
+        start,
+        setup.sim.now,
+        bridge_gap_s=4e-6,
+    )
+    tput = setup.flow.throughput_bps()
+    delays = np.array(setup.link.delivery_delays_s)
+    frames = [
+        r for r in setup.medium.history
+        if r.kind == FrameKind.DATA and r.start_s >= start
+    ]
+    mean_aggregation = float(np.mean([f.aggregated_mpdus for f in frames]))
+    return {
+        "throughput_bps": tput,
+        "usage": usage,
+        "medium_ms_per_mbit": usage * 0.15 * 1e3 / (tput * 0.15 / 1e6),
+        "delay_median_us": float(np.median(delays)) * 1e6,
+        "mean_aggregation": mean_aggregation,
+    }
+
+
+def run_both():
+    return measure_point(14 * 1024), measure_point(256 * 1024)
+
+
+def test_fig01_aggregation_primer(benchmark, report):
+    low, high = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    report.add("Figure 1 - aggregation primer, measured on the simulated link")
+    report.add(f"{'metric':>26} {'aggr. off':>12} {'aggr. on':>12}")
+    for key, fmt in (
+        ("throughput_bps", "{:.0f}"),
+        ("usage", "{:.2f}"),
+        ("medium_ms_per_mbit", "{:.3f}"),
+        ("delay_median_us", "{:.1f}"),
+        ("mean_aggregation", "{:.1f}"),
+    ):
+        report.add(f"{key:>26} {fmt.format(low[key]):>12} {fmt.format(high[key]):>12}")
+    report.add("")
+    report.add(
+        f"aggregation multiplies throughput {high['throughput_bps'] / low['throughput_bps']:.1f}x "
+        f"and cuts medium time per mbit {low['medium_ms_per_mbit'] / high['medium_ms_per_mbit']:.1f}x, "
+        f"at a delay cost of {high['delay_median_us'] - low['delay_median_us']:.0f} us"
+    )
+
+    # Aggregation on: much more throughput from ~the same airtime.
+    assert high["throughput_bps"] > 4.0 * low["throughput_bps"]
+    assert high["usage"] < low["usage"] + 0.15
+    assert high["medium_ms_per_mbit"] < 0.35 * low["medium_ms_per_mbit"]
+    # ...but per-packet delay is worse (the Figure 1 trade-off).
+    assert high["delay_median_us"] > 2.0 * low["delay_median_us"]
+    # The aggregation level is what moved.
+    assert high["mean_aggregation"] > 3.0 * low["mean_aggregation"]

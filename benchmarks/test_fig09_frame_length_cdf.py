@@ -1,0 +1,36 @@
+"""Figure 9: CDF of WiGig data frame length per TCP throughput.
+
+Paper: frames are either short (~5 us) or long (15-20 us, up to 25 us);
+the share of long frames grows with throughput.  The benchmark prints
+the CDF quantiles for every operating point and asserts the bimodal
+short/long structure.
+"""
+
+import pytest
+
+from figreport import cached_aggregation_sweep
+
+
+def test_fig09_frame_length_cdf(benchmark, report):
+    reports = benchmark.pedantic(cached_aggregation_sweep, rounds=1, iterations=1)
+    report.add("Figure 9 - WiGig data frame length vs TCP throughput")
+    report.add(
+        f"{'operating point':>14} {'tput mbps':>10} {'median us':>10} "
+        f"{'p95 us':>8} {'long %':>7}"
+    )
+    for r in reports:
+        report.add(
+            f"{r.label:>14} {r.throughput_bps / 1e6:10.2f} "
+            f"{r.median_frame_s * 1e6:10.1f} {r.p95_frame_s * 1e6:8.1f} "
+            f"{r.long_fraction * 100:7.1f}"
+        )
+
+    mbps_points = reports[2:]
+    # Short frames at the low end (~6 us), long at the top (~25 us).
+    assert mbps_points[0].median_frame_s < 8e-6
+    assert mbps_points[-1].median_frame_s > 20e-6
+    # The 25 us maximum is never exceeded.
+    assert all(r.p95_frame_s <= 25.5e-6 for r in reports)
+    # Monotone-ish growth of the long-frame share with throughput.
+    fractions = [r.long_fraction for r in mbps_points]
+    assert all(b >= a - 0.15 for a, b in zip(fractions, fractions[1:]))

@@ -1,0 +1,28 @@
+"""Figure 10: percentage of long frames versus TCP throughput.
+
+Paper: the fraction of frames longer than ~5 us rises from near zero at
+kbps loads to essentially 100% at 930+ mbps — "the higher the traffic
+load, the more data aggregation".
+"""
+
+import pytest
+
+from figreport import cached_aggregation_sweep
+
+
+def test_fig10_long_frame_percentage(benchmark, report):
+    reports = benchmark.pedantic(cached_aggregation_sweep, rounds=1, iterations=1)
+    report.add("Figure 10 - percentage of long (aggregated) frames")
+    report.add(f"{'operating point':>14} {'long frames %':>14}")
+    for r in reports:
+        report.add(f"{r.label:>14} {r.long_fraction * 100:14.1f}")
+
+    # kbps loads: no aggregation.
+    assert reports[0].long_fraction < 0.1
+    assert reports[1].long_fraction < 0.1
+    # ~171 mbps: still mostly short frames (Figure 10 shows ~0-10%).
+    assert reports[2].long_fraction < 0.25
+    # Top end: nearly everything is aggregated.
+    assert reports[-1].long_fraction > 0.9
+    # The paper's overall trend: growth with throughput.
+    assert reports[-1].long_fraction > reports[2].long_fraction + 0.5

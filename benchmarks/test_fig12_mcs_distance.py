@@ -1,0 +1,44 @@
+"""Figure 12: reported PHY link rate over time at 2 / 8 / 14 m.
+
+Paper: 2 m links sit at 16-QAM 5/8 (3.85 gbps, the second-highest MCS;
+the highest is never used), 8 m links run the QPSK family, 14 m links
+fall to BPSK around ~1 gbps and fluctuate.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.range_vs_distance import phy_rate_timeseries
+
+
+def run_all_distances():
+    return {
+        d: phy_rate_timeseries(d, duration_s=600, sample_period_s=2.0, seed=3 + i)
+        for i, d in enumerate((2.0, 8.0, 14.0))
+    }
+
+
+def test_fig12_mcs_vs_distance(benchmark, report):
+    series = benchmark.pedantic(run_all_distances, rounds=1, iterations=1)
+    report.add("Figure 12 - PHY link rate with low traffic (10 min)")
+    for d, samples in series.items():
+        rates = np.array([s.phy_rate_bps for s in samples]) / 1e9
+        labels = sorted({s.mcs_label for s in samples})
+        report.add(
+            f"{d:4.0f} m: rate {rates.min():.2f}-{rates.max():.2f} Gbps, "
+            f"MCS seen: {', '.join(labels)}"
+        )
+
+    two, eight, fourteen = series[2.0], series[8.0], series[14.0]
+    # 2 m: constant 16-QAM 5/8, never the top MCS.
+    assert {s.mcs_label for s in two} == {"16-QAM, 5/8"}
+    assert all(s.phy_rate_bps == pytest.approx(3.85e9) for s in two)
+    # 8 m: QPSK territory.
+    assert all("QPSK" in s.mcs_label or "16-QAM" in s.mcs_label for s in eight)
+    assert any("QPSK" in s.mcs_label for s in eight)
+    # 14 m: BPSK around 1 gbps, visibly unstable.
+    assert any("BPSK" in s.mcs_label for s in fourteen)
+    assert len({s.phy_rate_bps for s in fourteen}) >= 2
+    # The distance ordering of mean rate.
+    mean = lambda ss: np.mean([s.phy_rate_bps for s in ss])
+    assert mean(two) > mean(eight) > mean(fourteen)

@@ -1,0 +1,51 @@
+"""Figure 13: TCP throughput versus link distance.
+
+Paper: individual runs hold a roughly constant rate and then break
+abruptly at a distance that varies between 10 and 17 m across runs;
+the average therefore falls gradually.  Throughput never exceeds
+~900 mbps because of the dock's Gigabit Ethernet interface.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.range_vs_distance import (
+    cliff_statistics,
+    throughput_vs_distance,
+)
+
+
+def run_sweep():
+    return throughput_vs_distance(runs=20, seed=5)
+
+
+def test_fig13_throughput_vs_distance(benchmark, report):
+    runs, average = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    distances = runs[0].distances_m
+    lo, hi = cliff_statistics(runs)
+    report.add("Figure 13 - TCP throughput vs distance (20 runs)")
+    report.add(f"{'d (m)':>6} {'avg mbps':>9} {'low-range run':>14} {'high-range run':>15}")
+    low_run = min((r for r in runs if r.cliff_m), key=lambda r: r.cliff_m)
+    high_run = max((r for r in runs if r.cliff_m), key=lambda r: r.cliff_m)
+    for i, d in enumerate(distances):
+        report.add(
+            f"{d:6.0f} {average[i] / 1e6:9.0f} "
+            f"{low_run.throughput_bps[i] / 1e6:14.0f} "
+            f"{high_run.throughput_bps[i] / 1e6:15.0f}"
+        )
+    report.add("")
+    report.add(f"per-run cliff span: {lo:.0f}-{hi:.0f} m (paper: 10-17 m)")
+
+    # GigE cap at short range.
+    assert average[0] == pytest.approx(940e6, rel=0.01)
+    # Cliffs spread over several meters in roughly the paper's band.
+    assert hi - lo >= 3.0
+    assert 7.0 <= lo <= 14.0
+    assert 13.0 <= hi <= 20.0
+    # The average is gradual: it has several intermediate values.
+    intermediate = (average > 100e6) & (average < 800e6)
+    assert intermediate.sum() >= 3
+    # Individual runs are abrupt: healthy one step before the cliff.
+    idx = list(low_run.distances_m).index(low_run.cliff_m)
+    assert low_run.throughput_bps[idx - 1] > 300e6
+    assert low_run.throughput_bps[idx] == 0.0

@@ -1,0 +1,59 @@
+"""Figure 15: the DVDO Air-3c WiHD frame flow.
+
+Paper: variable-length data frames follow the receiver's periodic
+beacons; there is no data/ACK exchange; when no data is queued, only
+beacons remain (the active -> idle transition in the figure).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.frames import FrameDetector
+from repro.experiments.frame_level import (
+    CAPTURE_DETECTION_THRESHOLD_V,
+    capture_wihd_with_vubiq,
+    run_wihd_stream,
+)
+from repro.mac.frames import FrameKind, WIHD_TIMING
+
+
+def run_flow():
+    setup = run_wihd_stream(duration_s=0.02, stop_after_s=0.012, video_rate_bps=1.5e9)
+    trace = capture_wihd_with_vubiq(setup, 0.008, 8e-3)
+    return setup, trace
+
+
+def test_fig15_wihd_frame_flow(benchmark, report):
+    setup, trace = benchmark.pedantic(run_flow, rounds=1, iterations=1)
+    history = setup.medium.history
+    active = [r for r in history if 0.008 <= r.start_s < 0.012]
+    idle = [r for r in history if 0.013 <= r.start_s < 0.016]
+    active_kinds = {k: sum(1 for r in active if r.kind == k) for k in FrameKind}
+    idle_kinds = {k: sum(1 for r in idle if r.kind == k) for k in FrameKind}
+    data_durations = [r.duration_s for r in active if r.kind == FrameKind.DATA]
+    report.add("Figure 15 - WiHD frame flow (active -> idle transition)")
+    report.add(
+        f"active period: {active_kinds[FrameKind.DATA]} data, "
+        f"{active_kinds[FrameKind.BEACON]} beacons, "
+        f"{active_kinds[FrameKind.ACK]} acks"
+    )
+    report.add(
+        f"idle period:   {idle_kinds[FrameKind.DATA]} data, "
+        f"{idle_kinds[FrameKind.BEACON]} beacons"
+    )
+    if data_durations:
+        report.add(
+            f"data frame durations: {min(data_durations) * 1e6:.0f}-"
+            f"{max(data_durations) * 1e6:.0f} us (variable length)"
+        )
+
+    # No ACK exchange, variable-length data after beacons, idle period
+    # has beacons only.
+    assert active_kinds[FrameKind.ACK] == 0
+    assert active_kinds[FrameKind.DATA] >= 5
+    assert idle_kinds[FrameKind.DATA] == 0
+    assert idle_kinds[FrameKind.BEACON] >= 10
+    assert len(set(np.round(np.array(data_durations) * 1e6))) >= 1
+    # The capture sees the flow too.
+    frames = FrameDetector(threshold_v=CAPTURE_DETECTION_THRESHOLD_V).detect(trace)
+    assert len(frames) >= 10

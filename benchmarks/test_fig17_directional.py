@@ -1,0 +1,47 @@
+"""Figure 17: directional transmit patterns (laptop, dock, rotated dock).
+
+Paper: trained beams have HPBW below 20 degrees but side lobes of
+-4..-6 dB.  With the peer misaligned by 70 degrees, the dock steers to
+the boundary of its transmission area: link gain falls enough that the
+measurement needed +10 dB receiver gain, and side lobes rise to -1 dB.
+"""
+
+import pytest
+
+from repro.experiments.beam_patterns import (
+    PatternMetrics,
+    measure_dock_pattern,
+    measure_dock_rotated_pattern,
+    measure_laptop_pattern,
+)
+
+
+def run_campaigns():
+    return {
+        "laptop": measure_laptop_pattern(positions=100),
+        "dock": measure_dock_pattern(0.0, positions=100),
+        "dock rotated 70": measure_dock_rotated_pattern(positions=100),
+    }
+
+
+def test_fig17_directional_patterns(benchmark, report):
+    measured = benchmark.pedantic(run_campaigns, rounds=1, iterations=1)
+    metrics = {
+        label: PatternMetrics.from_measurement(label, m) for label, m in measured.items()
+    }
+    report.add("Figure 17 - directional transmit patterns")
+    for label, m in metrics.items():
+        report.add(m.row())
+    report.add("")
+    report.add("paper: HPBW < 20 deg; side lobes -4..-6 dB aligned, up to -1 dB rotated")
+
+    # Aligned beams: narrow with paper-range side lobes.
+    assert metrics["dock"].hpbw_deg < 20.0
+    assert metrics["laptop"].hpbw_deg < 25.0
+    assert -8.0 < metrics["dock"].side_lobe_db < -2.5
+    assert -8.0 < metrics["laptop"].side_lobe_db < -2.5
+    # Rotated: stronger side lobes and weaker received power (the
+    # rotated campaign already includes the +10 dB gain the paper had
+    # to add; without it the deficit would be larger still).
+    assert metrics["dock rotated 70"].side_lobe_db > metrics["dock"].side_lobe_db + 1.5
+    assert metrics["dock rotated 70"].side_lobe_db > -3.6

@@ -1,0 +1,39 @@
+"""Figure 19: angular reflection profiles of the WiHD link.
+
+Paper: the WiHD profiles feature *more and larger* lobes than the
+D5000's (Figure 18), because the system is less directional — so its
+impact on spatial reuse is even higher.
+"""
+
+import pytest
+
+from figreport import cached_room_profiles
+
+
+def test_fig19_wihd_room_profiles(benchmark, report):
+    d5000, wihd = benchmark.pedantic(cached_room_profiles, rounds=1, iterations=1)
+    report.add("Figure 19 - WiHD angular profiles (conference room)")
+    report.add(f"{'loc':>4} {'lobes':>6} {'refl':>5}  lobe list (deg @ dB)")
+    for label, lobes in wihd.lobes.items():
+        refl = sum(1 for l in lobes if l.attribution == "reflection")
+        desc = ", ".join(
+            f"{l.bearing_deg:.0f}@{l.relative_db:.1f}{'*' if l.attribution == 'reflection' else ''}"
+            for l in lobes
+        )
+        report.add(f"{label:>4} {len(lobes):>6} {refl:>5}  {desc}")
+    report.add("")
+    report.add(
+        f"strong (>-12 dB) reflection lobes: WiHD "
+        f"{wihd.strong_reflection_lobes(-12.0)} vs D5000 "
+        f"{d5000.strong_reflection_lobes(-12.0)}"
+    )
+    report.add(
+        f"strongest reflection: WiHD {wihd.strongest_reflection_db():.1f} dB vs "
+        f"D5000 {d5000.strongest_reflection_db():.1f} dB"
+    )
+
+    # The comparative finding: WiHD reflections are more numerous at
+    # high level and stronger at the top.
+    assert wihd.strong_reflection_lobes(-12.0) > d5000.strong_reflection_lobes(-12.0)
+    assert wihd.strongest_reflection_db() > d5000.strongest_reflection_db()
+    assert wihd.total_reflection_lobes() >= 3

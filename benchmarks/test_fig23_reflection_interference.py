@@ -1,0 +1,65 @@
+"""Figure 23: TCP throughput under reflected WiHD interference.
+
+Paper: with direct paths shielded, a metal reflector couples the WiHD
+transmitter into the WiGig receive beam.  The saturated TCP flow loses
+about 200 mbps on average (~20%, up to 33% / ~300 mbps) and fluctuates
+strongly; when the WiHD system powers off (at ~90 s of 120 s), the
+throughput recovers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.reflection_interference import (
+    interference_path_report,
+    run_reflection_interference,
+)
+
+
+def run_experiment():
+    paths = interference_path_report()
+    result = run_reflection_interference(duration_s=2.4, wihd_off_at_s=1.8)
+    return paths, result
+
+
+def test_fig23_reflection_interference(benchmark, report):
+    paths, result = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    report.add("Figure 23 - reflected-interference TCP time series")
+    report.add(
+        f"geometry check: WiGig signal {paths['wigig_signal_db']:.1f} dB, "
+        f"WiHD direct {paths['wihd_direct_db']:.1f} dB (shielded), "
+        f"WiHD reflected {paths['wihd_reflected_db']:.1f} dB (open)"
+    )
+    report.add(
+        f"mean with WiHD on:  {result.mean_with_interference_bps / 1e6:.0f} mbps"
+    )
+    report.add(
+        f"mean with WiHD off: {result.mean_without_interference_bps / 1e6:.0f} mbps"
+    )
+    report.add(
+        f"throughput drop: {result.throughput_drop * 100:.1f}% "
+        f"(paper: ~20% average, up to 33%)"
+    )
+    report.add(
+        f"worst instantaneous deficit: {result.worst_drop_bps / 1e6:.0f} mbps "
+        f"(paper: almost 300 mbps)"
+    )
+    # Per-100ms series for the figure shape.
+    step = max(1, result.times_s.size // 24)
+    series = ", ".join(
+        f"{t:.2f}s:{v / 1e6:.0f}"
+        for t, v in zip(result.times_s[::step], result.throughput_bps[::step])
+    )
+    report.add(f"series (t:mbps): {series}")
+
+    # Geometry does what Figure 7 claims.
+    assert paths["wihd_direct_db"] <= -150.0
+    assert paths["wihd_reflected_db"] > -100.0
+    # A paper-magnitude average drop with recovery after power-off.
+    assert 0.08 < result.throughput_drop < 0.5
+    assert result.mean_without_interference_bps > 850e6
+    assert result.worst_drop_bps > 200e6
+    # Stronger fluctuation under interference.
+    on = (result.times_s < result.wihd_off_time_s) & (result.times_s > 0.3)
+    off = result.times_s > result.wihd_off_time_s + 0.15
+    assert np.std(result.throughput_bps[on]) > np.std(result.throughput_bps[off])

@@ -1,0 +1,99 @@
+"""Performance benchmarks of the core substrates.
+
+Unlike the per-figure benchmarks (one pedantic round each), these
+measure the library's hot paths with real repetition so regressions in
+simulation speed show up:
+
+* pattern synthesis (array factor + clutter on a 720-point grid);
+* codebook construction (64 patterns);
+* ray tracing in the conference room (LOS + 1st + 2nd order);
+* the discrete-event MAC (simulated-seconds per wall-second);
+* trace synthesis + frame detection round trip.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.frames import FrameDetector
+from repro.geometry.room import conference_room
+from repro.geometry.vec import Vec2
+from repro.phy.antenna import PhaseShifterModel, UniformRectangularArray
+from repro.phy.codebook import Codebook
+from repro.phy.raytracing import RayTracer
+from repro.phy.signal import Emission, synthesize_trace
+
+
+@pytest.fixture(scope="module")
+def array():
+    return UniformRectangularArray(
+        2, 8, 60.48e9, phase_shifter=PhaseShifterModel(2),
+        rng=np.random.default_rng(0),
+    )
+
+
+def test_perf_pattern_synthesis(benchmark, array):
+    result = benchmark(lambda: array.steered_pattern(math.radians(17.0)))
+    assert result.peak_gain_dbi() > 10.0
+
+
+def test_perf_codebook_build(benchmark, array):
+    result = benchmark.pedantic(
+        lambda: Codebook.build(array, num_directional=32, num_quasi_omni=32),
+        rounds=3,
+        iterations=1,
+    )
+    assert len(result.directional_entries) == 32
+
+
+def test_perf_ray_tracing(benchmark):
+    room = conference_room()
+    tracer = RayTracer(room, max_order=2)
+    tx, rx = Vec2(6.5, 2.9), Vec2(0.6, 0.55)
+    paths = benchmark(lambda: tracer.trace(tx, rx))
+    assert len(paths) >= 3
+
+
+def test_perf_mac_simulation(benchmark):
+    """Simulated time per wall-clock: a saturated WiGig link."""
+
+    def run_50ms():
+        from repro.mac.simulator import Medium, Simulator, Station, StaticCoupling
+        from repro.mac.tcp import IperfFlow, TcpParameters
+        from repro.mac.wigig import WiGigLink
+
+        sim = Simulator(seed=1)
+        medium = Medium(
+            sim,
+            StaticCoupling({("tx", "rx"): -40.0, ("rx", "tx"): -40.0}),
+            capture_history=False,
+        )
+        tx = Station("tx", Vec2(0, 0))
+        rx = Station("rx", Vec2(2, 0))
+        medium.register(tx)
+        medium.register(rx)
+        link = WiGigLink(sim, medium, transmitter=tx, receiver=rx,
+                         snr_hint_db=35.0, send_beacons=False)
+        flow = IperfFlow(sim, link, TcpParameters(window_bytes=256 * 1024))
+        sim.run_until(0.05)
+        return flow
+
+    flow = benchmark.pedantic(run_50ms, rounds=3, iterations=1)
+    assert flow.throughput_bps() > 0.8e9
+
+
+def test_perf_trace_pipeline(benchmark):
+    emissions = [
+        Emission(i * 30e-6, 20e-6, 0.5) for i in range(300)
+    ]
+
+    def round_trip():
+        trace = synthesize_trace(
+            emissions, duration_s=10e-3, noise_floor_v=0.01,
+            rng=np.random.default_rng(0),
+        )
+        return FrameDetector(threshold_v=0.1).detect(trace)
+
+    frames = benchmark.pedantic(round_trip, rounds=3, iterations=1)
+    assert len(frames) == 300

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Beam pattern survey: reproduce the paper's antenna measurements.
+
+Runs the outdoor-semicircle campaign (Section 3.2) against the D5000
+dock and the E7440 notebook, prints the Figure 17 metrics, renders
+coarse ASCII polar plots, and sweeps a few of the 32 quasi-omni
+discovery patterns of Figure 16.
+
+Run:  python examples/beam_pattern_survey.py
+"""
+
+import math
+
+import numpy as np
+
+from repro.experiments.beam_patterns import (
+    PatternMetrics,
+    measure_discovery_patterns,
+    measure_dock_pattern,
+    measure_dock_rotated_pattern,
+    measure_laptop_pattern,
+)
+
+
+def ascii_polar(measured, width=72) -> str:
+    """Render a measured semicircle as a row of amplitude glyphs."""
+    glyphs = " .:-=+*#%@"
+    rel = measured.relative_db
+    order = np.argsort(measured.bearings_rad)
+    rel = rel[order]
+    # Resample to the target width.
+    idx = np.linspace(0, rel.size - 1, width).astype(int)
+    rel = rel[idx]
+    # Map -20..0 dB to glyphs.
+    levels = np.clip((rel + 20.0) / 20.0, 0.0, 1.0)
+    return "".join(glyphs[int(round(l * (len(glyphs) - 1)))] for l in levels)
+
+
+def main() -> None:
+    print("Measuring directional beams on the 3.2 m semicircle "
+          "(100 positions, as in the paper)...")
+    campaigns = {
+        "laptop": measure_laptop_pattern(),
+        "dock aligned": measure_dock_pattern(0.0),
+        "dock rotated 70deg": measure_dock_rotated_pattern(),
+    }
+    print()
+    print("Figure 17 metrics:")
+    for label, measured in campaigns.items():
+        print("  " + PatternMetrics.from_measurement(label, measured).row())
+    print()
+    print("ASCII semicircle view (-90 deg ... +90 deg around boresight,")
+    print("darker = stronger; note the side lobes away from the peak):")
+    for label, measured in campaigns.items():
+        print(f"  {label:>18} |{ascii_polar(measured)}|")
+
+    print()
+    print("Quasi-omni discovery patterns (4 of the 32 swept by the dock):")
+    for i, measured in enumerate(measure_discovery_patterns(count=4)):
+        p = measured.as_pattern()
+        print(f"  pattern {i}: HPBW {p.half_power_beam_width_deg():5.1f} deg, "
+              f"span {float(measured.power_dbm.max() - measured.power_dbm.min()):5.1f} dB")
+        print(f"  {'':>9} |{ascii_polar(measured)}|")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""NLOS rescue: keep a blocked 60 GHz link alive via a wall reflection.
+
+Section 4.3's range-extension case study as an application: a person
+(or cabinet) blocks the line of sight between a dock and a laptop.
+The script
+
+1. verifies the blockage with the rotating-horn angular profile
+   (Figure 20's methodology),
+2. retrains the beams onto the strongest surviving propagation path
+   (the wall bounce),
+3. measures the TCP throughput before/without/with the rescue.
+
+Run:  python examples/nlos_rescue.py
+"""
+
+from repro.core.angular import classify_lobes, find_lobes
+from repro.experiments.common import build_wigig_link_setup
+from repro.experiments.reflection_range import (
+    DOCK_POSITION,
+    LAPTOP_POSITION,
+    build_reflection_room,
+    measure_dock_angular_profile,
+)
+from repro.phy.raytracing import RayTracer
+
+
+def measure_tcp(tracer, seed: int) -> float:
+    setup = build_wigig_link_setup(
+        window_bytes=256 * 1024,
+        dock_position=DOCK_POSITION,
+        laptop_position=LAPTOP_POSITION,
+        tracer=tracer,
+        seed=seed,
+    )
+    setup.run(0.05)
+    setup.flow.reset_counters()
+    setup.run(0.2)
+    return setup.flow.throughput_bps()
+
+
+def main() -> None:
+    print("Scenario: dock and laptop 2.5 m apart, 1 m from a painted "
+          "masonry wall; an absorber blocks the line of sight.")
+    print()
+
+    clear = RayTracer(build_reflection_room(blocked=False), max_order=2)
+    blocked = RayTracer(build_reflection_room(blocked=True), max_order=2)
+
+    los_tput = measure_tcp(clear, seed=1)
+    print(f"1. Unobstructed link:            {los_tput / 1e6:7.0f} mbps")
+
+    # Validate the blockage the paper's way: the angular profile at
+    # the dock must show no lobe toward the laptop.
+    profile = measure_dock_angular_profile(build_reflection_room(blocked=True))
+    lobes = classify_lobes(
+        find_lobes(profile), DOCK_POSITION, {"laptop": LAPTOP_POSITION}
+    )
+    los_visible = any(l.attribution == "laptop" for l in lobes)
+    print(f"2. Obstacle inserted - LOS lobe in angular profile: "
+          f"{'still visible!' if los_visible else 'gone (energy arrives via the wall)'}")
+    for lobe in lobes:
+        print(f"     lobe at {lobe.bearing_deg:6.1f} deg, "
+              f"{lobe.relative_db:5.1f} dB -> {lobe.attribution}")
+
+    # The builder retrains over the strongest traced path automatically
+    # when given the blocked-room tracer.
+    nlos_tput = measure_tcp(blocked, seed=2)
+    print(f"3. Beams retrained on the wall bounce: {nlos_tput / 1e6:7.0f} mbps "
+          f"({nlos_tput / los_tput * 100:.0f}% of line-of-sight)")
+    print()
+    print("The paper measured 550 mbps over such a reflection - 'more "
+          "than half' of the LOS rate.  Reflections extend coverage, "
+          "but (Section 4.4) they carry interference just as well.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Office deployment planning with the ray tracer and link budget.
+
+The paper's intro motivates dense multi-AP deployments; its findings
+(strong side lobes, strong reflections) mean naive geometric planning
+fails.  This example uses the library the way a deployment tool would:
+
+1. model an office as a room with mixed wall materials and a metal
+   whiteboard;
+2. place two dock/laptop links;
+3. ray-trace every signal and interference path (including first- and
+   second-order reflections);
+4. report per-link SNR/MCS and the interference margin, then show how
+   moving one dock fixes a reflection-coupled conflict.
+
+Run:  python examples/office_deployment.py
+"""
+
+import math
+
+from repro.devices import make_d5000_dock, make_e7440_laptop
+from repro.geometry.materials import get_material
+from repro.geometry.room import Obstacle, Room
+from repro.geometry.segments import Segment
+from repro.geometry.vec import Vec2
+from repro.mac.coupling import DeviceCoupling
+from repro.phy.channel import LinkBudget
+from repro.phy.mcs import select_mcs
+from repro.phy.raytracing import RayTracer
+
+
+def build_office() -> Room:
+    room = Room.rectangular(8.0, 5.0, materials=["brick", "glass", "drywall", "brick"])
+    # A metal whiteboard on the top wall - a strong reflector.
+    room.add_obstacle(
+        Obstacle.plate(Vec2(3.0, 4.9), Vec2(5.0, 4.9), material="metal", name="whiteboard")
+    )
+    return room
+
+
+def analyze(dock_b_position: Vec2, laptop_b_position: Vec2) -> None:
+    room = build_office()
+    tracer = RayTracer(room, max_order=2)
+    budget = LinkBudget()
+
+    dock_a = make_d5000_dock(name="dock-a", position=Vec2(0.5, 1.0), orientation_rad=0.0)
+    laptop_a = make_e7440_laptop(name="laptop-a", position=Vec2(4.0, 1.0),
+                                 orientation_rad=math.pi)
+    dock_b = make_d5000_dock(name="dock-b", position=dock_b_position, unit_seed=12)
+    laptop_b = make_e7440_laptop(name="laptop-b", position=laptop_b_position, unit_seed=22)
+    dock_b.orientation_rad = (laptop_b_position - dock_b_position).angle()
+    laptop_b.orientation_rad = (dock_b_position - laptop_b_position).angle()
+    for dock, laptop in ((dock_a, laptop_a), (dock_b, laptop_b)):
+        dock.train_toward(laptop.position)
+        laptop.train_toward(dock.position)
+
+    devices = {d.name: d for d in (dock_a, laptop_a, dock_b, laptop_b)}
+    coupling = DeviceCoupling(devices, budget=budget, tracer=tracer)
+
+    print(f"  dock-b at ({dock_b_position.x:.1f}, {dock_b_position.y:.1f}), "
+          f"laptop-b at ({laptop_b_position.x:.1f}, {laptop_b_position.y:.1f}):")
+    for laptop, dock in (("laptop-a", "dock-a"), ("laptop-b", "dock-b")):
+        snr = coupling.snr_db(laptop, dock)
+        mcs = select_mcs(snr)
+        rate = f"{mcs.phy_rate_gbps:.2f} Gbps ({mcs.label()})" if mcs else "LINK DEAD"
+        print(f"    {laptop} -> {dock}: SNR {snr:5.1f} dB -> {rate}")
+    # Interference margin: how far below the signal does the other
+    # link's transmitter land at each receiver?
+    for victim_rx, victim_tx, aggressor in (
+        ("dock-a", "laptop-a", "laptop-b"),
+        ("dock-b", "laptop-b", "laptop-a"),
+    ):
+        signal = coupling.snr_db(victim_tx, victim_rx)
+        interference = coupling.snr_db(aggressor, victim_rx)
+        margin = signal - interference
+        flag = "OK" if margin > 20 else "CONFLICT (side lobes / reflections)"
+        print(f"    {aggressor} into {victim_rx}: margin {margin:5.1f} dB -> {flag}")
+
+
+def main() -> None:
+    print("Office: 8 x 5 m, brick/glass/drywall walls, metal whiteboard.")
+    print()
+    print("Plan 1 - both links run nearly collinear along the room: each")
+    print("receiver sits inside the other transmitter's beam corridor,")
+    print("so side lobes (and the whiteboard bounce) eat the margin:")
+    analyze(Vec2(1.0, 1.8), Vec2(7.5, 2.2))
+    print()
+    print("Plan 2 - link B moved to the far half, perpendicular corridor:")
+    analyze(Vec2(7.5, 3.5), Vec2(4.5, 3.5))
+    print()
+    print("Takeaway: with 2x8 consumer arrays, interference margins are "
+          "set by side lobes and wall reflections, not by main-lobe "
+          "geometry - exactly the paper's design principle.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""Statistical and signal-analysis helpers shared across the toolkit.
+
+The measurement campaign of the paper reduces raw oscilloscope traces to
+a handful of summary statistics: empirical CDFs of frame lengths,
+confidence intervals on Iperf throughput, and dB-domain averages of
+received signal power.  This package provides those primitives so the
+higher-level analysis code in :mod:`repro.core` stays focused on the
+measurement logic itself.
+"""
+
+from repro.analysis.dbmath import (
+    db_to_linear,
+    db_to_power_ratio,
+    linear_to_db,
+    power_average_db,
+    power_sum_db,
+    watts_to_dbm,
+    dbm_to_watts,
+)
+from repro.analysis.cdf import EmpiricalCDF
+from repro.analysis.stats import (
+    ConfidenceInterval,
+    mean_confidence_interval,
+    moving_average,
+    percentile_span,
+)
+
+__all__ = [
+    "ConfidenceInterval",
+    "EmpiricalCDF",
+    "db_to_linear",
+    "db_to_power_ratio",
+    "dbm_to_watts",
+    "linear_to_db",
+    "mean_confidence_interval",
+    "moving_average",
+    "percentile_span",
+    "power_average_db",
+    "power_sum_db",
+    "watts_to_dbm",
+]

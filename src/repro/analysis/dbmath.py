@@ -1,0 +1,78 @@
+"""Decibel arithmetic helpers.
+
+All antenna gains, path losses, and signal strengths in the toolkit are
+carried in dB (or dBm for absolute power).  Mixing linear and log-domain
+math by hand is a classic source of subtle bugs in link-budget code, so
+every conversion goes through the functions in this module.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Union
+
+import numpy as np
+
+ArrayLike = Union[float, np.ndarray, Iterable[float]]
+
+#: Floor used when converting zero linear power to dB, to avoid -inf
+#: propagating through downstream averaging.  -300 dB is far below any
+#: physically meaningful value in this toolkit.
+DB_FLOOR = -300.0
+
+
+def db_to_linear(value_db: ArrayLike) -> np.ndarray:
+    """Convert a dB quantity to its linear power ratio (10^(x/10))."""
+    return np.power(10.0, np.asarray(value_db, dtype=float) / 10.0)
+
+
+# Alias that reads better when the argument is explicitly a power ratio.
+db_to_power_ratio = db_to_linear
+
+
+def linear_to_db(value: ArrayLike) -> np.ndarray:
+    """Convert a linear power ratio to dB, flooring non-positive input.
+
+    Zero (or negative, from numerical noise) power maps to
+    :data:`DB_FLOOR` rather than raising or producing ``-inf``.
+    """
+    arr = np.asarray(value, dtype=float)
+    out = np.full_like(arr, DB_FLOOR, dtype=float)
+    positive = arr > 0
+    np.log10(arr, out=out, where=positive)
+    out[positive] *= 10.0
+    return out
+
+
+def watts_to_dbm(power_watts: ArrayLike) -> np.ndarray:
+    """Convert absolute power in watts to dBm."""
+    return linear_to_db(np.asarray(power_watts, dtype=float) * 1e3)
+
+
+def dbm_to_watts(power_dbm: ArrayLike) -> np.ndarray:
+    """Convert absolute power in dBm to watts."""
+    return db_to_linear(power_dbm) * 1e-3
+
+
+def power_sum_db(values_db: Iterable[float]) -> float:
+    """Sum powers expressed in dB, returning the total in dB.
+
+    Used to combine multipath components arriving from the same
+    direction: powers add in the linear domain.
+    """
+    values = np.asarray(list(values_db), dtype=float)
+    if values.size == 0:
+        return DB_FLOOR
+    return float(linear_to_db(np.sum(db_to_linear(values))))
+
+
+def power_average_db(values_db: Iterable[float]) -> float:
+    """Average powers expressed in dB (linear-domain mean, back to dB).
+
+    This is how the paper averages the received signal strength of
+    filtered data frames over the one-minute capture window at each
+    measurement position (Section 3.2).
+    """
+    values = np.asarray(list(values_db), dtype=float)
+    if values.size == 0:
+        raise ValueError("cannot average an empty set of powers")
+    return float(linear_to_db(np.mean(db_to_linear(values))))

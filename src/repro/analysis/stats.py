@@ -1,0 +1,92 @@
+"""Basic statistics used by the measurement pipeline.
+
+The paper reports its NLOS Iperf result as "550 Mbps (+-18 Mbps with
+95% confidence)"; :func:`mean_confidence_interval` reproduces that kind
+of summary.  Moving averages smooth the long-run rate traces of
+Figure 14.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Tuple
+
+import numpy as np
+
+# Two-sided critical values of the standard normal for common confidence
+# levels.  For the sample sizes used in the experiments (hundreds of
+# Iperf intervals) the normal approximation to Student's t is accurate
+# to well under 1%.
+_Z_VALUES = {0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758}
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A symmetric confidence interval around a sample mean."""
+
+    mean: float
+    half_width: float
+    confidence: float
+
+    @property
+    def low(self) -> float:
+        return self.mean - self.half_width
+
+    @property
+    def high(self) -> float:
+        return self.mean + self.half_width
+
+    def contains(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        pct = int(round(self.confidence * 100))
+        return f"{self.mean:.1f} (+-{self.half_width:.1f} with {pct}% confidence)"
+
+
+def mean_confidence_interval(samples: Iterable[float], confidence: float = 0.95) -> ConfidenceInterval:
+    """Normal-approximation confidence interval for the sample mean."""
+    data = np.asarray(list(samples), dtype=float)
+    if data.size < 2:
+        raise ValueError("need at least two samples for a confidence interval")
+    try:
+        z = _Z_VALUES[confidence]
+    except KeyError:
+        raise ValueError(
+            f"unsupported confidence level {confidence}; choose from {sorted(_Z_VALUES)}"
+        ) from None
+    sem = float(np.std(data, ddof=1) / np.sqrt(data.size))
+    return ConfidenceInterval(mean=float(np.mean(data)), half_width=z * sem, confidence=confidence)
+
+
+def moving_average(values: Iterable[float], window: int) -> np.ndarray:
+    """Centered-start moving average with a trailing window.
+
+    The first ``window - 1`` outputs average over the shorter available
+    prefix, so the output has the same length as the input.
+    """
+    data = np.asarray(list(values), dtype=float)
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    if data.size == 0:
+        return data
+    cumsum = np.cumsum(data)
+    out = np.empty_like(data)
+    for i in range(data.size):
+        lo = max(0, i - window + 1)
+        total = cumsum[i] - (cumsum[lo - 1] if lo > 0 else 0.0)
+        out[i] = total / (i - lo + 1)
+    return out
+
+
+def percentile_span(values: Iterable[float], low_pct: float = 5.0, high_pct: float = 95.0) -> Tuple[float, float]:
+    """Return the (low, high) percentile pair of a sample set."""
+    data = np.asarray(list(values), dtype=float)
+    if data.size == 0:
+        raise ValueError("percentile_span of empty data")
+    if not 0.0 <= low_pct < high_pct <= 100.0:
+        raise ValueError("need 0 <= low_pct < high_pct <= 100")
+    return (
+        float(np.percentile(data, low_pct)),
+        float(np.percentile(data, high_pct)),
+    )

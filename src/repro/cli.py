@@ -1,0 +1,244 @@
+"""Command-line interface: quick looks at the paper's experiments.
+
+Usage::
+
+    python -m repro patterns [--rotated 70]
+    python -m repro sweep
+    python -m repro range [--runs 10]
+    python -m repro interference [--distances 0 1 2 3]
+    python -m repro nlos
+    python -m repro blockage [--no-failover] [--no-wall]
+
+Each subcommand runs a time-scaled version of the corresponding
+measurement (Section 3.2 setups) and prints the headline rows.  The
+full, asserted reproductions live in ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+from typing import List, Optional, Sequence
+
+
+def _cmd_patterns(args: argparse.Namespace) -> int:
+    from repro.experiments.beam_patterns import (
+        PatternMetrics,
+        measure_dock_pattern,
+        measure_laptop_pattern,
+    )
+
+    print("Beam pattern campaign (3.2 m semicircle, 100 positions)...")
+    rows = [
+        PatternMetrics.from_measurement("laptop", measure_laptop_pattern()),
+        PatternMetrics.from_measurement("dock aligned", measure_dock_pattern(0.0)),
+    ]
+    if args.rotated:
+        rows.append(
+            PatternMetrics.from_measurement(
+                f"dock rotated {args.rotated:.0f}",
+                measure_dock_pattern(math.radians(args.rotated)),
+            )
+        )
+    for row in rows:
+        print("  " + row.row())
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments.frame_level import aggregation_sweep
+
+    print("TCP operating-point sweep (Figures 9-11)...")
+    for report in aggregation_sweep(duration_s=args.duration, warmup_s=0.04):
+        print("  " + report.row())
+    return 0
+
+
+def _cmd_range(args: argparse.Namespace) -> int:
+    from repro.experiments.range_vs_distance import (
+        cliff_statistics,
+        throughput_vs_distance,
+    )
+
+    runs, average = throughput_vs_distance(runs=args.runs, seed=args.seed)
+    print(f"Throughput vs distance ({args.runs} runs, Figure 13):")
+    for d, avg in zip(runs[0].distances_m, average):
+        bar = "#" * int(avg / 940e6 * 40)
+        print(f"  {d:4.0f} m {avg / 1e6:7.0f} mbps |{bar}")
+    lo, hi = cliff_statistics(runs)
+    print(f"  link-break cliffs span {lo:.0f}-{hi:.0f} m (paper: 10-17 m)")
+    return 0
+
+
+def _cmd_interference(args: argparse.Namespace) -> int:
+    from repro.experiments.interference import (
+        interference_free_baseline,
+        run_interference_point,
+    )
+
+    base = interference_free_baseline(duration_s=args.duration)
+    print(f"baseline: util {base.utilization * 100:.0f}%, "
+          f"rate {base.link_rate_bps / 1e9:.2f} Gbps")
+    print(f"{'d (m)':>6} {'util %':>7} {'rate Gbps':>10} {'retx':>6}")
+    for i, d in enumerate(args.distances):
+        p = run_interference_point(d, duration_s=args.duration, seed=10 + i)
+        print(f"{d:6.1f} {p.utilization * 100:7.1f} "
+              f"{p.link_rate_bps / 1e9:10.2f} {p.retransmissions:6d}")
+    return 0
+
+
+def _cmd_nlos(args: argparse.Namespace) -> int:
+    from repro.experiments.reflection_range import run_nlos_throughput
+
+    result = run_nlos_throughput(duration_s=0.24, intervals=4)
+    print(f"LOS blocked: {result.los_blocked}")
+    print(f"NLOS: {result.nlos_throughput.mean / 1e6:.0f} mbps "
+          f"(+-{result.nlos_throughput.half_width / 1e6:.0f})")
+    print(f"LOS:  {result.los_throughput_bps / 1e6:.0f} mbps "
+          f"(NLOS/LOS = {result.nlos_over_los:.2f}; paper: 550 mbps, 'more than half')")
+    return 0
+
+
+def _cmd_blockage(args: argparse.Namespace) -> int:
+    from repro.experiments.blockage import run_blockage_crossing
+
+    result = run_blockage_crossing(
+        failover=not args.no_failover,
+        with_wall=not args.no_wall,
+    )
+    print(f"failover={'off' if args.no_failover else 'on'}, "
+          f"wall={'absent' if args.no_wall else 'present'}:")
+    print(f"  retrains: {result.retrain_count}")
+    print(f"  outage:   {result.outage_s(20e-3) * 1e3:.0f} ms")
+    print(f"  min rate: {result.min_rate_bps() / 1e9:.2f} Gbps")
+    return 0
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    from repro.experiments.link_recovery import run_break_and_recover
+
+    result = run_break_and_recover(outage_duration_s=args.outage)
+    print(f"outage: {result.outage_start_s:.2f} - {result.outage_end_s:.2f} s")
+    if result.break_detected_s is None:
+        print("link survived (no break declared)")
+        return 0
+    print(f"break detected:  {result.break_detected_s:.3f} s "
+          f"(+{result.detection_delay_s * 1e3:.0f} ms)")
+    print(f"re-associated:   {result.reassociated_s:.3f} s")
+    print(f"traffic resumed: {result.traffic_resumed_s:.3f} s")
+    print(f"protocol share of downtime: "
+          f"{result.protocol_recovery_s * 1e3:.0f} ms "
+          f"(mostly waiting for the 102.4 ms discovery sweep)")
+    return 0
+
+
+def _cmd_spatial(args: argparse.Namespace) -> int:
+    import math
+
+    from repro.core.spatial import Link, conflict_graph, greedy_schedule
+    from repro.devices.d5000 import make_d5000_dock, make_e7440_laptop
+    from repro.geometry.vec import Vec2
+    from repro.mac.coupling import DeviceCoupling
+    from repro.phy.channel import LinkBudget
+
+    links = []
+    devices = {}
+    for i in range(args.links):
+        y = 2.5 * i
+        dock = make_d5000_dock(name=f"dock-{i}", position=Vec2(0, y), unit_seed=i + 1)
+        laptop = make_e7440_laptop(name=f"laptop-{i}", position=Vec2(3, y),
+                                   orientation_rad=math.pi, unit_seed=i + 70)
+        dock.train_toward(laptop.position)
+        laptop.train_toward(dock.position)
+        links.append(Link(tx=laptop, rx=dock))
+        devices[dock.name] = dock
+        devices[laptop.name] = laptop
+    coupling = DeviceCoupling(devices, budget=LinkBudget())
+    edges = conflict_graph(links, coupling)
+    groups = greedy_schedule(links, coupling)
+    print(f"{args.links} parallel links, 2.5 m row spacing")
+    print(f"conflicts: {edges or 'none'}")
+    print(f"schedule:  {groups} ({len(groups)}x airtime division)")
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.experiments.frame_level import run_idle_wigig, run_unassociated_dock
+    from repro.mac.frames import FrameKind
+
+    idle = run_idle_wigig(duration_s=0.02)
+    beacons = sorted(
+        r.start_s
+        for r in idle.medium.history
+        if r.kind == FrameKind.BEACON and r.source == idle.dock.name
+    )
+    unassoc = run_unassociated_dock(duration_s=0.45)
+    disc = sorted(
+        r.start_s for r in unassoc.medium.history if r.kind == FrameKind.DISCOVERY
+    )
+    print("Table 1 (D5000 side):")
+    print(f"  beacon interval:    {np.median(np.diff(beacons)) * 1e3:.3f} ms (paper 1.1)")
+    print(f"  discovery interval: {np.median(np.diff(disc)) * 1e3:.3f} ms (paper 102.4)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction toolkit for 'Boon and Bane of 60 GHz Networks'",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("patterns", help="beam pattern metrics (Figure 17)")
+    p.add_argument("--rotated", type=float, default=70.0,
+                   help="also measure the dock misaligned by DEG (0 to skip)")
+    p.set_defaults(func=_cmd_patterns)
+
+    p = sub.add_parser("sweep", help="TCP aggregation sweep (Figures 9-11)")
+    p.add_argument("--duration", type=float, default=0.1,
+                   help="simulated seconds per operating point")
+    p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser("range", help="throughput vs distance (Figure 13)")
+    p.add_argument("--runs", type=int, default=10)
+    p.add_argument("--seed", type=int, default=5)
+    p.set_defaults(func=_cmd_range)
+
+    p = sub.add_parser("interference", help="side-lobe interference sweep (Figure 22)")
+    p.add_argument("--distances", type=float, nargs="+", default=[0.0, 1.0, 2.0, 3.0])
+    p.add_argument("--duration", type=float, default=0.25)
+    p.set_defaults(func=_cmd_interference)
+
+    p = sub.add_parser("nlos", help="NLOS reflection link (Figures 5/20)")
+    p.set_defaults(func=_cmd_nlos)
+
+    p = sub.add_parser("blockage", help="human blockage crossing + SLS fail-over")
+    p.add_argument("--no-failover", action="store_true")
+    p.add_argument("--no-wall", action="store_true")
+    p.set_defaults(func=_cmd_blockage)
+
+    p = sub.add_parser("recover", help="link break + re-association lifecycle")
+    p.add_argument("--outage", type=float, default=0.25,
+                   help="obstruction duration in seconds")
+    p.set_defaults(func=_cmd_recover)
+
+    p = sub.add_parser("spatial", help="conflict graph / schedule for N links")
+    p.add_argument("--links", type=int, default=3)
+    p.set_defaults(func=_cmd_spatial)
+
+    p = sub.add_parser("table1", help="frame periodicities (Table 1)")
+    p.set_defaults(func=_cmd_table1)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

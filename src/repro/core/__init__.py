@@ -1,0 +1,86 @@
+"""The paper's primary contribution: the measurement analysis pipeline.
+
+Everything in this package mirrors the offline Matlab processing of
+Sections 3-4, rewritten as a reusable library:
+
+* :mod:`repro.core.frames` — threshold-based frame extraction from
+  amplitude traces, amplitude-based source separation, burst grouping,
+  and periodicity estimation (Table 1, Figures 8/15).
+* :mod:`repro.core.aggregation` — frame-length CDFs, long-frame
+  fractions, and aggregation-gain computation (Figures 9/10).
+* :mod:`repro.core.utilization` — medium-usage / link-utilization
+  estimation from traces and from ground-truth timelines (Figures
+  11/22).
+* :mod:`repro.core.beams` — beam-pattern measurement on the outdoor
+  semicircle, with control-frame filtering (Figures 16/17).
+* :mod:`repro.core.discovery` — discovery-frame sub-element splitting
+  (Figure 3) and per-sub-element pattern assembly (Figure 16).
+* :mod:`repro.core.angular` — angular profiles from rotating-horn
+  sweeps and reflection-lobe classification (Figures 18-20).
+* :mod:`repro.core.interference` — interference impact metrics
+  (Figures 21-23).
+"""
+
+from repro.core.frames import (
+    DetectedFrame,
+    FrameDetector,
+    estimate_periodicity_s,
+    group_bursts,
+    split_sources_by_amplitude,
+)
+from repro.core.aggregation import (
+    AggregationReport,
+    aggregation_gain,
+    frame_length_cdf,
+    long_frame_fraction,
+)
+from repro.core.utilization import medium_usage_from_records, medium_usage_from_trace
+from repro.core.beams import BeamPatternCampaign, MeasuredPattern
+from repro.core.discovery import split_discovery_subelements, subelement_amplitudes
+from repro.core.angular import AngularProfile, Lobe, classify_lobes, find_lobes
+from repro.core.interference import (
+    InterferencePoint,
+    file_transfer_time_s,
+    utilization_increase,
+)
+from repro.core.spatial import (
+    Conflict,
+    Link,
+    conflict_graph,
+    coverage_map,
+    greedy_schedule,
+    link_margins,
+    recommend_mac_behavior,
+)
+
+__all__ = [
+    "AggregationReport",
+    "Conflict",
+    "Link",
+    "conflict_graph",
+    "coverage_map",
+    "greedy_schedule",
+    "link_margins",
+    "recommend_mac_behavior",
+    "AngularProfile",
+    "BeamPatternCampaign",
+    "DetectedFrame",
+    "FrameDetector",
+    "InterferencePoint",
+    "Lobe",
+    "MeasuredPattern",
+    "aggregation_gain",
+    "classify_lobes",
+    "estimate_periodicity_s",
+    "file_transfer_time_s",
+    "find_lobes",
+    "frame_length_cdf",
+    "group_bursts",
+    "long_frame_fraction",
+    "medium_usage_from_records",
+    "medium_usage_from_trace",
+    "split_discovery_subelements",
+    "split_sources_by_amplitude",
+    "subelement_amplitudes",
+    "utilization_increase",
+]

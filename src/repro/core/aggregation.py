@@ -1,0 +1,100 @@
+"""Data-aggregation analysis: frame-length statistics (Figures 9/10).
+
+The key observation of Section 4.1: WiGig frame lengths are bimodal —
+short (~5 us, one MPDU) or long (15-25 us, aggregated) — and the share
+of long frames grows with TCP throughput.  Since the MCS stays constant
+and the medium is already fully used, *aggregation alone* scales the
+throughput from 171 to 934 mbps (a 5.4x gain).
+
+The functions here accept anything with a ``duration_s`` attribute, so
+they run both on ground-truth :class:`~repro.mac.frames.FrameRecord`
+timelines and on trace-derived
+:class:`~repro.core.frames.DetectedFrame` lists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+from repro.analysis.cdf import EmpiricalCDF
+
+#: Frames longer than this count as "long" (aggregated).  The paper
+#: uses ~5 us; our single-MPDU frames are ~6 us, so the boundary sits
+#: between one-MPDU and multi-MPDU durations.
+LONG_FRAME_THRESHOLD_S = 8.0e-6
+
+
+def _durations(frames: Iterable) -> List[float]:
+    out = [float(f.duration_s) for f in frames]
+    if not out:
+        raise ValueError("no frames to analyze")
+    return out
+
+
+def frame_length_cdf(frames: Iterable) -> EmpiricalCDF:
+    """Empirical CDF of frame durations (the curves of Figure 9)."""
+    return EmpiricalCDF(_durations(frames))
+
+
+def long_frame_fraction(
+    frames: Iterable,
+    threshold_s: float = LONG_FRAME_THRESHOLD_S,
+) -> float:
+    """Fraction of frames longer than the threshold (Figure 10)."""
+    durations = _durations(frames)
+    return sum(1 for d in durations if d > threshold_s) / len(durations)
+
+
+def aggregation_gain(low_throughput_bps: float, high_throughput_bps: float) -> float:
+    """Throughput multiple achieved by aggregation.
+
+    The paper's headline: 171 -> 930 mbps is a 5.4x gain achieved "by
+    aggregating only 25 us of data, which is 320x less than what
+    802.11ac needs for just a 2x gain".
+    """
+    if low_throughput_bps <= 0:
+        raise ValueError("baseline throughput must be positive")
+    return high_throughput_bps / low_throughput_bps
+
+
+@dataclass(frozen=True)
+class AggregationReport:
+    """Summary of one TCP operating point in the aggregation sweep."""
+
+    label: str
+    throughput_bps: float
+    num_frames: int
+    median_frame_s: float
+    p95_frame_s: float
+    long_fraction: float
+    medium_usage: float
+
+    @staticmethod
+    def build(
+        label: str,
+        throughput_bps: float,
+        frames: Sequence,
+        medium_usage: float,
+        threshold_s: float = LONG_FRAME_THRESHOLD_S,
+    ) -> "AggregationReport":
+        """Assemble the row printed by the Figure 9-11 benchmarks."""
+        cdf = frame_length_cdf(frames)
+        return AggregationReport(
+            label=label,
+            throughput_bps=throughput_bps,
+            num_frames=cdf.n,
+            median_frame_s=cdf.median(),
+            p95_frame_s=cdf.quantile(0.95),
+            long_fraction=long_frame_fraction(frames, threshold_s),
+            medium_usage=medium_usage,
+        )
+
+    def row(self) -> str:
+        """One formatted table row for benchmark output."""
+        return (
+            f"{self.label:>12}  tput={self.throughput_bps / 1e6:8.2f} mbps  "
+            f"frames={self.num_frames:6d}  median={self.median_frame_s * 1e6:5.1f} us  "
+            f"p95={self.p95_frame_s * 1e6:5.1f} us  long={self.long_fraction * 100:5.1f}%  "
+            f"usage={self.medium_usage * 100:5.1f}%"
+        )

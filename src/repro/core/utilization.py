@@ -1,0 +1,121 @@
+"""Medium usage / link utilization estimation (Figures 11 and 22).
+
+Section 3.2: "To obtain link utilization measurements we collect ...
+channel traces and use a threshold based detection approach to
+calculate the ratio of idle channel time."  Medium usage is the
+complement: the fraction of time the channel is occupied.
+
+Two implementations are provided:
+
+* :func:`medium_usage_from_trace` — the paper's method, straight off
+  the sampled amplitude trace;
+* :func:`medium_usage_from_records` — ground truth from the simulator's
+  frame timeline (union of on-air intervals), used to validate the
+  trace-based estimator.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.phy.signal import Trace
+
+
+def medium_usage_from_trace(
+    trace: Trace,
+    threshold_v: Optional[float] = None,
+    auto_factor: float = 4.0,
+) -> float:
+    """Fraction of samples above the busy threshold.
+
+    Args:
+        trace: The captured amplitude trace.
+        threshold_v: Busy threshold; None derives it as ``auto_factor``
+            times the trace median (noise-dominated unless saturated).
+        auto_factor: Multiplier for the automatic threshold.
+
+    Returns:
+        Medium usage in [0, 1].
+    """
+    if threshold_v is None:
+        threshold_v = auto_factor * float(np.median(trace.samples))
+    if threshold_v <= 0:
+        raise ValueError("busy threshold must be positive")
+    return float(np.mean(trace.samples >= threshold_v))
+
+
+def medium_usage_from_records(
+    records: Iterable,
+    window_start_s: float,
+    window_end_s: float,
+    bridge_gap_s: float = 0.0,
+) -> float:
+    """Fraction of a time window covered by at least one frame.
+
+    ``records`` is anything with ``start_s`` and ``end_s`` attributes
+    (e.g. :class:`~repro.mac.frames.FrameRecord` or
+    :class:`~repro.core.frames.DetectedFrame`).  Overlapping frames
+    (collisions) are not double counted: intervals are unioned first.
+
+    ``bridge_gap_s`` treats idle gaps up to that length as busy.
+    Setting it to a little over a SIFS counts the inter-frame spaces
+    inside an RTS/CTS-protected burst as occupied, which matches both
+    the NAV semantics of the protocol and the paper's trace-threshold
+    estimate (their undersampled envelope does not resolve 3 us gaps
+    as idle channel time).
+    """
+    if window_end_s <= window_start_s:
+        raise ValueError("window must have positive length")
+    if bridge_gap_s < 0:
+        raise ValueError("bridge gap must be non-negative")
+    intervals: List[Tuple[float, float]] = []
+    for rec in records:
+        lo = max(rec.start_s, window_start_s)
+        hi = min(rec.end_s, window_end_s)
+        if hi > lo:
+            intervals.append((lo, hi))
+    if not intervals:
+        return 0.0
+    intervals.sort()
+    busy = 0.0
+    cur_lo, cur_hi = intervals[0]
+    for lo, hi in intervals[1:]:
+        if lo <= cur_hi + bridge_gap_s:
+            cur_hi = max(cur_hi, hi)
+        else:
+            busy += cur_hi - cur_lo
+            cur_lo, cur_hi = lo, hi
+    busy += cur_hi - cur_lo
+    return min(1.0, busy / (window_end_s - window_start_s))
+
+
+def idle_gaps_s(
+    records: Sequence,
+    window_start_s: float,
+    window_end_s: float,
+) -> List[Tuple[float, float]]:
+    """Idle intervals of the channel within a window.
+
+    Useful for spotting the "enlarged data transmission gaps" the
+    paper attributes to the D5000's carrier sensing (Figure 21b).
+    """
+    if window_end_s <= window_start_s:
+        raise ValueError("window must have positive length")
+    busy: List[Tuple[float, float]] = []
+    for rec in records:
+        lo = max(rec.start_s, window_start_s)
+        hi = min(rec.end_s, window_end_s)
+        if hi > lo:
+            busy.append((lo, hi))
+    busy.sort()
+    gaps: List[Tuple[float, float]] = []
+    cursor = window_start_s
+    for lo, hi in busy:
+        if lo > cursor:
+            gaps.append((cursor, lo))
+        cursor = max(cursor, hi)
+    if cursor < window_end_s:
+        gaps.append((cursor, window_end_s))
+    return gaps

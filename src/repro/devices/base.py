@@ -1,0 +1,157 @@
+"""The RadioDevice abstraction shared by all modeled 60 GHz units.
+
+A :class:`RadioDevice` owns a phased array, a beam codebook, a pose on
+the floor plan, and an *active beam* (the directional codebook entry
+selected by beam training).  It knows how much gain it radiates toward
+any global direction for any frame kind — including the per-sub-element
+quasi-omni patterns of a discovery sweep — which is everything the
+measurement models and the MAC simulator need.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.geometry.vec import Vec2, normalize_angle
+from repro.mac.frames import FrameKind
+from repro.mac.simulator import Station
+from repro.phy.antenna import AntennaPattern, PhasedArray
+from repro.phy.codebook import Codebook, CodebookEntry
+
+
+class RadioDevice:
+    """One physical 60 GHz unit: array + codebook + pose + active beam.
+
+    Args:
+        name: Unique identifier (doubles as the MAC station name).
+        array: The device's phased antenna array.
+        codebook: Beams the device can select.
+        position: Location on the floor plan, meters.
+        orientation_rad: Global direction of the array broadside.
+        tx_power_dbm: Conducted transmit power for data frames.
+        control_power_boost_db: Extra power used for control frames.
+        cca_threshold_dbm: Carrier-sense threshold of the device's MAC.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        array: PhasedArray,
+        codebook: Codebook,
+        position: Vec2 = Vec2(0.0, 0.0),
+        orientation_rad: float = 0.0,
+        tx_power_dbm: float = 10.0,
+        control_power_boost_db: float = 5.0,
+        cca_threshold_dbm: float = -60.0,
+        channel: int = 2,
+    ):
+        self.name = name
+        self.channel = channel
+        self.array = array
+        self.codebook = codebook
+        self.position = position
+        self.orientation_rad = orientation_rad
+        self.tx_power_dbm = tx_power_dbm
+        self.control_power_boost_db = control_power_boost_db
+        self.cca_threshold_dbm = cca_threshold_dbm
+        # Default beam: broadside-most directional entry.
+        self._active_beam = codebook.best_entry_toward(0.0)
+        # Control traffic uses the first quasi-omni entry when
+        # available, else the active directional beam.
+        if codebook.quasi_omni_entries:
+            self._control_pattern = codebook.quasi_omni_entries[0].pattern
+        else:
+            self._control_pattern = self._active_beam.pattern
+
+    # -- beam management ---------------------------------------------------
+
+    @property
+    def active_beam(self) -> CodebookEntry:
+        """The directional codebook entry currently in use."""
+        return self._active_beam
+
+    def select_beam(self, entry: CodebookEntry) -> None:
+        """Force a specific directional beam (tests/ablations)."""
+        if entry.kind != "directional":
+            raise ValueError("active beam must be a directional entry")
+        self._active_beam = entry
+
+    def bearing_to(self, target: Vec2) -> float:
+        """Device-local azimuth of a global target point."""
+        return normalize_angle((target - self.position).angle() - self.orientation_rad)
+
+    def train_toward(self, target: Vec2) -> CodebookEntry:
+        """Beam training: pick the codebook entry with best gain toward
+        a peer's position, make it active, and return it.
+
+        When the peer sits outside the serviceable sector, the best
+        available entry is a boundary beam — reproducing the degraded,
+        side-lobe-rich patterns of the rotated setup in Figure 17.
+        """
+        bearing = self.bearing_to(target)
+        self._active_beam = self.codebook.best_entry_toward(bearing)
+        return self._active_beam
+
+    # -- gain queries --------------------------------------------------------
+
+    def pattern_for_kind(self, kind: FrameKind, subelement: Optional[int] = None) -> AntennaPattern:
+        """Pattern used on the air for a frame of the given kind.
+
+        Discovery frames sweep the quasi-omni codebook; ``subelement``
+        selects which of the 32 patterns is active.  Other control
+        frames use the device's (wide) control pattern; data and ACK
+        frames use the trained directional beam.
+        """
+        if kind == FrameKind.DISCOVERY:
+            entries = self.codebook.quasi_omni_entries
+            if not entries:
+                return self._control_pattern
+            idx = 0 if subelement is None else subelement % len(entries)
+            return entries[idx].pattern
+        if kind.uses_wide_pattern():
+            return self._control_pattern
+        return self._active_beam.pattern
+
+    def tx_gain_dbi(
+        self,
+        toward: Vec2,
+        kind: FrameKind = FrameKind.DATA,
+        subelement: Optional[int] = None,
+    ) -> float:
+        """Radiated gain toward a global position for a frame kind."""
+        bearing = self.bearing_to(toward)
+        return self.pattern_for_kind(kind, subelement).gain_dbi(bearing)
+
+    def tx_power_for(self, kind: FrameKind) -> float:
+        """Conducted power used for a frame kind."""
+        if kind.uses_wide_pattern():
+            return self.tx_power_dbm + self.control_power_boost_db
+        return self.tx_power_dbm
+
+    # -- MAC integration ---------------------------------------------------
+
+    def make_station(self) -> Station:
+        """Build a MAC-simulator station mirroring this device's state.
+
+        The station snapshots the *current* active beam; re-train and
+        rebuild if the geometry changes.
+        """
+        return Station(
+            name=self.name,
+            position=self.position,
+            orientation_rad=self.orientation_rad,
+            data_pattern=self._active_beam.pattern,
+            control_pattern=self._control_pattern,
+            tx_power_dbm=self.tx_power_dbm,
+            control_power_boost_db=self.control_power_boost_db,
+            cca_threshold_dbm=self.cca_threshold_dbm,
+            channel=self.channel,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        deg = math.degrees(self.orientation_rad)
+        return (
+            f"RadioDevice({self.name!r} @ ({self.position.x:.2f}, "
+            f"{self.position.y:.2f}), facing {deg:.0f} deg)"
+        )

@@ -1,0 +1,127 @@
+"""Dell D5000 docking station and Latitude E7440 notebook models.
+
+The teardown in Section 3.1 found both sides of the WiGig link to be
+Wilocity designs: a baseband chip, an upconverter, and a **2x8 element
+antenna array**.  The dock services a nominal 120-degree cone; the
+notebook's antenna sits at the side of the lid, which the paper blames
+for the asymmetry of its measured pattern (Figure 17, left).
+
+Both factories build a :class:`~repro.devices.base.RadioDevice` with:
+
+* a 2x8 uniform rectangular array at 60.48 GHz with 2-bit phase
+  shifters (the consumer-grade cost saving that raises side lobes);
+* a 32-entry directional codebook spanning the 120-degree sector plus
+  the 32 quasi-omni discovery patterns of Figure 16;
+* per-unit randomized element errors, seeded by ``unit_seed`` so each
+  simulated unit has a stable pattern personality.
+"""
+
+from __future__ import annotations
+
+from repro.devices.base import RadioDevice
+from repro.geometry.vec import Vec2
+from repro.phy.antenna import PhaseShifterModel, UniformRectangularArray
+from repro.phy.channel import SIXTY_GHZ
+from repro.phy.codebook import Codebook
+
+#: Nominal serviceable sector of the D5000 (Section 3.1).
+D5000_SECTOR_DEG = 120.0
+
+#: Number of quasi-omni patterns swept during discovery (Section 4.2).
+D5000_DISCOVERY_PATTERNS = 32
+
+
+def _wilocity_array(unit_seed: int, frequency_hz: float) -> UniformRectangularArray:
+    import numpy as np
+
+    return UniformRectangularArray(
+        rows=2,
+        cols=8,
+        frequency_hz=frequency_hz,
+        phase_shifter=PhaseShifterModel(bits=2),
+        element_gain_dbi=5.0,
+        amplitude_error_std_db=0.5,
+        phase_error_std_rad=0.15,
+        scatter_level_db=-4.5,
+        rng=np.random.default_rng(unit_seed),
+    )
+
+
+def make_d5000_dock(
+    name: str = "dock",
+    position: Vec2 = Vec2(0.0, 0.0),
+    orientation_rad: float = 0.0,
+    unit_seed: int = 8,
+    frequency_hz: float = SIXTY_GHZ,
+    pattern_points: int = 720,
+) -> RadioDevice:
+    """Build a Dell D5000 docking station model."""
+    array = _wilocity_array(unit_seed, frequency_hz)
+    codebook = Codebook.build(
+        array,
+        sector_width_deg=D5000_SECTOR_DEG,
+        num_directional=32,
+        num_quasi_omni=D5000_DISCOVERY_PATTERNS,
+        quasi_omni_seed=unit_seed,
+        pattern_points=pattern_points,
+    )
+    return RadioDevice(
+        name=name,
+        array=array,
+        codebook=codebook,
+        position=position,
+        orientation_rad=orientation_rad,
+        tx_power_dbm=10.0,
+        control_power_boost_db=5.0,
+        cca_threshold_dbm=-60.0,
+    )
+
+
+def make_e7440_laptop(
+    name: str = "laptop",
+    position: Vec2 = Vec2(2.0, 0.0),
+    orientation_rad: float = 3.141592653589793,
+    unit_seed: int = 21,
+    frequency_hz: float = SIXTY_GHZ,
+    pattern_points: int = 720,
+) -> RadioDevice:
+    """Build a Latitude E7440 notebook (WiGig remote station) model.
+
+    The notebook's array is mounted at the side of the lid; we model
+    the resulting asymmetry with larger per-element errors and a
+    slightly offset serviceable sector, which skews the measured
+    pattern like the left plot of Figure 17.
+    """
+    import numpy as np
+
+    array = UniformRectangularArray(
+        rows=2,
+        cols=8,
+        frequency_hz=frequency_hz,
+        phase_shifter=PhaseShifterModel(bits=2),
+        element_gain_dbi=5.0,
+        # Lid placement: stronger installation-dependent errors and
+        # stronger enclosure scattering (the lid is a reflector).
+        amplitude_error_std_db=1.0,
+        phase_error_std_rad=0.3,
+        scatter_level_db=-4.0,
+        rng=np.random.default_rng(unit_seed),
+    )
+    codebook = Codebook.build(
+        array,
+        sector_width_deg=D5000_SECTOR_DEG,
+        num_directional=32,
+        num_quasi_omni=D5000_DISCOVERY_PATTERNS,
+        quasi_omni_seed=unit_seed,
+        pattern_points=pattern_points,
+    )
+    return RadioDevice(
+        name=name,
+        array=array,
+        codebook=codebook,
+        position=position,
+        orientation_rad=orientation_rad,
+        tx_power_dbm=10.0,
+        control_power_boost_db=5.0,
+        cca_threshold_dbm=-60.0,
+    )

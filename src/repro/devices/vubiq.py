@@ -1,0 +1,209 @@
+"""The Vubiq down-converter + oscilloscope measurement receiver.
+
+The paper's methodology (Section 3.1): a Vubiq V60WGD03 60 GHz
+development system feeds an Agilent MSO-X 3034A oscilloscope; traces of
+the analog I/Q output are undersampled at 1e8 S/s, which prevents
+decoding but preserves frame timing and amplitude.  A WR-15 waveguide
+port takes either a 25 dBi horn (beam-pattern and angular-profile
+measurements) or the open waveguide (wide pattern, protocol analysis).
+
+:class:`VubiqReceiver` converts the MAC simulator's ground-truth
+:class:`~repro.mac.frames.FrameRecord` timeline into the
+:class:`~repro.phy.signal.Emission` list a receiver at its position and
+orientation would see — accounting for each transmitter's per-frame
+antenna pattern (including the 32 quasi-omni sub-elements of a
+discovery frame) and, when a ray tracer is supplied, for every
+reflected path — and renders it into a sampled :class:`Trace`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Mapping, Optional
+
+import numpy as np
+
+from repro.devices.base import RadioDevice
+from repro.geometry.vec import Vec2
+from repro.mac.frames import DISCOVERY_SUBELEMENTS, FrameKind, FrameRecord
+from repro.phy.antenna import HornAntenna, standard_horn_25dbi
+from repro.phy.channel import LinkBudget
+from repro.phy.raytracing import RayTracer
+from repro.phy.signal import (
+    DEFAULT_SAMPLE_RATE_HZ,
+    Emission,
+    Trace,
+    received_amplitude_v,
+    synthesize_trace,
+)
+from repro.analysis.dbmath import power_sum_db
+
+#: Received power below this is indistinguishable from the noise floor
+#: and not rendered as an emission.
+MIN_DETECTABLE_DBM = -78.0
+
+
+class VubiqReceiver:
+    """The measurement receiver overhearing 60 GHz links.
+
+    Args:
+        position: Receiver location, meters.
+        boresight_rad: Global direction the horn points at.
+        antenna: Horn (or open waveguide) on the WR-15 port.
+        budget: Link-budget parameters for power computation.
+        extra_gain_db: Front-end gain setting.  The paper had to raise
+            it by 10 dB to measure the rotated dock (Section 4.2) —
+            the setting shifts all received amplitudes.
+        tracer: Optional ray tracer; when present, reflected paths
+            contribute to (and can dominate) the received power, which
+            is the basis of the angular-profile measurements.
+    """
+
+    def __init__(
+        self,
+        position: Vec2,
+        boresight_rad: float = 0.0,
+        antenna: Optional[HornAntenna] = None,
+        budget: LinkBudget = LinkBudget(),
+        extra_gain_db: float = 0.0,
+        tracer: Optional[RayTracer] = None,
+    ):
+        self.position = position
+        self.boresight_rad = boresight_rad
+        self.antenna = antenna if antenna is not None else standard_horn_25dbi()
+        self.budget = budget
+        self.extra_gain_db = extra_gain_db
+        self.tracer = tracer
+
+    # -- power computation ------------------------------------------------
+
+    def _horn_gain_dbi(self, arrival_bearing_rad: float) -> float:
+        """Horn gain for energy arriving from a global bearing."""
+        return self.antenna.gain_toward(arrival_bearing_rad - self.boresight_rad)
+
+    def received_power_dbm(
+        self,
+        device: RadioDevice,
+        kind: FrameKind = FrameKind.DATA,
+        subelement: Optional[int] = None,
+    ) -> float:
+        """Power received from a device transmitting a frame kind.
+
+        With a ray tracer, powers of all resolvable paths add; without
+        one, the free-space LOS path is used.
+        """
+        tx_power = device.tx_power_for(kind)
+        if self.tracer is None:
+            distance = device.position.distance_to(self.position)
+            tx_gain = device.tx_gain_dbi(self.position, kind, subelement)
+            rx_gain = self._horn_gain_dbi((device.position - self.position).angle())
+            power = self.budget.received_power_dbm(distance, tx_gain, rx_gain)
+            return power + (tx_power - self.budget.tx_power_dbm) + self.extra_gain_db
+        paths = self.tracer.trace(device.position, self.position)
+        if not paths:
+            return -300.0
+        contributions = []
+        for path in paths:
+            # TX gain at the departure angle of this specific path.
+            departure = device.position + Vec2.unit(path.departure_angle_rad())
+            tx_gain = device.tx_gain_dbi(departure, kind, subelement)
+            rx_gain = self._horn_gain_dbi(path.arrival_angle_rad())
+            power = path.received_power_dbm(self.budget, tx_gain, rx_gain)
+            contributions.append(power + (tx_power - self.budget.tx_power_dbm))
+        return power_sum_db(contributions) + self.extra_gain_db
+
+    # -- trace generation ------------------------------------------------
+
+    def emissions_for(
+        self,
+        records: Iterable[FrameRecord],
+        devices: Mapping[str, RadioDevice],
+    ) -> List[Emission]:
+        """Convert ground-truth frames into what this receiver sees.
+
+        Frames from stations not present in ``devices`` are skipped
+        (e.g. wired endpoints).  Discovery frames are expanded into
+        their quasi-omni sub-elements so the rendered trace has the
+        staircase amplitude structure of Figure 3.
+        """
+        out: List[Emission] = []
+        for rec in records:
+            device = devices.get(rec.source)
+            if device is None:
+                continue
+            if rec.kind == FrameKind.DISCOVERY:
+                n = DISCOVERY_SUBELEMENTS
+                sub_duration = rec.duration_s / n
+                for i in range(n):
+                    power = self.received_power_dbm(device, rec.kind, subelement=i)
+                    if power < MIN_DETECTABLE_DBM:
+                        continue
+                    out.append(
+                        Emission(
+                            start_s=rec.start_s + i * sub_duration,
+                            duration_s=sub_duration,
+                            amplitude_v=received_amplitude_v(power),
+                            source=rec.source,
+                            kind=f"{rec.kind.value}[{i}]",
+                        )
+                    )
+                continue
+            power = self.received_power_dbm(device, rec.kind)
+            if power < MIN_DETECTABLE_DBM:
+                continue
+            out.append(
+                Emission(
+                    start_s=rec.start_s,
+                    duration_s=rec.duration_s,
+                    amplitude_v=received_amplitude_v(power),
+                    source=rec.source,
+                    kind=rec.kind.value,
+                )
+            )
+        return out
+
+    def capture(
+        self,
+        records: Iterable[FrameRecord],
+        devices: Mapping[str, RadioDevice],
+        duration_s: float,
+        start_s: float = 0.0,
+        sample_rate_hz: float = DEFAULT_SAMPLE_RATE_HZ,
+        noise_floor_v: float = 0.01,
+        rng: Optional[np.random.Generator] = None,
+    ) -> Trace:
+        """Render a sampled oscilloscope trace of the observed frames."""
+        emissions = self.emissions_for(records, devices)
+        return synthesize_trace(
+            emissions,
+            duration_s=duration_s,
+            sample_rate_hz=sample_rate_hz,
+            start_s=start_s,
+            noise_floor_v=noise_floor_v,
+            rng=rng,
+        )
+
+    # -- convenience -----------------------------------------------------
+
+    def pointed_at(self, target: Vec2) -> "VubiqReceiver":
+        """Copy of this receiver with the horn aimed at a point."""
+        bearing = (target - self.position).angle()
+        return VubiqReceiver(
+            position=self.position,
+            boresight_rad=bearing,
+            antenna=self.antenna,
+            budget=self.budget,
+            extra_gain_db=self.extra_gain_db,
+            tracer=self.tracer,
+        )
+
+    def rotated_to(self, boresight_rad: float) -> "VubiqReceiver":
+        """Copy with the horn at an absolute bearing (rotation stage)."""
+        return VubiqReceiver(
+            position=self.position,
+            boresight_rad=boresight_rad,
+            antenna=self.antenna,
+            budget=self.budget,
+            extra_gain_db=self.extra_gain_db,
+            tracer=self.tracer,
+        )

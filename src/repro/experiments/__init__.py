@@ -1,0 +1,44 @@
+"""Experiment harnesses reproducing the paper's measurement setups.
+
+One module per setup of Section 3.2:
+
+* :mod:`repro.experiments.frame_level` — protocol analysis of WiGig and
+  WiHD links (Table 1, Figures 3/8/9/10/11/15).
+* :mod:`repro.experiments.beam_patterns` — outdoor semicircle beam
+  measurements (Figures 16/17).
+* :mod:`repro.experiments.reflections` — conference-room angular
+  profiles (Figures 18/19).
+* :mod:`repro.experiments.reflection_range` — NLOS link over a wall
+  reflection (Figures 5/20).
+* :mod:`repro.experiments.interference` — parallel WiGig/WiHD operation
+  and the side-lobe interference sweep (Figures 6/21/22).
+* :mod:`repro.experiments.reflection_interference` — interference via a
+  metal reflector with shielded direct paths (Figures 7/23).
+* :mod:`repro.experiments.range_vs_distance` — MCS and throughput vs
+  link length (Figures 12/13).
+* :mod:`repro.experiments.long_run` — hour-scale rate/amplitude
+  stability and beam realignments (Figure 14).
+
+Extension harnesses (beyond the paper's figures):
+
+* :mod:`repro.experiments.blockage` — pedestrian crossings and SLS
+  fail-over onto reflections.
+* :mod:`repro.experiments.link_recovery` — break detection and the
+  rediscovery/re-association downtime budget.
+* :mod:`repro.experiments.service_area` — the 120-degree cone and how
+  reflectors reshape it.
+
+Every harness takes a ``duration_s`` (or equivalent) so unit tests can
+run scaled-down versions of the full benchmarks.  Durations default to
+values that converge statistically; the paper's wall-clock durations
+(minutes of capture) are unnecessary for a deterministic simulator and
+are documented per experiment in EXPERIMENTS.md.
+"""
+
+from repro.experiments.common import WiGigLinkSetup, WiHDLinkSetup, build_wigig_link_setup
+
+__all__ = [
+    "WiGigLinkSetup",
+    "WiHDLinkSetup",
+    "build_wigig_link_setup",
+]

@@ -1,0 +1,264 @@
+"""Frame-level protocol analysis harness (Section 3.2 / 4.1).
+
+Reproduces the trace-based protocol studies:
+
+* the Table 1 periodicities (idle links, discovery and beacon frames);
+* the Figure 3 discovery frame with its 32 sub-elements;
+* the Figure 8 D5000 burst structure (beacon / RTS-CTS / data-ACK);
+* the Figure 9/10/11 aggregation sweep over TCP operating points;
+* the Figure 15 WiHD frame flow with its active -> idle transition.
+
+The harness runs the MAC simulation, then *measures* the results the
+way the paper did: a Vubiq receiver with the open waveguide renders the
+frames into an amplitude trace, and the :mod:`repro.core` pipeline
+recovers frames from it.  For statistics that need many frames the
+ground-truth records can be used directly (both paths are exercised by
+the tests, which verify they agree).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.aggregation import AggregationReport
+from repro.core.utilization import medium_usage_from_records
+from repro.devices.base import RadioDevice
+from repro.devices.vubiq import VubiqReceiver
+from repro.experiments.common import (
+    WiGigLinkSetup,
+    WiHDLinkSetup,
+    build_wigig_link_setup,
+    build_wihd_link_setup,
+)
+from repro.geometry.vec import Vec2
+from repro.mac.frames import FrameKind, FrameRecord
+from repro.phy.antenna import open_waveguide
+from repro.phy.signal import Trace
+
+#: Front-end gain of the Vubiq + scope chain used for protocol
+#: captures: amplifies the ~-70 dBm over-the-air frames to the
+#: half-volt envelopes seen in the paper's trace figures.
+PROTOCOL_CAPTURE_GAIN_DB = 30.0
+
+#: Envelope threshold for frame detection in protocol captures, volts.
+#: Sits ~15 dB above the scope noise floor and well below the weakest
+#: frames of interest.
+CAPTURE_DETECTION_THRESHOLD_V = 0.05
+
+#: The TCP operating points of Figures 9-11: (label, window bytes or
+#: None, rate limit bps or None).  Window sizes are calibrated so the
+#: simulated link lands near the paper's reported throughputs.
+TCP_OPERATING_POINTS: List[Tuple[str, Optional[int], Optional[float]]] = [
+    ("9.7 kbps", None, 9.7e3),
+    ("40 kbps", None, 40e3),
+    ("171 mbps", 14 * 1024, None),
+    ("183 mbps", 15 * 1024, None),
+    ("372 mbps", 30 * 1024, None),
+    ("601 mbps", 48 * 1024, None),
+    ("806 mbps", 65 * 1024, None),
+    ("831 mbps", 68 * 1024, None),
+    ("930 mbps", 128 * 1024, None),
+    ("934 mbps", 256 * 1024, None),
+]
+
+
+def run_idle_wigig(duration_s: float = 0.5, seed: int = 3) -> WiGigLinkSetup:
+    """An associated but idle WiGig link: beacons only (Table 1)."""
+    setup = build_wigig_link_setup(window_bytes=None, seed=seed)
+    setup.run(duration_s)
+    return setup
+
+
+def run_unassociated_dock(duration_s: float = 0.6, seed: int = 4) -> WiGigLinkSetup:
+    """A disconnected dock sweeping discovery frames (Table 1, Fig 3)."""
+    setup = build_wigig_link_setup(window_bytes=None, seed=seed, send_beacons=False)
+    # Replace the (quiet) associated link with one in the unassociated
+    # state: the dock emits its discovery sweep until association.
+    from repro.mac.wigig import WiGigLink
+
+    link = WiGigLink(
+        setup.sim,
+        setup.medium,
+        transmitter=setup.medium.station(setup.laptop.name),
+        receiver=setup.medium.station(setup.dock.name),
+        associated=False,
+        send_beacons=False,
+    )
+    setup.link = link
+    setup.run(duration_s)
+    return setup
+
+
+def run_wigig_tcp(
+    window_bytes: Optional[int] = 128 * 1024,
+    rate_limit_bps: Optional[float] = None,
+    duration_s: float = 0.2,
+    warmup_s: float = 0.05,
+    distance_m: float = 2.0,
+    seed: int = 1,
+) -> WiGigLinkSetup:
+    """Run the standard TCP-over-WiGig scenario for a while."""
+    setup = build_wigig_link_setup(
+        distance_m=distance_m,
+        window_bytes=window_bytes if window_bytes is not None else 1024,
+        rate_limit_bps=rate_limit_bps,
+        seed=seed,
+    )
+    setup.run(warmup_s)
+    if setup.flow is not None:
+        setup.flow.reset_counters()
+    setup.run(duration_s)
+    return setup
+
+
+def run_wihd_stream(
+    duration_s: float = 0.05,
+    stop_after_s: Optional[float] = None,
+    video_rate_bps: float = 3.0e9,
+    seed: int = 2,
+) -> WiHDLinkSetup:
+    """Run the WiHD video stream, optionally stopping the video early.
+
+    ``stop_after_s`` reproduces the Figure 15 transition from active
+    data transmission to an idle (beacons-only) period.
+    """
+    setup = build_wihd_link_setup(video_rate_bps=video_rate_bps, seed=seed)
+    if stop_after_s is not None and stop_after_s < duration_s:
+        setup.sim.schedule(stop_after_s, lambda: setup.link.set_video_rate(0.0))
+    setup.run(duration_s)
+    return setup
+
+
+def aggregation_sweep(
+    duration_s: float = 0.2,
+    warmup_s: float = 0.05,
+    operating_points: Optional[Sequence[Tuple[str, Optional[int], Optional[float]]]] = None,
+    seed: int = 1,
+) -> List[AggregationReport]:
+    """The Figures 9-11 sweep: one report per TCP operating point."""
+    points = list(operating_points) if operating_points is not None else TCP_OPERATING_POINTS
+    reports = []
+    for label, window, rate in points:
+        setup = run_wigig_tcp(
+            window_bytes=window,
+            rate_limit_bps=rate,
+            duration_s=duration_s,
+            warmup_s=warmup_s,
+            seed=seed,
+        )
+        start = setup.sim.now - duration_s
+        data_frames = [
+            r
+            for r in setup.medium.history
+            if r.kind == FrameKind.DATA and r.start_s >= start
+        ]
+        usage = medium_usage_from_records(
+            [r for r in setup.medium.history if r.start_s >= start],
+            start,
+            setup.sim.now,
+            bridge_gap_s=4e-6,
+        )
+        throughput = setup.flow.throughput_bps() if setup.flow is not None else 0.0
+        if not data_frames:
+            # kbps-range runs may produce no frame inside a short
+            # window; report a single nominal short frame so the CDF
+            # math stays defined, with zero usage.
+            from repro.mac.frames import WIGIG_TIMING
+
+            placeholder = FrameRecord(
+                start_s=start,
+                duration_s=WIGIG_TIMING.min_data_frame_s + 1.2e-6,
+                source=setup.laptop.name,
+                destination=setup.dock.name,
+                kind=FrameKind.DATA,
+            )
+            data_frames = [placeholder]
+        reports.append(
+            AggregationReport.build(
+                label=label,
+                throughput_bps=throughput,
+                frames=data_frames,
+                medium_usage=usage,
+            )
+        )
+    return reports
+
+
+def capture_with_vubiq(
+    setup: WiGigLinkSetup,
+    window_start_s: float,
+    window_s: float,
+    behind_dock: bool = True,
+    seed: int = 5,
+) -> Trace:
+    """Render a Vubiq open-waveguide capture of a scenario window.
+
+    ``behind_dock`` applies the paper's amplitude-separation trick:
+    the receiver is placed on the link axis beyond one endpoint, so
+    one station's frames arrive through its main lobe (strong) while
+    the peer's arrive through back lobes (weak), making the two
+    endpoints separable by amplitude alone (Section 3.2 — the paper
+    realized the same asymmetry via the notebook-lid reflection,
+    which has no counterpart in our 2D geometry).
+    """
+    import numpy as np
+
+    dock, laptop = setup.dock, setup.laptop
+    if behind_dock:
+        axis = (laptop.position - dock.position).normalized()
+        # Behind the laptop: the dock's main lobe (aimed at the
+        # laptop) keeps going and hits the receiver; the laptop's own
+        # frames leave through its back lobes.
+        position = laptop.position + axis * 0.5 + axis.perpendicular() * 0.1
+    else:
+        position = (dock.position + laptop.position) * 0.5 + Vec2(0.0, 0.5)
+    vubiq = VubiqReceiver(
+        position=position,
+        antenna=open_waveguide(),
+        extra_gain_db=PROTOCOL_CAPTURE_GAIN_DB,
+    ).pointed_at(laptop.position)
+    records = [
+        r
+        for r in setup.medium.history
+        if r.start_s < window_start_s + window_s and r.end_s > window_start_s
+    ]
+    return vubiq.capture(
+        records,
+        setup.devices,
+        duration_s=window_s,
+        start_s=window_start_s,
+        rng=np.random.default_rng(seed),
+    )
+
+
+def capture_wihd_with_vubiq(
+    setup: WiHDLinkSetup,
+    window_start_s: float,
+    window_s: float,
+    seed: int = 6,
+) -> Trace:
+    """Open-waveguide capture near the WiHD transmitter (Figure 15)."""
+    import numpy as np
+
+    tx, rx = setup.tx, setup.rx
+    axis = (rx.position - tx.position).normalized()
+    position = tx.position + axis * 0.5 + axis.perpendicular() * 0.3
+    vubiq = VubiqReceiver(
+        position=position,
+        antenna=open_waveguide(),
+        extra_gain_db=PROTOCOL_CAPTURE_GAIN_DB,
+    ).pointed_at(rx.position)
+    records = [
+        r
+        for r in setup.medium.history
+        if r.start_s < window_start_s + window_s and r.end_s > window_start_s
+    ]
+    return vubiq.capture(
+        records,
+        setup.devices,
+        duration_s=window_s,
+        start_s=window_start_s,
+        rng=np.random.default_rng(seed),
+    )

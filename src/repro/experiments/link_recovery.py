@@ -1,0 +1,189 @@
+"""Link-break detection and re-association (the full lifecycle).
+
+The paper observes that long links "often break" (Figure 13) and that
+devices then fall back to device discovery — the D5000 emits its
+102.4 ms discovery sweep whenever disconnected.  This harness wires
+together the pieces that make that lifecycle measurable:
+
+1. a data-phase :class:`~repro.mac.wigig.WiGigLink` carrying TCP;
+2. a :class:`~repro.mac.association.LinkSupervisor` that detects the
+   break when a channel outage (e.g. a person standing in the path)
+   kills deliveries;
+3. an :class:`~repro.mac.association.AssociationManager` that runs the
+   discovery -> A-BFT -> handshake sequence once the obstruction
+   clears, after which traffic resumes.
+
+The headline metric is the outage breakdown: how much of the downtime
+is physics (the obstruction itself) versus protocol (detection delay +
+waiting for the next discovery window + handshake).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.devices.d5000 import make_d5000_dock, make_e7440_laptop
+from repro.geometry.vec import Vec2
+from repro.mac.association import AssociationManager, LinkSupervisor
+from repro.mac.beam_training import SectorSweepTrainer
+from repro.mac.coupling import DeviceCoupling
+from repro.mac.simulator import Medium, Simulator
+from repro.mac.tcp import IperfFlow, TcpParameters
+from repro.mac.wigig import WiGigLink
+from repro.phy.channel import LinkBudget
+
+
+@dataclass
+class RecoveryResult:
+    """Timeline of one break/recovery cycle."""
+
+    outage_start_s: float
+    outage_end_s: float
+    break_detected_s: Optional[float]
+    reassociated_s: Optional[float]
+    traffic_resumed_s: Optional[float]
+    throughput_before_bps: float
+    throughput_after_bps: float
+
+    @property
+    def detection_delay_s(self) -> Optional[float]:
+        if self.break_detected_s is None:
+            return None
+        return self.break_detected_s - self.outage_start_s
+
+    @property
+    def protocol_recovery_s(self) -> Optional[float]:
+        """Time from obstruction clearing to traffic flowing again."""
+        if self.traffic_resumed_s is None:
+            return None
+        return self.traffic_resumed_s - self.outage_end_s
+
+    @property
+    def total_downtime_s(self) -> Optional[float]:
+        if self.traffic_resumed_s is None:
+            return None
+        return self.traffic_resumed_s - self.outage_start_s
+
+
+def run_break_and_recover(
+    outage_start_s: float = 0.1,
+    outage_duration_s: float = 0.25,
+    total_s: float = 1.2,
+    outage_loss_db: float = 60.0,
+    seed: int = 20,
+) -> RecoveryResult:
+    """One full cycle: traffic -> outage -> break -> rediscovery -> traffic.
+
+    The outage is modeled as a heavy blockage loss inserted into the
+    coupling for its duration (a person standing in the path).
+    """
+    dock = make_d5000_dock(position=Vec2(0, 0), orientation_rad=0.0)
+    laptop = make_e7440_laptop(position=Vec2(2.5, 0), orientation_rad=math.pi)
+    dock.train_toward(laptop.position)
+    laptop.train_toward(dock.position)
+    devices = {dock.name: dock, laptop.name: laptop}
+    budget = LinkBudget()
+    sim = Simulator(seed=seed)
+
+    class OutageCoupling(DeviceCoupling):
+        """DeviceCoupling with a switchable blockage penalty."""
+
+        outage_active = False
+
+        def coupling_db(self, tx, rx, control=False):
+            base = super().coupling_db(tx, rx, control)
+            if self.outage_active:
+                return base - outage_loss_db
+            return base
+
+    coupling = OutageCoupling(devices, budget=budget)
+    medium = Medium(sim, coupling, budget=budget, capture_history=False)
+    stations = {name: dev.make_station() for name, dev in devices.items()}
+    for st in stations.values():
+        medium.register(st)
+
+    state = {
+        "link": None,
+        "flow": None,
+        "supervisor": None,
+        "break_detected": None,
+        "reassociated": None,
+        "traffic_resumed": None,
+        "tput_before": 0.0,
+    }
+
+    def start_traffic() -> None:
+        link = WiGigLink(
+            sim, medium,
+            transmitter=stations[laptop.name],
+            receiver=stations[dock.name],
+            snr_hint_db=coupling.snr_db(laptop.name, dock.name),
+            send_beacons=False,
+        )
+        flow = IperfFlow(sim, link, TcpParameters(window_bytes=64 * 1024))
+        state["link"] = link
+        state["flow"] = flow
+        state["supervisor"] = LinkSupervisor(
+            sim, link, on_break=on_break, check_interval_s=10e-3, dead_intervals=3
+        )
+
+        def watch_resume() -> None:
+            if state["traffic_resumed"] is None and state["reassociated"] is not None:
+                if flow.delivered_bits > 0:
+                    state["traffic_resumed"] = sim.now
+                    return
+            if sim.now < total_s:
+                sim.schedule(2e-3, watch_resume)
+
+        if state["reassociated"] is not None:
+            sim.schedule(2e-3, watch_resume)
+
+    manager = AssociationManager(
+        sim, medium, dock, [laptop], budget=budget,
+        trainer=SectorSweepTrainer(budget=budget, rng=np.random.default_rng(seed)),
+        on_associated=lambda station: on_reassociated(),
+        rng=np.random.default_rng(seed + 1),
+    )
+
+    def on_break() -> None:
+        state["break_detected"] = sim.now
+        # Tear down: stop feeding the flow, fall back to discovery.
+        manager.station_online(laptop.name)
+        manager.start()
+
+    def on_reassociated() -> None:
+        state["reassociated"] = sim.now
+        coupling.invalidate()
+        start_traffic()
+
+    # Initial traffic phase.
+    start_traffic()
+    sim.schedule(outage_start_s - 1e-6, lambda: state.__setitem__(
+        "tput_before", state["flow"].throughput_bps()))
+
+    def outage_on() -> None:
+        coupling.outage_active = True
+        coupling.invalidate()
+
+    def outage_off() -> None:
+        coupling.outage_active = False
+        coupling.invalidate()
+
+    sim.schedule(outage_start_s, outage_on)
+    sim.schedule(outage_start_s + outage_duration_s, outage_off)
+    sim.run_until(total_s)
+
+    tput_after = state["flow"].throughput_bps() if state["flow"] is not None else 0.0
+    return RecoveryResult(
+        outage_start_s=outage_start_s,
+        outage_end_s=outage_start_s + outage_duration_s,
+        break_detected_s=state["break_detected"],
+        reassociated_s=state["reassociated"],
+        traffic_resumed_s=state["traffic_resumed"],
+        throughput_before_bps=state["tput_before"],
+        throughput_after_bps=tput_after,
+    )

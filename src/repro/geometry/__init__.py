@@ -1,0 +1,38 @@
+"""2D geometry substrate for the indoor 60 GHz scenarios.
+
+All experiment setups in the paper are described on a floor plan: a
+conference room with brick/glass/wood walls (Figure 4), links parallel
+to a reflecting wall (Figure 5), and parallel links with varying
+separation (Figure 6).  This package models those floor plans: points
+and directions, wall segments with materials, obstacles, and rooms that
+the ray tracer in :mod:`repro.phy.raytracing` operates on.
+
+Angles follow the standard mathematical convention: radians measured
+counter-clockwise from the +x axis.  Helper functions accept and return
+degrees where that matches the paper's figures.
+"""
+
+from repro.geometry.vec import (
+    Vec2,
+    angle_between,
+    deg_to_rad,
+    normalize_angle,
+    rad_to_deg,
+)
+from repro.geometry.materials import Material, MATERIALS
+from repro.geometry.segments import Segment, segment_intersection
+from repro.geometry.room import Obstacle, Room
+
+__all__ = [
+    "MATERIALS",
+    "Material",
+    "Obstacle",
+    "Room",
+    "Segment",
+    "Vec2",
+    "angle_between",
+    "deg_to_rad",
+    "normalize_angle",
+    "rad_to_deg",
+    "segment_intersection",
+]

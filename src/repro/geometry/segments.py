@@ -1,0 +1,146 @@
+"""Line segments with intersection and mirroring primitives.
+
+These are the building blocks of the image-method ray tracer: walls are
+segments, reflection points are segment/segment intersections, and
+virtual (image) sources are produced by mirroring points across wall
+lines.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.geometry.materials import Material, MATERIALS
+from repro.geometry.vec import Vec2
+
+#: Geometric tolerance in meters.  Room dimensions are on the order of
+#: meters and wavelengths are 5 mm, so 1e-9 m is far below anything
+#: physically meaningful while comfortably absorbing float error.
+EPSILON = 1e-9
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A wall or obstacle edge between two endpoints."""
+
+    a: Vec2
+    b: Vec2
+    material: Material = field(default=MATERIALS["drywall"])
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.a.distance_to(self.b) < EPSILON:
+            raise ValueError("degenerate segment: endpoints coincide")
+
+    def length(self) -> float:
+        """Segment length in meters."""
+        return self.a.distance_to(self.b)
+
+    def direction(self) -> Vec2:
+        """Unit vector from ``a`` to ``b``."""
+        return (self.b - self.a).normalized()
+
+    def normal(self) -> Vec2:
+        """Unit normal (CCW perpendicular of the direction)."""
+        return self.direction().perpendicular()
+
+    def midpoint(self) -> Vec2:
+        """Geometric center of the segment."""
+        return (self.a + self.b) * 0.5
+
+    def point_at(self, t: float) -> Vec2:
+        """Point at parameter ``t`` in [0, 1] along the segment."""
+        return self.a + (self.b - self.a) * t
+
+    def contains_point(self, p: Vec2, tol: float = 1e-6) -> bool:
+        """Whether ``p`` lies on the segment within tolerance."""
+        ab = self.b - self.a
+        ap = p - self.a
+        if abs(ab.cross(ap)) > tol * max(1.0, ab.length()):
+            return False
+        t = ap.dot(ab) / ab.length_squared()
+        return -tol <= t <= 1.0 + tol
+
+    def mirror_point(self, p: Vec2) -> Vec2:
+        """Reflect ``p`` across the infinite line through this segment.
+
+        This is the core operation of the image method: the virtual
+        source of a reflection off a wall is the real source mirrored
+        across the wall's line.
+        """
+        d = self.direction()
+        ap = p - self.a
+        along = d * ap.dot(d)
+        perp = ap - along
+        return self.a + along - perp
+
+    def distance_to_point(self, p: Vec2) -> float:
+        """Shortest distance from ``p`` to the segment."""
+        ab = self.b - self.a
+        t = (p - self.a).dot(ab) / ab.length_squared()
+        t = min(1.0, max(0.0, t))
+        return p.distance_to(self.point_at(t))
+
+
+def segment_intersection(
+    s1: Segment,
+    s2: Segment,
+    tol: float = EPSILON,
+) -> Optional[Vec2]:
+    """Intersection point of two segments, or None if they do not cross.
+
+    Collinear overlaps return None: for ray tracing purposes a ray
+    sliding exactly along a wall carries no reflected energy and is
+    treated as a miss.
+    """
+    p, r = s1.a, s1.b - s1.a
+    q, s = s2.a, s2.b - s2.a
+    denom = r.cross(s)
+    if abs(denom) < tol:
+        return None
+    qp = q - p
+    t = qp.cross(s) / denom
+    u = qp.cross(r) / denom
+    if -tol <= t <= 1.0 + tol and -tol <= u <= 1.0 + tol:
+        return p + r * t
+    return None
+
+
+def ray_segment_intersection(
+    origin: Vec2,
+    direction: Vec2,
+    segment: Segment,
+    tol: float = EPSILON,
+) -> Optional[float]:
+    """Distance along a ray to its first hit on ``segment``.
+
+    Returns the (positive) ray parameter, i.e. the travel distance when
+    ``direction`` is a unit vector, or None if the ray misses.  Hits at
+    (essentially) zero distance are ignored so that rays cast *from* a
+    wall do not immediately re-hit it.
+    """
+    r = direction
+    q, s = segment.a, segment.b - segment.a
+    denom = r.cross(s)
+    if abs(denom) < tol:
+        return None
+    qp = q - origin
+    t = qp.cross(s) / denom
+    u = qp.cross(r) / denom
+    if t > tol and -tol <= u <= 1.0 + tol:
+        return t
+    return None
+
+
+def angle_of_incidence(incoming: Vec2, segment: Segment) -> float:
+    """Angle between an incoming ray direction and the wall normal.
+
+    Returned in radians, in [0, pi/2].  Used by reflection models that
+    scale loss with incidence angle.
+    """
+    n = segment.normal()
+    cos_theta = abs(incoming.normalized().dot(n))
+    cos_theta = min(1.0, max(-1.0, cos_theta))
+    return math.acos(cos_theta)

@@ -1,0 +1,144 @@
+"""Persistence for traces and frame records.
+
+A measurement toolkit needs to store captures: the paper's workflow was
+oscilloscope -> files -> offline Matlab.  This module provides the
+equivalent round trips:
+
+* :func:`save_trace` / :func:`load_trace` — amplitude traces as
+  compressed ``.npz`` (samples + metadata);
+* :func:`save_frame_records` / :func:`load_frame_records` — ground
+  truth or detected frames as JSON lines, one frame per line, which
+  diff cleanly and stream well;
+* :func:`export_detected_frames_csv` — a flat CSV for spreadsheet
+  analysis of detected frames.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import pathlib
+from typing import Iterable, List, Sequence, Union
+
+import numpy as np
+
+from repro.core.frames import DetectedFrame
+from repro.mac.frames import FrameKind, FrameRecord
+from repro.phy.signal import Trace
+
+PathLike = Union[str, pathlib.Path]
+
+#: Format tag written into every trace file; bump on layout changes.
+TRACE_FORMAT_VERSION = 1
+
+
+def save_trace(trace: Trace, path: PathLike) -> None:
+    """Write a trace to a compressed ``.npz`` file."""
+    np.savez_compressed(
+        path,
+        samples=trace.samples,
+        sample_rate_hz=np.array([trace.sample_rate_hz]),
+        start_s=np.array([trace.start_s]),
+        version=np.array([TRACE_FORMAT_VERSION]),
+    )
+
+
+def load_trace(path: PathLike) -> Trace:
+    """Read a trace written by :func:`save_trace`."""
+    with np.load(path) as data:
+        version = int(data["version"][0]) if "version" in data else 0
+        if version != TRACE_FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported trace format version {version} "
+                f"(expected {TRACE_FORMAT_VERSION})"
+            )
+        return Trace(
+            samples=np.array(data["samples"]),
+            sample_rate_hz=float(data["sample_rate_hz"][0]),
+            start_s=float(data["start_s"][0]),
+        )
+
+
+def _record_to_dict(record: FrameRecord) -> dict:
+    return {
+        "start_s": record.start_s,
+        "duration_s": record.duration_s,
+        "source": record.source,
+        "destination": record.destination,
+        "kind": record.kind.value,
+        "mcs_index": record.mcs_index,
+        "payload_bits": record.payload_bits,
+        "aggregated_mpdus": record.aggregated_mpdus,
+        "delivered": record.delivered,
+        "retransmission": record.retransmission,
+    }
+
+
+def _record_from_dict(data: dict) -> FrameRecord:
+    return FrameRecord(
+        start_s=data["start_s"],
+        duration_s=data["duration_s"],
+        source=data["source"],
+        destination=data["destination"],
+        kind=FrameKind(data["kind"]),
+        mcs_index=data.get("mcs_index", 0),
+        payload_bits=data.get("payload_bits", 0),
+        aggregated_mpdus=data.get("aggregated_mpdus", 0),
+        delivered=data.get("delivered"),
+        retransmission=data.get("retransmission", False),
+    )
+
+
+def save_frame_records(records: Iterable[FrameRecord], path: PathLike) -> int:
+    """Write frame records as JSON lines; returns the count written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        for record in records:
+            fh.write(json.dumps(_record_to_dict(record)) + "\n")
+            count += 1
+    return count
+
+
+def load_frame_records(path: PathLike) -> List[FrameRecord]:
+    """Read frame records written by :func:`save_frame_records`."""
+    records = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line_no, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(_record_from_dict(json.loads(line)))
+            except (json.JSONDecodeError, KeyError, ValueError) as exc:
+                raise ValueError(f"{path}:{line_no}: bad frame record ({exc})") from exc
+    return records
+
+
+def export_detected_frames_csv(
+    frames: Sequence[DetectedFrame], path: PathLike
+) -> None:
+    """Write detected frames to CSV (start, duration, amplitudes)."""
+    with open(path, "w", newline="", encoding="utf-8") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["start_s", "duration_s", "mean_amplitude_v", "peak_amplitude_v"])
+        for frame in frames:
+            writer.writerow(
+                [frame.start_s, frame.duration_s, frame.mean_amplitude_v, frame.peak_amplitude_v]
+            )
+
+
+def import_detected_frames_csv(path: PathLike) -> List[DetectedFrame]:
+    """Read detected frames from :func:`export_detected_frames_csv` CSV."""
+    frames = []
+    with open(path, "r", newline="", encoding="utf-8") as fh:
+        reader = csv.DictReader(fh)
+        for row in reader:
+            frames.append(
+                DetectedFrame(
+                    start_s=float(row["start_s"]),
+                    duration_s=float(row["duration_s"]),
+                    mean_amplitude_v=float(row["mean_amplitude_v"]),
+                    peak_amplitude_v=float(row["peak_amplitude_v"]),
+                )
+            )
+    return frames

@@ -1,0 +1,51 @@
+"""MAC-layer substrate: discrete-event simulation of WiGig and WiHD.
+
+The paper's frame-level findings come from overhearing two very
+different MACs sharing a 60 GHz channel:
+
+* the Dell D5000's WiGig MAC — CSMA/CA with RTS/CTS-initiated bursts
+  (up to 2 ms, resembling 802.11ad TXOPs), data/ACK exchanges,
+  queue-driven aggregation up to 25 us per frame, 1.1 ms beacons, and
+  102.4 ms device-discovery sweeps when unassociated;
+* the DVDO Air-3c's WiHD MAC — no carrier sensing at all, 0.224 ms
+  receiver beacons, variable-length data frames, 20 ms discovery.
+
+:mod:`repro.mac.simulator` provides the shared event loop, medium
+model (SINR with power summing over concurrent transmitters), and the
+coupling abstraction that connects the MAC to the PHY substrate.
+"""
+
+from repro.mac.frames import FrameKind, FrameRecord, WIGIG_TIMING, WIHD_TIMING
+from repro.mac.simulator import (
+    CouplingModel,
+    FreeSpaceCoupling,
+    Medium,
+    Simulator,
+    Station,
+    StaticCoupling,
+)
+from repro.mac.wigig import WiGigLink, WiGigStation
+from repro.mac.wihd import WiHDLink
+from repro.mac.tcp import IperfFlow, TcpParameters
+
+# NOTE: repro.mac.beam_training and repro.mac.coupling depend on the
+# device models and must be imported as submodules
+# (``from repro.mac.beam_training import SectorSweepTrainer``) to avoid
+# a circular package import through repro.devices.
+__all__ = [
+    "CouplingModel",
+    "FrameKind",
+    "FrameRecord",
+    "FreeSpaceCoupling",
+    "IperfFlow",
+    "Medium",
+    "Simulator",
+    "Station",
+    "StaticCoupling",
+    "TcpParameters",
+    "WIGIG_TIMING",
+    "WIHD_TIMING",
+    "WiGigLink",
+    "WiGigStation",
+    "WiHDLink",
+]

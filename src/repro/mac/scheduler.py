@@ -1,0 +1,70 @@
+"""Serving multiple stations from one radio: the dock-side scheduler.
+
+The D5000 "can connect multiple USB3 devices using the wireless bus
+extension (WBE) protocol, as well as multiple monitors" (Section 3.1).
+One radio cannot transmit on two links at once, so when a device
+terminates several :class:`~repro.mac.wigig.WiGigLink` instances, their
+TXOPs must be serialized.  :class:`TransmitArbiter` does that with a
+round-robin token:
+
+* a link may only start contention while it holds the token (or the
+  token is free);
+* the token passes to the next backlogged link when a burst ends, so
+  every active link gets one TXOP per cycle — per-TXOP round robin,
+  the fairness the 802.11ad service periods provide.
+
+The arbiter plugs into ``WiGigLink`` via its ``tx_arbiter`` hook and is
+transparent to single-link setups (no arbiter, no change).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+
+class TransmitArbiter:
+    """Round-robin TXOP token across links sharing one radio."""
+
+    def __init__(self):
+        self._links: List[object] = []
+        self._holder: Optional[object] = None
+
+    def register(self, link) -> None:
+        """Add a link to the rotation (links register themselves)."""
+        if link not in self._links:
+            self._links.append(link)
+
+    @property
+    def holder(self):
+        """The link currently holding the token (None when free)."""
+        return self._holder
+
+    def may_transmit(self, link) -> bool:
+        """Whether a link may start contention right now.
+
+        Grants the token when free; a link that already holds it keeps
+        it (retries within its own burst machinery).
+        """
+        if self._holder is None:
+            self._holder = link
+            return True
+        return self._holder is link
+
+    def burst_finished(self, link) -> None:
+        """Release the token and pass it to the next backlogged link."""
+        if self._holder is not link:
+            return
+        self._holder = None
+        if not self._links:
+            return
+        # Rotate: links after the finisher first, then wrap around.
+        try:
+            start = self._links.index(link) + 1
+        except ValueError:
+            start = 0
+        order = self._links[start:] + self._links[:start]
+        for candidate in order:
+            if candidate.queue_depth_mpdus > 0:
+                self._holder = candidate
+                candidate.kick()
+                return

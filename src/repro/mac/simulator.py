@@ -1,0 +1,393 @@
+"""Discrete-event simulation core: event loop, stations, and medium.
+
+The simulator is deliberately small: a heap-based event loop, a
+:class:`Station` abstraction that knows where a device is and how much
+antenna gain it has toward any direction, a :class:`CouplingModel` that
+turns a (transmitter, receiver) pair into a path gain, and a
+:class:`Medium` that tracks concurrent transmissions, computes SINR,
+and decides frame delivery.
+
+Interference physics: powers of concurrent transmitters add linearly at
+a receiver, and a frame's delivery is judged against the *worst* SINR
+it experienced while on the air (a collision anywhere in the frame can
+corrupt it).  Carrier sensing is energy detection at the sensing
+station through its own receive pattern — which is precisely why side
+lobes matter: a D5000 hears (and is heard by) an interferer through
+whatever its pattern leaks in that direction.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Protocol, Tuple
+
+import numpy as np
+
+from repro.geometry.vec import Vec2
+from repro.mac.frames import FrameKind, FrameRecord
+from repro.phy.antenna import AntennaPattern
+from repro.phy.channel import LinkBudget, friis_path_loss_db, oxygen_absorption_db
+from repro.phy.mcs import frame_error_probability, mcs_by_index
+
+#: Received power needed to decode a control frame's duration field and
+#: honor its NAV (control-PHY sensitivity: MCS-0 threshold over the
+#: noise floor of the default budget, ~-83 dBm).
+NAV_DECODE_THRESHOLD_DBM = -82.0
+
+
+class Station:
+    """A radio endpoint: position, orientation, patterns, power.
+
+    Args:
+        name: Unique identifier within a simulation.
+        position: Location on the floor plan, meters.
+        orientation_rad: Direction the device's broadside faces
+            (global frame, CCW from +x).
+        data_pattern: Pattern used for data transmission/reception
+            (the trained directional beam).
+        control_pattern: Pattern used for control frames (beacons,
+            discovery) — wider and transmitted at higher power.
+        tx_power_dbm: Conducted power for data frames.
+        control_power_boost_db: Extra power for control frames; the
+            paper notes control frames arrive "with higher power and
+            wider antenna patterns".
+        cca_threshold_dbm: Energy-detection threshold for carrier
+            sensing (WiGig only; WiHD ignores it).
+        channel: 60 GHz channel index the station operates on.  The
+            devices under test support channels centered at 60.48 and
+            62.64 GHz (Section 3.1); stations on different channels
+            neither interfere nor hear each other — moving an
+            interferer to the other channel is the obvious mitigation
+            for everything Section 4.4 measures.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        position: Vec2,
+        orientation_rad: float = 0.0,
+        data_pattern: Optional[AntennaPattern] = None,
+        control_pattern: Optional[AntennaPattern] = None,
+        tx_power_dbm: float = 10.0,
+        control_power_boost_db: float = 5.0,
+        cca_threshold_dbm: float = -60.0,
+        channel: int = 2,
+    ):
+        if not name:
+            raise ValueError("station needs a non-empty name")
+        self.name = name
+        self.channel = channel
+        self.position = position
+        self.orientation_rad = orientation_rad
+        self.data_pattern = data_pattern if data_pattern is not None else AntennaPattern.isotropic()
+        self.control_pattern = (
+            control_pattern if control_pattern is not None else AntennaPattern.isotropic()
+        )
+        self.tx_power_dbm = tx_power_dbm
+        self.control_power_boost_db = control_power_boost_db
+        self.cca_threshold_dbm = cca_threshold_dbm
+
+    def gain_toward_dbi(self, target: Vec2, control: bool = False) -> float:
+        """Antenna gain toward a point, in the device's local frame."""
+        bearing = (target - self.position).angle() - self.orientation_rad
+        pattern = self.control_pattern if control else self.data_pattern
+        return pattern.gain_dbi(bearing)
+
+    def tx_power_for(self, kind: FrameKind) -> float:
+        """Conducted power used for a frame of the given kind."""
+        if kind.uses_wide_pattern():
+            return self.tx_power_dbm + self.control_power_boost_db
+        return self.tx_power_dbm
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Station({self.name!r} @ ({self.position.x:.2f}, {self.position.y:.2f}))"
+
+
+class CouplingModel(Protocol):
+    """Maps a transmitter/receiver station pair to a path gain in dB.
+
+    The returned value is *gain* (typically a large negative number):
+    ``rx_power_dbm = tx_power_dbm + coupling_db``.  ``control`` selects
+    the wide control patterns at both ends.
+    """
+
+    def coupling_db(self, tx: Station, rx: Station, control: bool = False) -> float:
+        ...  # pragma: no cover
+
+
+class FreeSpaceCoupling:
+    """Friis path loss plus both stations' antenna patterns."""
+
+    def __init__(self, frequency_hz: float, extra_loss_db: float = 0.0):
+        self._freq = frequency_hz
+        self._extra = extra_loss_db
+
+    def coupling_db(self, tx: Station, rx: Station, control: bool = False) -> float:
+        distance = tx.position.distance_to(rx.position)
+        if distance <= 0:
+            raise ValueError("stations are co-located")
+        loss = friis_path_loss_db(distance, self._freq) + oxygen_absorption_db(
+            distance, self._freq
+        )
+        return (
+            tx.gain_toward_dbi(rx.position, control)
+            + rx.gain_toward_dbi(tx.position, control)
+            - loss
+            - self._extra
+        )
+
+
+class StaticCoupling:
+    """Explicit coupling table, for tests and handcrafted scenarios.
+
+    Keys are ``(tx_name, rx_name)``; missing pairs fall back to a
+    default isolation value.
+    """
+
+    def __init__(self, table: Dict[Tuple[str, str], float], default_db: float = -200.0):
+        self._table = dict(table)
+        self._default = default_db
+
+    def coupling_db(self, tx: Station, rx: Station, control: bool = False) -> float:
+        return self._table.get((tx.name, rx.name), self._default)
+
+    def set(self, tx_name: str, rx_name: str, value_db: float) -> None:
+        self._table[(tx_name, rx_name)] = value_db
+
+
+class Simulator:
+    """A minimal deterministic discrete-event loop."""
+
+    def __init__(self, seed: int = 0):
+        self._now = 0.0
+        self._queue: List[Tuple[float, int, Callable[[], None]]] = []
+        self._counter = itertools.count()
+        self.rng = np.random.default_rng(seed)
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    def schedule(self, delay_s: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` after ``delay_s`` seconds of simulated time."""
+        if delay_s < 0:
+            raise ValueError("cannot schedule into the past")
+        heapq.heappush(self._queue, (self._now + delay_s, next(self._counter), callback))
+
+    def schedule_at(self, time_s: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` at an absolute simulation time."""
+        self.schedule(time_s - self._now, callback)
+
+    def run_until(self, end_s: float) -> None:
+        """Process events until simulated time reaches ``end_s``."""
+        while self._queue and self._queue[0][0] <= end_s:
+            time, _, callback = heapq.heappop(self._queue)
+            self._now = time
+            callback()
+        self._now = max(self._now, end_s)
+
+
+@dataclass
+class _ActiveTransmission:
+    """Bookkeeping for a frame currently on the air."""
+
+    record: FrameRecord
+    tx: Station
+    rx: Optional[Station]
+    signal_dbm: Optional[float]  # at the intended receiver
+    max_interference_mw: float = 0.0
+
+
+class Medium:
+    """The shared 60 GHz channel.
+
+    Tracks active transmissions, accumulates interference seen by each
+    in-flight frame, decides delivery at frame end, and offers carrier
+    sensing plus become-idle callbacks to CSMA stations.
+
+    All frames ever transmitted are appended to :attr:`history`, which
+    the measurement models and analyses consume.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        coupling: CouplingModel,
+        budget: LinkBudget = LinkBudget(),
+        capture_history: bool = True,
+    ):
+        self._sim = sim
+        self._coupling = coupling
+        self._budget = budget
+        self._active: List[_ActiveTransmission] = []
+        self._stations: Dict[str, Station] = {}
+        self._idle_waiters: List[Tuple[Station, Callable[[], None]]] = []
+        # Virtual carrier sensing: per-station NAV expiry times set by
+        # decoded RTS/CTS duration fields.
+        self._nav_expiry: Dict[str, float] = {}
+        self.history: List[FrameRecord] = []
+        self._capture_history = capture_history
+
+    @property
+    def budget(self) -> LinkBudget:
+        return self._budget
+
+    @property
+    def coupling(self) -> CouplingModel:
+        """The coupling model resolving station path gains."""
+        return self._coupling
+
+    def register(self, station: Station) -> None:
+        """Add a station to the simulation."""
+        if station.name in self._stations:
+            raise ValueError(f"duplicate station name {station.name!r}")
+        self._stations[station.name] = station
+
+    def station(self, name: str) -> Station:
+        return self._stations[name]
+
+    # -- power bookkeeping ---------------------------------------------
+
+    def _rx_power_dbm(self, tx: Station, rx: Station, kind: FrameKind) -> float:
+        control = kind.uses_wide_pattern()
+        return tx.tx_power_for(kind) + self._coupling.coupling_db(tx, rx, control)
+
+    def sensed_power_dbm(self, station: Station) -> float:
+        """Total in-band power the station currently detects (dBm)."""
+        total_mw = 0.0
+        for act in self._active:
+            if act.tx is station or act.tx.channel != station.channel:
+                continue
+            p = self._rx_power_dbm(act.tx, station, act.record.kind)
+            total_mw += 10.0 ** (p / 10.0)
+        if total_mw <= 0.0:
+            return -300.0
+        return 10.0 * math.log10(total_mw)
+
+    def channel_busy_for(self, station: Station) -> bool:
+        """CCA verdict: energy detection OR an unexpired NAV."""
+        if self._nav_expiry.get(station.name, 0.0) > self._sim.now:
+            return True
+        return self.sensed_power_dbm(station) >= station.cca_threshold_dbm
+
+    def nav_remaining_s(self, station: Station) -> float:
+        """Seconds of virtual-carrier reservation left for a station."""
+        return max(0.0, self._nav_expiry.get(station.name, 0.0) - self._sim.now)
+
+    def wait_for_idle(self, station: Station, callback: Callable[[], None]) -> None:
+        """Invoke ``callback`` once CCA reports idle for the station.
+
+        Fires immediately (via a zero-delay event) if already idle.
+        """
+        if not self.channel_busy_for(station):
+            self._sim.schedule(0.0, callback)
+            return
+        self._idle_waiters.append((station, callback))
+        # Frame-end events re-check waiters; a NAV can outlive every
+        # frame, so also schedule a wake-up at its expiry.
+        nav_left = self.nav_remaining_s(station)
+        if nav_left > 0:
+            self._sim.schedule(nav_left + 1e-9, self._notify_idle_waiters)
+
+    def _notify_idle_waiters(self) -> None:
+        still_waiting: List[Tuple[Station, Callable[[], None]]] = []
+        for station, callback in self._idle_waiters:
+            if self.channel_busy_for(station):
+                still_waiting.append((station, callback))
+            else:
+                self._sim.schedule(0.0, callback)
+        self._idle_waiters = still_waiting
+
+    # -- transmission lifecycle -----------------------------------------
+
+    def transmit(
+        self,
+        record: FrameRecord,
+        on_complete: Optional[Callable[[FrameRecord, bool], None]] = None,
+    ) -> None:
+        """Put a frame on the air.
+
+        ``on_complete(record, delivered)`` fires when the frame ends.
+        Delivery of unicast frames is evaluated from the worst SINR the
+        frame saw; broadcast frames always "complete" with True.
+        """
+        tx = self._stations[record.source]
+        rx = self._stations.get(record.destination) if record.destination else None
+        signal = self._rx_power_dbm(tx, rx, record.kind) if rx is not None else None
+        act = _ActiveTransmission(record=record, tx=tx, rx=rx, signal_dbm=signal)
+
+        # This new transmission interferes with every in-flight frame
+        # whose receiver can hear it — and vice versa.  A station never
+        # interferes with its own frames (it is half-duplex and its
+        # self-coupling is not a propagation path).
+        for other in self._active:
+            if (
+                other.rx is not None
+                and other.tx is not tx
+                and other.rx is not tx
+                and other.rx.channel == tx.channel
+            ):
+                p = self._rx_power_dbm(tx, other.rx, record.kind)
+                other.max_interference_mw = max(other.max_interference_mw, 10.0 ** (p / 10.0))
+            if (
+                rx is not None
+                and other.tx is not tx
+                and other.tx is not rx
+                and other.tx.channel == rx.channel
+            ):
+                p = self._rx_power_dbm(other.tx, rx, other.record.kind)
+                act.max_interference_mw = max(act.max_interference_mw, 10.0 ** (p / 10.0))
+
+        self._active.append(act)
+        if self._capture_history:
+            self.history.append(record)
+        if record.nav_duration_s > 0:
+            self._apply_nav(record, tx, rx)
+
+        def finish() -> None:
+            self._active.remove(act)
+            delivered = self._evaluate_delivery(act)
+            record.delivered = delivered
+            self._notify_idle_waiters()
+            if on_complete is not None:
+                on_complete(record, bool(delivered))
+
+        self._sim.schedule(record.duration_s, finish)
+
+    def _apply_nav(self, record: FrameRecord, tx: Station, rx: Optional[Station]) -> None:
+        """Third parties that decode a reserving frame set their NAV.
+
+        Decoding is approximated by an instantaneous power check
+        against the control-PHY sensitivity — stations the frame
+        reaches only through deep side lobes stay hidden, which is how
+        hidden-terminal residue survives even with RTS/CTS (and why
+        the blind WiHD interferer is unaffected: it never listens).
+        """
+        expiry = record.end_s + record.nav_duration_s
+        for station in self._stations.values():
+            if station is tx or station is rx:
+                continue
+            if station.channel != tx.channel:
+                continue
+            power = self._rx_power_dbm(tx, station, record.kind)
+            if power >= NAV_DECODE_THRESHOLD_DBM:
+                self._nav_expiry[station.name] = max(
+                    self._nav_expiry.get(station.name, 0.0), expiry
+                )
+
+    def _evaluate_delivery(self, act: _ActiveTransmission) -> Optional[bool]:
+        if act.rx is None or act.signal_dbm is None:
+            return None
+        noise_mw = 10.0 ** (self._budget.noise_floor_dbm() / 10.0)
+        sinr_db = act.signal_dbm - 10.0 * math.log10(noise_mw + act.max_interference_mw)
+        mcs = mcs_by_index(act.record.mcs_index)
+        fer = frame_error_probability(sinr_db, mcs)
+        return bool(self._sim.rng.random() >= fer)
+
+    def active_count(self) -> int:
+        """Number of frames currently on the air."""
+        return len(self._active)

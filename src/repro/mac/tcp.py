@@ -1,0 +1,230 @@
+"""Iperf-style TCP traffic over a WiGig link.
+
+The paper controls the WiGig link's operating point by adjusting the
+TCP window size in Iperf (Section 4.1, footnote 3): tiny windows
+(~1 KB) produce kbps-range throughput and low medium usage; growing
+windows walk the link through 171 -> 934 mbps, at which point the
+Gigabit Ethernet interface at the docking station caps the rate.
+
+:class:`IperfFlow` reproduces that control knob.  It keeps ``window``
+bytes in flight: MPDUs are enqueued into the WiGig link while the
+window has room, and credit returns one host-side RTT after the MAC
+delivers a frame.  An AIMD mode (used in the reflection-interference
+experiment of Figure 23) shrinks the effective window on loss events
+so TCP throughput visibly reacts to interference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.mac.simulator import Simulator
+from repro.mac.wigig import MPDU_BITS, WiGigLink
+
+#: Throughput cap imposed by the Gigabit Ethernet interface at the
+#: docking station (Section 4.1: "we do not observe results beyond
+#: roughly 900 mbps").
+GIGE_CAP_BPS = 940e6
+
+
+@dataclass(frozen=True)
+class TcpParameters:
+    """Knobs of an Iperf-like TCP flow.
+
+    Attributes:
+        window_bytes: Socket window — the paper's control variable.
+        host_rtt_s: Fixed round-trip component outside the 60 GHz hop
+            (Ethernet leg, host stacks).  Dominates at small windows.
+        aimd: Enable loss-reactive window halving (TCP congestion
+            control); when False the window is a hard constant, which
+            matches steady-state Iperf runs without loss.
+        rate_limit_bps: Optional application-level pacing (models the
+            kbps-range runs, where the paper used extreme window
+            settings; a paced source is the cleaner equivalent).
+        eth_rate_bps: Serialization rate of the Gigabit Ethernet hop
+            feeding the dock.  This pacing is *the* mechanism behind
+            the paper's aggregation findings: MPDUs trickle into the
+            radio at most one per ~2.5 us, so the transmit queue only
+            builds (and aggregation only kicks in) once the radio's
+            single-MPDU service rate falls behind the Ethernet ingress
+            — "WiGig only uses data aggregation if a connection
+            requires high throughput" (Section 4.1).
+    """
+
+    window_bytes: float = 256 * 1024
+    host_rtt_s: float = 600e-6
+    aimd: bool = False
+    rate_limit_bps: Optional[float] = None
+    eth_rate_bps: float = 1.0e9
+
+    def __post_init__(self) -> None:
+        if self.window_bytes <= 0:
+            raise ValueError("window must be positive")
+        if self.host_rtt_s < 0:
+            raise ValueError("host RTT must be non-negative")
+        if self.rate_limit_bps is not None and self.rate_limit_bps <= 0:
+            raise ValueError("rate limit must be positive when set")
+        if self.eth_rate_bps <= 0:
+            raise ValueError("Ethernet rate must be positive")
+
+
+class IperfFlow:
+    """A window-limited byte stream feeding a :class:`WiGigLink`.
+
+    The flow measures its own goodput: :meth:`throughput_bps` divides
+    acknowledged payload by elapsed time, like Iperf's reports.
+    """
+
+    def __init__(self, sim: Simulator, link: WiGigLink, params: TcpParameters = TcpParameters()):
+        self.sim = sim
+        self.link = link
+        self.params = params
+        self._window_mpdus = max(1, int(params.window_bytes * 8 / MPDU_BITS))
+        self._cwnd_mpdus = float(self._window_mpdus)
+        self._in_flight = 0
+        self._delivered_bits = 0
+        self._start_time = sim.now
+        self._loss_events = 0
+        self._last_sent_count = 0
+        self._last_halve_time = -1.0
+        # MPDUs allowed by the window but not yet serialized over the
+        # Ethernet hop into the radio's queue.
+        self._eth_backlog = 0
+        self._eth_busy = False
+        self._eth_interval = MPDU_BITS / params.eth_rate_bps
+        # Samples of (time_s, cumulative_delivered_bits) for time series.
+        self.delivery_log: List[Tuple[float, int]] = []
+        link.on_delivery = self._on_delivery
+        if params.rate_limit_bps is not None:
+            self._paced_interval = MPDU_BITS / params.rate_limit_bps
+            self.sim.schedule(self._paced_interval, self._paced_send)
+        else:
+            self._initial_fill()
+
+    # -- metrics ---------------------------------------------------------
+
+    @property
+    def delivered_bits(self) -> int:
+        return self._delivered_bits
+
+    @property
+    def loss_events(self) -> int:
+        return self._loss_events
+
+    def throughput_bps(self, now: Optional[float] = None) -> float:
+        """Average goodput since the flow started, GigE-capped."""
+        now = self.sim.now if now is None else now
+        elapsed = now - self._start_time
+        if elapsed <= 0:
+            return 0.0
+        return min(self._delivered_bits / elapsed, GIGE_CAP_BPS)
+
+    def reset_counters(self) -> None:
+        """Restart goodput accounting (e.g. after a warm-up phase)."""
+        self._delivered_bits = 0
+        self._start_time = self.sim.now
+        self.delivery_log.clear()
+
+    # -- window machinery ---------------------------------------------------
+
+    def _effective_window(self) -> int:
+        if self.params.aimd:
+            return max(1, int(min(self._cwnd_mpdus, self._window_mpdus)))
+        return self._window_mpdus
+
+    def _credit_spacing_s(self) -> float:
+        """Steady-state inter-MPDU spacing of a self-clocked window.
+
+        A window of W MPDUs circulating over one RTT is uniformly
+        spaced by RTT/W once TCP's ACK clock has smoothed it; keeping
+        releases on this grid prevents artificial ingress bursts that
+        would overstate aggregation at low throughput.
+        """
+        return self.params.host_rtt_s / self._window_mpdus
+
+    def _initial_fill(self) -> None:
+        """Inject the initial window spread over one RTT (slow start)."""
+        spacing = self._credit_spacing_s()
+        for i in range(self._effective_window()):
+            self.sim.schedule(i * spacing, self._send_one)
+
+    def _send_one(self) -> None:
+        if self._in_flight < self._effective_window():
+            self._in_flight += 1
+            self._eth_backlog += 1
+            self._pump_ethernet()
+
+    def _fill_window(self) -> None:
+        room = self._effective_window() - self._in_flight
+        if room > 0:
+            self._in_flight += room
+            self._eth_backlog += room
+            self._pump_ethernet()
+
+    def _pump_ethernet(self) -> None:
+        """Serialize window-released MPDUs over the GigE hop.
+
+        One MPDU enters the radio queue per serialization interval, so
+        the radio sees a smooth ingress at <= 1 Gbps rather than
+        window-sized bursts.
+        """
+        if self._eth_busy or self._eth_backlog == 0:
+            return
+        self._eth_busy = True
+
+        def deliver_one() -> None:
+            self._eth_busy = False
+            if self._eth_backlog > 0:
+                self._eth_backlog -= 1
+                self.link.enqueue_mpdus(1)
+                self._pump_ethernet()
+
+        self.sim.schedule(self._eth_interval, deliver_one)
+
+    def _paced_send(self) -> None:
+        # Application pacing: one MPDU per interval, window permitting.
+        if self._in_flight < self._effective_window():
+            self._in_flight += 1
+            self.link.enqueue_mpdus(1)
+        self.sim.schedule(self._paced_interval, self._paced_send)
+
+    def _on_delivery(self, mpdus: int) -> None:
+        self._delivered_bits += mpdus * MPDU_BITS
+        self.delivery_log.append((self.sim.now, self._delivered_bits))
+        if self.params.aimd:
+            # Additive increase: one MPDU of window per window's worth
+            # of deliveries.
+            self._cwnd_mpdus += mpdus / max(1.0, self._cwnd_mpdus)
+            # Loss detection: the link's retransmission counter moving
+            # between deliveries marks a congestion event.  Like
+            # NewReno, the window halves at most once per RTT no
+            # matter how many frames that RTT lost.
+            retx = self.link.stats.retransmissions
+            if retx > self._last_sent_count:
+                self._loss_events += retx - self._last_sent_count
+                self._last_sent_count = retx
+                if self.sim.now - self._last_halve_time > self.params.host_rtt_s:
+                    self._cwnd_mpdus = max(1.0, self._cwnd_mpdus / 2.0)
+                    self._last_halve_time = self.sim.now
+        # Credit returns after the host-side RTT.  An aggregated frame
+        # acknowledges several MPDUs at once; releasing their credits
+        # on the self-clock grid (rather than all at once) models the
+        # pacing of the returning TCP ACK stream.
+        def release_one() -> None:
+            self._in_flight = max(0, self._in_flight - 1)
+            if self.params.rate_limit_bps is None:
+                # Send up to two segments per returning credit: one
+                # replaces the acknowledged segment, the second grows
+                # occupancy into window room opened by additive
+                # increase (or re-fills after a stall).
+                self._send_one()
+                self._send_one()
+
+        spacing = self._credit_spacing_s()
+        for i in range(mpdus):
+            delay = self.params.host_rtt_s + i * spacing
+            if delay > 0:
+                self.sim.schedule(delay, release_one)
+            else:
+                release_one()

@@ -1,0 +1,56 @@
+"""Physical-layer substrate: antennas, channel, ray tracing, MCS, traces.
+
+Everything the paper's devices do below the MAC lives here:
+
+* :mod:`repro.phy.antenna` — phased antenna arrays with realistic,
+  consumer-grade imperfections (few elements, coarse phase shifters),
+  plus the horn antennas of the measurement rig.
+* :mod:`repro.phy.codebook` — predefined beam codebooks: directional
+  steering entries and the quasi-omni discovery sweep.
+* :mod:`repro.phy.channel` — 60 GHz link budget: Friis free-space loss,
+  oxygen absorption, shadowing, noise floor, SNR.
+* :mod:`repro.phy.raytracing` — 2D image-method propagation in rooms,
+  up to second-order reflections.
+* :mod:`repro.phy.mcs` — the 802.11ad single-carrier MCS table and SNR
+  driven rate selection.
+* :mod:`repro.phy.signal` — synthesis of the amplitude-envelope traces
+  an undersampling oscilloscope records, which the analysis pipeline in
+  :mod:`repro.core` consumes.
+"""
+
+from repro.phy.antenna import (
+    AntennaPattern,
+    HornAntenna,
+    IrregularPlanarArray,
+    PhasedArray,
+    UniformLinearArray,
+    UniformRectangularArray,
+)
+from repro.phy.codebook import Codebook, CodebookEntry
+from repro.phy.channel import LinkBudget, SIXTY_GHZ, friis_path_loss_db, oxygen_absorption_db
+from repro.phy.mcs import MCS, MCS_TABLE, select_mcs
+from repro.phy.blockage import BlockageEvent, Blocker, crossing_blocker
+from repro.phy.raytracing import PropagationPath, RayTracer
+
+__all__ = [
+    "AntennaPattern",
+    "BlockageEvent",
+    "Blocker",
+    "crossing_blocker",
+    "Codebook",
+    "CodebookEntry",
+    "HornAntenna",
+    "IrregularPlanarArray",
+    "LinkBudget",
+    "MCS",
+    "MCS_TABLE",
+    "PhasedArray",
+    "PropagationPath",
+    "RayTracer",
+    "SIXTY_GHZ",
+    "UniformLinearArray",
+    "UniformRectangularArray",
+    "friis_path_loss_db",
+    "oxygen_absorption_db",
+    "select_mcs",
+]

@@ -1,0 +1,211 @@
+"""60 GHz link budget: path loss, absorption, noise, SNR.
+
+The 20-40 dB extra attenuation of 60 GHz links relative to legacy ISM
+bands (Section 2, "Transmission Characteristics") comes straight out of
+the Friis equation — the frequency-squared term — plus the oxygen
+absorption peak around 60 GHz.  :class:`LinkBudget` combines transmit
+power, antenna gains, distance, and extra per-path losses into a
+received power and SNR that :mod:`repro.phy.mcs` maps to a data rate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.phy.antenna import SPEED_OF_LIGHT
+
+#: Center frequencies of the devices under test (Section 3.1): both the
+#: D5000 and the Air-3c operate on channel centers 60.48 and 62.64 GHz.
+SIXTY_GHZ = 60.48e9
+CHANNEL_2_HZ = 60.48e9
+CHANNEL_3_HZ = 62.64e9
+
+#: Modulated bandwidth of the devices under test (Section 3.1).
+DEVICE_BANDWIDTH_HZ = 1.7e9
+
+#: Boltzmann constant, J/K.
+BOLTZMANN = 1.380649e-23
+
+#: Reference temperature for thermal noise, K.
+T0_KELVIN = 290.0
+
+
+def friis_path_loss_db(distance_m: float, frequency_hz: float) -> float:
+    """Free-space path loss in dB (positive number).
+
+    ``FSPL = 20 log10(4 pi d f / c)``.  At 60 GHz and 1 m this is about
+    68 dB — some 28 dB worse than at 2.4 GHz, which is the fundamental
+    reason the devices need directional antennas.
+    """
+    if distance_m <= 0:
+        raise ValueError("distance must be positive")
+    if frequency_hz <= 0:
+        raise ValueError("frequency must be positive")
+    return 20.0 * math.log10(4.0 * math.pi * distance_m * frequency_hz / SPEED_OF_LIGHT)
+
+
+def oxygen_absorption_db(distance_m: float, frequency_hz: float = SIXTY_GHZ) -> float:
+    """Atmospheric (oxygen) absorption loss over a path, in dB.
+
+    The O2 resonance near 60 GHz costs roughly 15 dB/km at the peak,
+    falling off a few GHz away.  Negligible indoors (<0.3 dB at 20 m)
+    but included for correctness and for the range experiments.
+    """
+    if distance_m < 0:
+        raise ValueError("distance must be non-negative")
+    # Coarse Lorentzian fit to the 60 GHz O2 line (peak 15 dB/km,
+    # half-width ~3 GHz) — adequate for indoor-scale corrections.
+    offset_ghz = abs(frequency_hz - 60.0e9) / 1e9
+    specific_db_per_km = 15.0 / (1.0 + (offset_ghz / 3.0) ** 2)
+    return specific_db_per_km * distance_m / 1000.0
+
+
+def thermal_noise_dbm(bandwidth_hz: float, noise_figure_db: float = 7.0) -> float:
+    """Receiver noise floor in dBm for a given bandwidth.
+
+    kTB over 1.7 GHz is about -81.5 dBm; a 7 dB consumer-grade noise
+    figure puts the floor near -74.5 dBm.
+    """
+    if bandwidth_hz <= 0:
+        raise ValueError("bandwidth must be positive")
+    ktb_watts = BOLTZMANN * T0_KELVIN * bandwidth_hz
+    return 10.0 * math.log10(ktb_watts * 1e3) + noise_figure_db
+
+
+@dataclass(frozen=True)
+class LinkBudget:
+    """Static parameters of one directional 60 GHz link.
+
+    Attributes:
+        tx_power_dbm: Conducted transmit power.  Consumer 60 GHz radios
+            transmit around 10 dBm conducted (EIRP limits are met
+            through antenna gain).
+        frequency_hz: Carrier frequency.
+        bandwidth_hz: Modulated bandwidth (1.7 GHz for the devices
+            under test).
+        noise_figure_db: Receiver noise figure.
+        implementation_loss_db: Catch-all for filter, impairment, and
+            housing losses.  Consumer 60 GHz modules burn a double-
+            digit margin here: with 16 dB the model reports 16-QAM 5/8
+            (and never the top MCS) on 2 m links, exactly like the
+            D5000 in Figure 12.
+        excess_exponent: Additional distance exponent on top of free
+            space (total path-loss exponent = 2 + excess).  Wideband
+            60 GHz links lose SNR somewhat faster than Friis predicts
+            (frequency-selective fading, beam decoherence); 0.5 plus
+            the implementation loss places the paper's link-break
+            cliff in its observed 10-17 m band and its MCS-vs-distance
+            ladder (Figure 12) at the right rungs.  Applied only
+            beyond 1 m.
+    """
+
+    tx_power_dbm: float = 10.0
+    frequency_hz: float = SIXTY_GHZ
+    bandwidth_hz: float = DEVICE_BANDWIDTH_HZ
+    noise_figure_db: float = 7.0
+    implementation_loss_db: float = 16.0
+    excess_exponent: float = 0.5
+
+    def noise_floor_dbm(self) -> float:
+        """Thermal noise floor including the receiver noise figure."""
+        return thermal_noise_dbm(self.bandwidth_hz, self.noise_figure_db)
+
+    def propagation_loss_db(self, distance_m: float) -> float:
+        """Total distance-dependent loss of one path (no antennas)."""
+        loss = friis_path_loss_db(distance_m, self.frequency_hz)
+        loss += oxygen_absorption_db(distance_m, self.frequency_hz)
+        if distance_m > 1.0:
+            loss += 10.0 * self.excess_exponent * math.log10(distance_m)
+        return loss
+
+    def received_power_dbm(
+        self,
+        distance_m: float,
+        tx_gain_dbi: float,
+        rx_gain_dbi: float,
+        extra_loss_db: float = 0.0,
+    ) -> float:
+        """Received power over a single path.
+
+        ``extra_loss_db`` carries reflection losses, blockage
+        penetration, shadowing draws, etc.
+        """
+        return (
+            self.tx_power_dbm
+            + tx_gain_dbi
+            + rx_gain_dbi
+            - self.propagation_loss_db(distance_m)
+            - self.implementation_loss_db
+            - extra_loss_db
+        )
+
+    def snr_db(
+        self,
+        distance_m: float,
+        tx_gain_dbi: float,
+        rx_gain_dbi: float,
+        extra_loss_db: float = 0.0,
+    ) -> float:
+        """Signal-to-noise ratio of a single-path link."""
+        return (
+            self.received_power_dbm(distance_m, tx_gain_dbi, rx_gain_dbi, extra_loss_db)
+            - self.noise_floor_dbm()
+        )
+
+    def sinr_db(
+        self,
+        signal_dbm: float,
+        interference_dbm: Optional[float] = None,
+    ) -> float:
+        """SINR given received signal and (optional) interference power."""
+        noise_lin = 10.0 ** (self.noise_floor_dbm() / 10.0)
+        interf_lin = 0.0 if interference_dbm is None else 10.0 ** (interference_dbm / 10.0)
+        return signal_dbm - 10.0 * math.log10(noise_lin + interf_lin)
+
+
+class ShadowingProcess:
+    """Temporally correlated log-normal shadowing.
+
+    The paper observes that even "static" links fluctuate — the range
+    cliff lands anywhere between 10 and 17 m across experiments, and
+    long runs show occasional amplitude changes (Figures 13, 14).  A
+    slowly varying AR(1) shadowing term reproduces that run-to-run and
+    minute-to-minute variability.
+    """
+
+    def __init__(
+        self,
+        std_db: float = 2.5,
+        coherence_time_s: float = 60.0,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if std_db < 0:
+            raise ValueError("shadowing std must be non-negative")
+        if coherence_time_s <= 0:
+            raise ValueError("coherence time must be positive")
+        self._std = std_db
+        self._tau = coherence_time_s
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._value = self._rng.normal(0.0, std_db) if std_db > 0 else 0.0
+        self._time = 0.0
+
+    @property
+    def value_db(self) -> float:
+        """Current shadowing value in dB (zero-mean)."""
+        return self._value
+
+    def advance(self, now_s: float) -> float:
+        """Advance the process to an absolute time and return its value."""
+        dt = now_s - self._time
+        if dt < 0:
+            raise ValueError("time must be non-decreasing")
+        if dt > 0 and self._std > 0:
+            rho = math.exp(-dt / self._tau)
+            innovation_std = self._std * math.sqrt(max(0.0, 1.0 - rho * rho))
+            self._value = rho * self._value + self._rng.normal(0.0, innovation_std)
+        self._time = now_s
+        return self._value

@@ -1,0 +1,81 @@
+"""Unit tests for dB arithmetic helpers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.dbmath import (
+    DB_FLOOR,
+    db_to_linear,
+    dbm_to_watts,
+    linear_to_db,
+    power_average_db,
+    power_sum_db,
+    watts_to_dbm,
+)
+
+
+class TestConversions:
+    def test_zero_db_is_unity(self):
+        assert db_to_linear(0.0) == pytest.approx(1.0)
+
+    def test_ten_db_is_factor_ten(self):
+        assert db_to_linear(10.0) == pytest.approx(10.0)
+
+    def test_negative_db(self):
+        assert db_to_linear(-3.0) == pytest.approx(0.501187, rel=1e-5)
+
+    def test_round_trip(self):
+        for value in (-40.0, -3.0, 0.0, 7.5, 30.0):
+            assert linear_to_db(db_to_linear(value)) == pytest.approx(value)
+
+    def test_linear_to_db_floors_zero(self):
+        assert linear_to_db(0.0) == DB_FLOOR
+
+    def test_linear_to_db_floors_negative(self):
+        assert linear_to_db(-1.0) == DB_FLOOR
+
+    def test_array_input(self):
+        out = linear_to_db(np.array([1.0, 10.0, 100.0]))
+        assert np.allclose(out, [0.0, 10.0, 20.0])
+
+    def test_array_with_zeros_floors_only_zeros(self):
+        out = linear_to_db(np.array([0.0, 1.0]))
+        assert out[0] == DB_FLOOR
+        assert out[1] == pytest.approx(0.0)
+
+
+class TestAbsolutePower:
+    def test_one_milliwatt_is_zero_dbm(self):
+        assert watts_to_dbm(1e-3) == pytest.approx(0.0)
+
+    def test_one_watt_is_thirty_dbm(self):
+        assert watts_to_dbm(1.0) == pytest.approx(30.0)
+
+    def test_dbm_round_trip(self):
+        assert dbm_to_watts(watts_to_dbm(2.5e-6)) == pytest.approx(2.5e-6)
+
+
+class TestPowerCombining:
+    def test_sum_of_equal_powers_adds_3db(self):
+        assert power_sum_db([0.0, 0.0]) == pytest.approx(3.0103, rel=1e-4)
+
+    def test_sum_dominated_by_strongest(self):
+        total = power_sum_db([0.0, -40.0])
+        assert total == pytest.approx(0.000434, abs=1e-3)
+
+    def test_sum_of_empty_is_floor(self):
+        assert power_sum_db([]) == DB_FLOOR
+
+    def test_average_of_identical_is_identity(self):
+        assert power_average_db([-20.0, -20.0, -20.0]) == pytest.approx(-20.0)
+
+    def test_average_is_linear_domain(self):
+        # Linear mean of 1 and 0.1 is 0.55 -> -2.596 dB, not -5 dB.
+        avg = power_average_db([0.0, -10.0])
+        assert avg == pytest.approx(10 * math.log10(0.55), rel=1e-6)
+
+    def test_average_of_empty_raises(self):
+        with pytest.raises(ValueError):
+            power_average_db([])

@@ -1,0 +1,100 @@
+"""Unit tests for statistics helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import (
+    ConfidenceInterval,
+    mean_confidence_interval,
+    moving_average,
+    percentile_span,
+)
+
+
+class TestConfidenceInterval:
+    def test_mean_is_sample_mean(self):
+        ci = mean_confidence_interval([1.0, 2.0, 3.0])
+        assert ci.mean == pytest.approx(2.0)
+
+    def test_bounds(self):
+        ci = ConfidenceInterval(mean=10.0, half_width=2.0, confidence=0.95)
+        assert ci.low == 8.0
+        assert ci.high == 12.0
+        assert ci.contains(9.0)
+        assert not ci.contains(12.5)
+
+    def test_zero_variance_zero_width(self):
+        ci = mean_confidence_interval([5.0, 5.0, 5.0])
+        assert ci.half_width == 0.0
+
+    def test_higher_confidence_wider(self):
+        data = list(np.random.default_rng(1).normal(size=50))
+        ci90 = mean_confidence_interval(data, confidence=0.90)
+        ci99 = mean_confidence_interval(data, confidence=0.99)
+        assert ci99.half_width > ci90.half_width
+
+    def test_width_shrinks_with_samples(self):
+        rng = np.random.default_rng(2)
+        small = mean_confidence_interval(rng.normal(size=20))
+        large = mean_confidence_interval(rng.normal(size=2000))
+        assert large.half_width < small.half_width
+
+    def test_single_sample_raises(self):
+        with pytest.raises(ValueError):
+            mean_confidence_interval([1.0])
+
+    def test_unsupported_confidence_raises(self):
+        with pytest.raises(ValueError):
+            mean_confidence_interval([1.0, 2.0], confidence=0.5)
+
+    def test_coverage_is_roughly_nominal(self):
+        # With many repetitions, the 95% CI should contain the true
+        # mean about 95% of the time.
+        rng = np.random.default_rng(3)
+        hits = 0
+        trials = 300
+        for _ in range(trials):
+            data = rng.normal(loc=1.0, size=30)
+            if mean_confidence_interval(data, 0.95).contains(1.0):
+                hits += 1
+        assert 0.90 <= hits / trials <= 0.99
+
+
+class TestMovingAverage:
+    def test_window_one_is_identity(self):
+        data = [1.0, 5.0, 3.0]
+        assert list(moving_average(data, 1)) == data
+
+    def test_constant_input(self):
+        out = moving_average([2.0] * 10, 4)
+        assert np.allclose(out, 2.0)
+
+    def test_trailing_window(self):
+        out = moving_average([0.0, 0.0, 3.0], 3)
+        assert out[-1] == pytest.approx(1.0)
+
+    def test_prefix_uses_short_window(self):
+        out = moving_average([4.0, 0.0], 5)
+        assert out[0] == 4.0
+        assert out[1] == 2.0
+
+    def test_empty_input(self):
+        assert moving_average([], 3).size == 0
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            moving_average([1.0], 0)
+
+
+class TestPercentileSpan:
+    def test_full_span(self):
+        lo, hi = percentile_span(range(101), 0.0, 100.0)
+        assert lo == 0.0 and hi == 100.0
+
+    def test_order_validation(self):
+        with pytest.raises(ValueError):
+            percentile_span([1.0, 2.0], 90.0, 10.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile_span([])

@@ -1,0 +1,79 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands_parse(self):
+        parser = build_parser()
+        for argv in (
+            ["patterns"],
+            ["sweep", "--duration", "0.05"],
+            ["range", "--runs", "3"],
+            ["interference", "--distances", "0", "2"],
+            ["nlos"],
+            ["blockage", "--no-failover"],
+            ["recover", "--outage", "0.2"],
+            ["spatial", "--links", "2"],
+            ["table1"],
+        ):
+            args = parser.parse_args(argv)
+            assert callable(args.func)
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestCommands:
+    """Each command runs end to end and prints its headline rows."""
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "1.100 ms" in out
+        assert "102.400 ms" in out
+
+    def test_blockage(self, capsys):
+        assert main(["blockage"]) == 0
+        out = capsys.readouterr().out
+        assert "retrains" in out
+        assert "outage" in out
+
+    def test_blockage_no_failover_has_outage(self, capsys):
+        assert main(["blockage", "--no-failover"]) == 0
+        out = capsys.readouterr().out
+        outage_line = [l for l in out.splitlines() if "outage" in l][0]
+        assert "0 ms" not in outage_line.replace("340 ms", "X")
+
+    def test_range(self, capsys):
+        assert main(["range", "--runs", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "cliffs span" in out
+
+    def test_sweep_fast(self, capsys):
+        assert main(["sweep", "--duration", "0.04"]) == 0
+        out = capsys.readouterr().out
+        assert "934 mbps" in out
+
+    def test_nlos(self, capsys):
+        assert main(["nlos"]) == 0
+        out = capsys.readouterr().out
+        assert "LOS blocked: True" in out
+
+    def test_recover(self, capsys):
+        assert main(["recover", "--outage", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "break detected" in out
+        assert "traffic resumed" in out
+
+    def test_spatial(self, capsys):
+        assert main(["spatial", "--links", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "schedule:" in out

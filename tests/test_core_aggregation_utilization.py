@@ -1,0 +1,158 @@
+"""Unit tests for aggregation statistics and medium-usage estimation."""
+
+import numpy as np
+import pytest
+
+from repro.core.aggregation import (
+    AggregationReport,
+    LONG_FRAME_THRESHOLD_S,
+    aggregation_gain,
+    frame_length_cdf,
+    long_frame_fraction,
+)
+from repro.core.frames import DetectedFrame
+from repro.core.utilization import (
+    idle_gaps_s,
+    medium_usage_from_records,
+    medium_usage_from_trace,
+)
+from repro.phy.signal import Emission, synthesize_trace
+
+
+def frames_of(durations, spacing=50e-6):
+    return [
+        DetectedFrame(i * spacing, d, 0.5, 0.5) for i, d in enumerate(durations)
+    ]
+
+
+class TestAggregationStats:
+    def test_cdf_median(self):
+        cdf = frame_length_cdf(frames_of([5e-6, 5e-6, 20e-6]))
+        assert cdf.median() == 5e-6
+
+    def test_long_fraction(self):
+        frames = frames_of([5e-6, 6e-6, 20e-6, 24e-6])
+        assert long_frame_fraction(frames) == 0.5
+
+    def test_long_fraction_custom_threshold(self):
+        frames = frames_of([5e-6, 20e-6])
+        assert long_frame_fraction(frames, threshold_s=4e-6) == 1.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            frame_length_cdf([])
+
+    def test_gain_paper_headline(self):
+        """171 -> 930 mbps is the paper's 5.4x aggregation gain."""
+        assert aggregation_gain(171e6, 930e6) == pytest.approx(5.44, abs=0.01)
+
+    def test_gain_validation(self):
+        with pytest.raises(ValueError):
+            aggregation_gain(0.0, 1.0)
+
+    def test_report_build(self):
+        frames = frames_of([5e-6] * 8 + [20e-6] * 2)
+        report = AggregationReport.build("test", 100e6, frames, medium_usage=0.5)
+        assert report.num_frames == 10
+        assert report.long_fraction == pytest.approx(0.2)
+        assert report.median_frame_s == 5e-6
+        assert "tput" in report.row()
+
+
+class TestUsageFromRecords:
+    def test_simple_fraction(self):
+        frames = [DetectedFrame(0.0, 25e-6, 0.5, 0.5)]
+        assert medium_usage_from_records(frames, 0.0, 100e-6) == pytest.approx(0.25)
+
+    def test_overlaps_not_double_counted(self):
+        frames = [
+            DetectedFrame(0.0, 50e-6, 0.5, 0.5),
+            DetectedFrame(25e-6, 50e-6, 0.5, 0.5),
+        ]
+        assert medium_usage_from_records(frames, 0.0, 100e-6) == pytest.approx(0.75)
+
+    def test_clipped_to_window(self):
+        frames = [DetectedFrame(-50e-6, 100e-6, 0.5, 0.5)]
+        assert medium_usage_from_records(frames, 0.0, 100e-6) == pytest.approx(0.5)
+
+    def test_bridging_closes_sifs_gaps(self):
+        # Two 10 us frames with a 3 us gap: bridged = 23/100.
+        frames = [
+            DetectedFrame(0.0, 10e-6, 0.5, 0.5),
+            DetectedFrame(13e-6, 10e-6, 0.5, 0.5),
+        ]
+        plain = medium_usage_from_records(frames, 0.0, 100e-6)
+        bridged = medium_usage_from_records(frames, 0.0, 100e-6, bridge_gap_s=4e-6)
+        assert plain == pytest.approx(0.20)
+        assert bridged == pytest.approx(0.23)
+
+    def test_bridging_does_not_close_big_gaps(self):
+        frames = [
+            DetectedFrame(0.0, 10e-6, 0.5, 0.5),
+            DetectedFrame(50e-6, 10e-6, 0.5, 0.5),
+        ]
+        assert medium_usage_from_records(
+            frames, 0.0, 100e-6, bridge_gap_s=4e-6
+        ) == pytest.approx(0.20)
+
+    def test_empty_is_zero(self):
+        assert medium_usage_from_records([], 0.0, 1.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            medium_usage_from_records([], 1.0, 1.0)
+        with pytest.raises(ValueError):
+            medium_usage_from_records([], 0.0, 1.0, bridge_gap_s=-1.0)
+
+    def test_capped_at_one(self):
+        frames = [DetectedFrame(0.0, 1.0, 0.5, 0.5)]
+        assert medium_usage_from_records(frames, 0.0, 0.5, bridge_gap_s=1.0) == 1.0
+
+
+class TestUsageFromTrace:
+    def test_matches_ground_truth(self):
+        ems = [Emission(i * 100e-6, 40e-6, 0.5) for i in range(5)]
+        trace = synthesize_trace(
+            ems, duration_s=500e-6, noise_floor_v=0.01,
+            rng=np.random.default_rng(0),
+        )
+        usage = medium_usage_from_trace(trace, threshold_v=0.1)
+        assert usage == pytest.approx(0.4, abs=0.03)
+
+    def test_silent_trace_near_zero(self):
+        trace = synthesize_trace(
+            [], duration_s=1e-3, noise_floor_v=0.01, rng=np.random.default_rng(1)
+        )
+        assert medium_usage_from_trace(trace, threshold_v=0.1) == 0.0
+
+    def test_auto_threshold(self):
+        ems = [Emission(100e-6, 200e-6, 0.5)]
+        trace = synthesize_trace(
+            ems, duration_s=1e-3, noise_floor_v=0.01, rng=np.random.default_rng(2)
+        )
+        assert medium_usage_from_trace(trace) == pytest.approx(0.2, abs=0.03)
+
+    def test_invalid_threshold(self):
+        trace = synthesize_trace([], duration_s=1e-4)
+        with pytest.raises(ValueError):
+            medium_usage_from_trace(trace, threshold_v=-1.0)
+
+
+class TestIdleGaps:
+    def test_gaps_found(self):
+        frames = [
+            DetectedFrame(10e-6, 10e-6, 0.5, 0.5),
+            DetectedFrame(50e-6, 10e-6, 0.5, 0.5),
+        ]
+        gaps = idle_gaps_s(frames, 0.0, 100e-6)
+        assert len(gaps) == 3
+        assert gaps[0] == (0.0, 10e-6)
+        assert gaps[-1][1] == 100e-6
+
+    def test_no_frames_whole_window_idle(self):
+        gaps = idle_gaps_s([], 0.0, 1.0)
+        assert gaps == [(0.0, 1.0)]
+
+    def test_fully_busy_no_gaps(self):
+        frames = [DetectedFrame(0.0, 1.0, 0.5, 0.5)]
+        assert idle_gaps_s(frames, 0.0, 1.0) == []

@@ -1,0 +1,168 @@
+"""Unit tests for angular profiles, lobe analysis, and interference metrics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.angular import (
+    AngularProfile,
+    Lobe,
+    classify_lobes,
+    find_lobes,
+    reflection_lobes,
+)
+from repro.core.interference import (
+    InterferencePoint,
+    file_transfer_time_s,
+    high_interference_regime_m,
+    rate_utilization_correlation,
+    throughput_drop,
+    utilization_increase,
+)
+from repro.geometry.vec import Vec2
+
+
+def profile_with_lobes(lobe_specs, steps=72, floor_dbm=-90.0):
+    """Synthetic profile with Gaussian lobes at given (deg, peak_dbm)."""
+    az = np.linspace(-math.pi, math.pi, steps, endpoint=False)
+    power = np.full(steps, floor_dbm)
+    for deg, peak in lobe_specs:
+        center = math.radians(deg)
+        d = np.angle(np.exp(1j * (az - center)))
+        power = np.maximum(power, peak - 3.0 * (np.degrees(np.abs(d)) / 10.0) ** 2)
+    return AngularProfile(orientations_rad=az, power_dbm=power)
+
+
+class TestAngularProfile:
+    def test_relative_normalization(self):
+        p = profile_with_lobes([(0, -40)])
+        assert p.relative_db.max() == pytest.approx(0.0)
+
+    def test_power_toward_nearest(self):
+        p = profile_with_lobes([(90, -40)])
+        assert p.power_toward(math.radians(90)) == pytest.approx(-40.0, abs=0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AngularProfile(np.zeros(4), np.zeros(4))
+        with pytest.raises(ValueError):
+            AngularProfile(np.zeros(10), np.zeros(11))
+
+
+class TestLobeFinding:
+    def test_single_lobe(self):
+        p = profile_with_lobes([(30, -40)])
+        lobes = find_lobes(p)
+        assert len(lobes) == 1
+        assert lobes[0].bearing_deg == pytest.approx(30.0, abs=5.0)
+
+    def test_two_lobes_found(self):
+        p = profile_with_lobes([(0, -40), (120, -43)])
+        lobes = find_lobes(p)
+        assert len(lobes) == 2
+        assert lobes[0].relative_db == 0.0
+        assert lobes[1].relative_db == pytest.approx(-3.0, abs=0.5)
+
+    def test_weak_lobe_below_range_dropped(self):
+        p = profile_with_lobes([(0, -40), (120, -55)])
+        lobes = find_lobes(p, min_relative_db=-8.0)
+        assert len(lobes) == 1
+
+    def test_nearby_maxima_absorbed(self):
+        p = profile_with_lobes([(0, -40), (8, -41)])
+        lobes = find_lobes(p, min_separation_rad=math.radians(15))
+        assert len(lobes) == 1
+
+    def test_sorted_by_power(self):
+        p = profile_with_lobes([(0, -45), (90, -40), (-120, -44)])
+        lobes = find_lobes(p)
+        powers = [l.power_dbm for l in lobes]
+        assert powers == sorted(powers, reverse=True)
+
+
+class TestLobeClassification:
+    def test_lobe_toward_tx(self):
+        location = Vec2(0, 0)
+        tx = Vec2(5, 0)  # bearing 0
+        lobes = [Lobe(bearing_rad=0.05, power_dbm=-40, relative_db=0.0)]
+        out = classify_lobes(lobes, location, {"tx": tx})
+        assert out[0].attribution == "tx"
+
+    def test_lobe_toward_nothing_is_reflection(self):
+        location = Vec2(0, 0)
+        tx = Vec2(5, 0)
+        lobes = [Lobe(bearing_rad=math.radians(120), power_dbm=-44, relative_db=-4.0)]
+        out = classify_lobes(lobes, location, {"tx": tx})
+        assert out[0].attribution == "reflection"
+
+    def test_closest_endpoint_wins(self):
+        location = Vec2(0, 0)
+        endpoints = {"tx": Vec2(5, 0.1), "rx": Vec2(5, 2.0)}
+        lobes = [Lobe(bearing_rad=0.0, power_dbm=-40, relative_db=0.0)]
+        out = classify_lobes(lobes, location, endpoints)
+        assert out[0].attribution == "tx"
+
+    def test_reflection_filter(self):
+        lobes = [
+            Lobe(0.0, -40, 0.0, attribution="tx"),
+            Lobe(1.0, -44, -4.0, attribution="reflection"),
+        ]
+        assert len(reflection_lobes(lobes)) == 1
+
+
+class TestInterferenceMetrics:
+    def test_utilization_increase(self):
+        assert utilization_increase(1.0, 0.38) == pytest.approx(0.62)
+
+    def test_utilization_validation(self):
+        with pytest.raises(ValueError):
+            utilization_increase(1.5, 0.3)
+
+    def test_file_transfer_time(self):
+        # 1 GB at 800 mbps -> 10 seconds.
+        assert file_transfer_time_s(1e9, 800e6) == pytest.approx(10.0)
+
+    def test_file_transfer_validation(self):
+        with pytest.raises(ValueError):
+            file_transfer_time_s(0.0, 1e6)
+        with pytest.raises(ValueError):
+            file_transfer_time_s(1e9, 0.0)
+
+    def test_high_interference_regime(self):
+        points = [
+            InterferencePoint(0.0, 0.95, 2e9),
+            InterferencePoint(1.0, 0.80, 2e9),
+            InterferencePoint(2.0, 0.60, 2.5e9),
+            InterferencePoint(3.0, 0.40, 3e9),
+        ]
+        assert high_interference_regime_m(points, 0.38, margin=0.10) == 2.0
+
+    def test_regime_empty_when_clean(self):
+        points = [InterferencePoint(d, 0.38, 3e9) for d in (0.0, 1.0)]
+        assert high_interference_regime_m(points, 0.38) == 0.0
+
+    def test_inverse_rate_utilization_correlation(self):
+        """The paper's Section 4.4 observation, as a metric."""
+        rng = np.random.default_rng(0)
+        points = [
+            InterferencePoint(d, u, 3.2e9 - 1.5e9 * u + rng.normal(0, 5e7))
+            for d, u in zip(np.linspace(0, 3, 10), np.linspace(0.95, 0.4, 10))
+        ]
+        assert rate_utilization_correlation(points) < -0.8
+
+    def test_correlation_needs_points(self):
+        with pytest.raises(ValueError):
+            rate_utilization_correlation([InterferencePoint(0, 0.5, 1e9)] * 2)
+
+    def test_constant_series_zero_correlation(self):
+        points = [InterferencePoint(d, 0.5, 1e9) for d in range(4)]
+        assert rate_utilization_correlation(points) == 0.0
+
+    def test_throughput_drop(self):
+        assert throughput_drop(1000e6, 800e6) == pytest.approx(0.2)
+        assert throughput_drop(1000e6, 1100e6) == 0.0
+
+    def test_throughput_drop_validation(self):
+        with pytest.raises(ValueError):
+            throughput_drop(0.0, 1.0)

@@ -1,0 +1,147 @@
+"""Unit tests for beam-pattern measurement and discovery splitting."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.beams import BeamPatternCampaign, MeasuredPattern
+from repro.core.discovery import (
+    is_discovery_frame,
+    split_discovery_subelements,
+    subelement_amplitudes,
+    subelement_variation_db,
+)
+from repro.core.frames import DetectedFrame, FrameDetector
+from repro.devices.d5000 import make_d5000_dock
+from repro.geometry.vec import Vec2
+from repro.mac.frames import FrameKind
+from repro.phy.signal import Emission, synthesize_trace
+
+
+@pytest.fixture(scope="module")
+def campaign_device():
+    dock = make_d5000_dock(position=Vec2(0.0, 0.0), orientation_rad=0.0)
+    dock.train_toward(Vec2(2.0, 0.0))
+    return dock
+
+
+class TestMeasuredPattern:
+    def test_relative_peaks_at_zero(self):
+        m = MeasuredPattern(
+            bearings_rad=np.linspace(-1, 1, 50),
+            power_dbm=np.random.default_rng(0).normal(-50, 3, 50),
+        )
+        assert m.relative_db.max() == pytest.approx(0.0)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            MeasuredPattern(np.zeros(10), np.zeros(11))
+
+
+class TestCampaign:
+    def test_measured_peak_points_at_trained_direction(self, campaign_device):
+        campaign = BeamPatternCampaign(campaign_device, positions=60)
+        measured = campaign.measure(kind=FrameKind.DATA)
+        # The device is trained toward bearing 0.
+        assert abs(math.degrees(measured.peak_bearing_rad())) < 10.0
+
+    def test_measured_hpbw_matches_true_pattern(self, campaign_device):
+        campaign = BeamPatternCampaign(campaign_device, positions=100)
+        measured = campaign.measure(kind=FrameKind.DATA)
+        true_hpbw = campaign_device.active_beam.pattern.half_power_beam_width_deg()
+        assert measured.as_pattern().half_power_beam_width_deg() == pytest.approx(
+            true_hpbw, abs=6.0
+        )
+
+    def test_side_lobes_visible_in_measurement(self, campaign_device):
+        campaign = BeamPatternCampaign(campaign_device, positions=100)
+        measured = campaign.measure(kind=FrameKind.DATA)
+        sll = measured.as_pattern().side_lobe_level_db()
+        assert -10.0 < sll < -1.0  # paper: -4..-6 dB
+
+    def test_jitter_perturbs_but_preserves_shape(self, campaign_device):
+        clean = BeamPatternCampaign(campaign_device, positions=60).measure()
+        noisy = BeamPatternCampaign(
+            campaign_device, positions=60, position_jitter_m=0.05, seed=3
+        ).measure()
+        assert not np.allclose(clean.power_dbm, noisy.power_dbm)
+        # Peaks still agree.
+        assert abs(clean.peak_bearing_rad() - noisy.peak_bearing_rad()) < math.radians(8)
+
+    def test_extra_gain_lifts_measurement(self, campaign_device):
+        base = BeamPatternCampaign(campaign_device, positions=30).measure()
+        boosted = BeamPatternCampaign(
+            campaign_device, positions=30, extra_gain_db=10.0
+        ).measure()
+        assert np.mean(boosted.power_dbm - base.power_dbm) == pytest.approx(10.0, abs=0.5)
+
+    def test_discovery_subelement_measurable(self, campaign_device):
+        campaign = BeamPatternCampaign(campaign_device, positions=40)
+        m0 = campaign.measure(kind=FrameKind.DISCOVERY, subelement=0)
+        m1 = campaign.measure(kind=FrameKind.DISCOVERY, subelement=1)
+        assert not np.allclose(m0.power_dbm, m1.power_dbm)
+
+    def test_too_few_positions_rejected(self, campaign_device):
+        with pytest.raises(ValueError):
+            BeamPatternCampaign(campaign_device, positions=4)
+
+
+class TestDiscoverySplitting:
+    def _discovery_trace(self, amplitudes, start=100e-6):
+        n = len(amplitudes)
+        sub = 1e-3 / n
+        ems = [
+            Emission(start + i * sub, sub, a) for i, a in enumerate(amplitudes)
+        ]
+        return synthesize_trace(
+            ems, duration_s=start + 1.2e-3, noise_floor_v=0.005,
+            rng=np.random.default_rng(0),
+        )
+
+    def test_split_counts(self):
+        trace = self._discovery_trace([0.5] * 32)
+        frame = DetectedFrame(100e-6, 1e-3, 0.5, 0.5)
+        subs = split_discovery_subelements(trace, frame)
+        assert len(subs) == 32
+        assert subs[0].duration_s == pytest.approx(1e-3 / 32, rel=0.05)
+
+    def test_amplitude_staircase_recovered(self):
+        amplitudes = list(np.linspace(0.2, 0.8, 32))
+        trace = self._discovery_trace(amplitudes)
+        frame = DetectedFrame(100e-6, 1e-3, 0.5, 0.8)
+        measured = subelement_amplitudes(trace, frame)
+        assert measured.shape == (32,)
+        # Monotone staircase survives the split.
+        assert np.all(np.diff(measured) > -0.02)
+        assert measured[0] == pytest.approx(0.2, abs=0.05)
+        assert measured[-1] == pytest.approx(0.8, abs=0.05)
+
+    def test_detection_plus_split_round_trip(self):
+        amplitudes = [0.3 + 0.2 * (i % 2) for i in range(32)]
+        trace = self._discovery_trace(amplitudes)
+        frames = FrameDetector(threshold_v=0.1, merge_gap_s=2e-6).detect(trace)
+        assert len(frames) == 1
+        assert is_discovery_frame(frames[0])
+        measured = subelement_amplitudes(trace, frames[0])
+        # Alternating amplitudes alternate in the measurement too.
+        evens, odds = measured[::2].mean(), measured[1::2].mean()
+        assert odds > evens
+
+    def test_is_discovery_frame_duration_gate(self):
+        assert is_discovery_frame(DetectedFrame(0, 1.0e-3, 0.5, 0.5))
+        assert not is_discovery_frame(DetectedFrame(0, 25e-6, 0.5, 0.5))
+
+    def test_variation_metric(self):
+        assert subelement_variation_db([0.1, 1.0]) == pytest.approx(20.0)
+        assert subelement_variation_db([0.5, 0.5]) == pytest.approx(0.0)
+
+    def test_variation_empty_raises(self):
+        with pytest.raises(ValueError):
+            subelement_variation_db([])
+
+    def test_invalid_trim(self):
+        trace = self._discovery_trace([0.5] * 4)
+        frame = DetectedFrame(100e-6, 1e-3, 0.5, 0.5)
+        with pytest.raises(ValueError):
+            subelement_amplitudes(trace, frame, num_subelements=4, trim_fraction=0.6)

@@ -1,0 +1,157 @@
+"""Unit tests for trace-based frame detection and classification."""
+
+import numpy as np
+import pytest
+
+from repro.core.frames import (
+    DetectedFrame,
+    FrameDetector,
+    burst_durations_s,
+    estimate_periodicity_s,
+    group_bursts,
+    split_sources_by_amplitude,
+)
+from repro.phy.signal import Emission, synthesize_trace
+
+
+def trace_of(emissions, duration=1e-3, noise=0.01, seed=0):
+    return synthesize_trace(
+        emissions, duration_s=duration, noise_floor_v=noise,
+        rng=np.random.default_rng(seed),
+    )
+
+
+class TestDetection:
+    def test_single_frame_recovered(self):
+        em = Emission(200e-6, 50e-6, 0.5)
+        frames = FrameDetector(threshold_v=0.1).detect(trace_of([em]))
+        assert len(frames) == 1
+        f = frames[0]
+        assert f.start_s == pytest.approx(200e-6, abs=3e-6)
+        assert f.duration_s == pytest.approx(50e-6, rel=0.1)
+        assert f.mean_amplitude_v == pytest.approx(0.5, rel=0.1)
+
+    def test_multiple_frames_in_order(self):
+        ems = [Emission(i * 100e-6, 30e-6, 0.4) for i in range(5)]
+        frames = FrameDetector(threshold_v=0.1).detect(trace_of(ems))
+        assert len(frames) == 5
+        starts = [f.start_s for f in frames]
+        assert starts == sorted(starts)
+
+    def test_noise_only_yields_nothing(self):
+        frames = FrameDetector(threshold_v=0.1).detect(trace_of([]))
+        assert frames == []
+
+    def test_auto_threshold_from_noise(self):
+        em = Emission(300e-6, 80e-6, 0.5)
+        frames = FrameDetector().detect(trace_of([em]))
+        assert len(frames) == 1
+
+    def test_min_duration_filters_spikes(self):
+        em = Emission(100e-6, 0.5e-6, 0.5)  # half-microsecond blip
+        frames = FrameDetector(threshold_v=0.1, min_duration_s=2e-6).detect(trace_of([em]))
+        assert frames == []
+
+    def test_merge_gap_rejoins_split_frames(self):
+        # Two bumps 0.3 us apart merge into one frame.
+        ems = [Emission(100e-6, 10e-6, 0.5), Emission(110.3e-6, 10e-6, 0.5)]
+        frames = FrameDetector(threshold_v=0.1, merge_gap_s=0.5e-6).detect(trace_of(ems))
+        assert len(frames) == 1
+
+    def test_distinct_frames_not_merged(self):
+        ems = [Emission(100e-6, 10e-6, 0.5), Emission(150e-6, 10e-6, 0.5)]
+        frames = FrameDetector(threshold_v=0.1, merge_gap_s=0.5e-6).detect(trace_of(ems))
+        assert len(frames) == 2
+
+    def test_frame_touching_trace_edges(self):
+        em = Emission(-5e-6, 20e-6, 0.5)  # starts before the capture
+        frames = FrameDetector(threshold_v=0.1).detect(trace_of([em], duration=100e-6))
+        assert len(frames) == 1
+        assert frames[0].start_s == pytest.approx(0.0, abs=2e-6)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            FrameDetector(threshold_v=0.0)
+        with pytest.raises(ValueError):
+            FrameDetector(auto_factor=1.0)
+
+
+class TestSourceSeparation:
+    def test_two_amplitude_clusters(self):
+        ems = [Emission(i * 50e-6, 20e-6, 0.8 if i % 2 else 0.2) for i in range(10)]
+        frames = FrameDetector(threshold_v=0.05).detect(trace_of(ems))
+        strong, weak = split_sources_by_amplitude(frames)
+        assert len(strong) == 5 and len(weak) == 5
+        assert min(f.mean_amplitude_v for f in strong) > max(
+            f.mean_amplitude_v for f in weak
+        )
+
+    def test_identical_amplitudes_single_cluster(self):
+        frames = [DetectedFrame(i * 1e-4, 1e-5, 0.5, 0.5) for i in range(4)]
+        strong, weak = split_sources_by_amplitude(frames)
+        assert len(strong) == 4 and weak == []
+
+    def test_empty_input(self):
+        assert split_sources_by_amplitude([]) == ([], [])
+
+
+class TestPeriodicity:
+    def _periodic(self, period, n=10, jitter=0.0, seed=0):
+        rng = np.random.default_rng(seed)
+        return [
+            DetectedFrame(i * period + rng.normal(0, jitter), 5e-6, 0.5, 0.5)
+            for i in range(n)
+        ]
+
+    def test_exact_period_recovered(self):
+        frames = self._periodic(1.1e-3)
+        assert estimate_periodicity_s(frames) == pytest.approx(1.1e-3)
+
+    def test_jittered_period_recovered(self):
+        frames = self._periodic(102.4e-3, jitter=1e-3)
+        assert estimate_periodicity_s(frames) == pytest.approx(102.4e-3, rel=0.05)
+
+    def test_aperiodic_returns_none(self):
+        rng = np.random.default_rng(1)
+        starts = np.cumsum(rng.exponential(1e-3, size=20))
+        frames = [DetectedFrame(s, 5e-6, 0.5, 0.5) for s in starts]
+        assert estimate_periodicity_s(frames) is None
+
+    def test_too_few_frames_returns_none(self):
+        assert estimate_periodicity_s(self._periodic(1e-3, n=2)) is None
+
+    def test_order_independent(self):
+        frames = self._periodic(0.224e-3)
+        shuffled = list(reversed(frames))
+        assert estimate_periodicity_s(shuffled) == pytest.approx(0.224e-3)
+
+
+class TestBursts:
+    def test_gap_splits_bursts(self):
+        frames = [
+            DetectedFrame(0.0, 10e-6, 0.5, 0.5),
+            DetectedFrame(15e-6, 10e-6, 0.5, 0.5),
+            DetectedFrame(500e-6, 10e-6, 0.5, 0.5),
+        ]
+        bursts = group_bursts(frames, gap_threshold_s=50e-6)
+        assert [len(b) for b in bursts] == [2, 1]
+
+    def test_single_burst(self):
+        frames = [DetectedFrame(i * 20e-6, 10e-6, 0.5, 0.5) for i in range(5)]
+        bursts = group_bursts(frames, gap_threshold_s=50e-6)
+        assert len(bursts) == 1
+
+    def test_burst_durations(self):
+        frames = [
+            DetectedFrame(0.0, 10e-6, 0.5, 0.5),
+            DetectedFrame(20e-6, 10e-6, 0.5, 0.5),
+        ]
+        (duration,) = burst_durations_s(group_bursts(frames))
+        assert duration == pytest.approx(30e-6)
+
+    def test_empty_input(self):
+        assert group_bursts([]) == []
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            group_bursts([], gap_threshold_s=0.0)

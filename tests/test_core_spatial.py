@@ -1,0 +1,176 @@
+"""Unit tests for the spatial-reuse planning tools."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.spatial import (
+    Conflict,
+    Link,
+    conflict_graph,
+    coverage_map,
+    greedy_schedule,
+    link_margins,
+    recommend_mac_behavior,
+)
+from repro.devices.d5000 import make_d5000_dock, make_e7440_laptop
+from repro.geometry.vec import Vec2
+from repro.mac.coupling import DeviceCoupling
+from repro.phy.channel import LinkBudget
+
+
+def make_link(name: str, dock_pos: Vec2, laptop_pos: Vec2, seed: int) -> Link:
+    dock = make_d5000_dock(name=f"dock-{name}", position=dock_pos, unit_seed=seed)
+    laptop = make_e7440_laptop(
+        name=f"laptop-{name}", position=laptop_pos, unit_seed=seed + 100
+    )
+    dock.orientation_rad = (laptop_pos - dock_pos).angle()
+    laptop.orientation_rad = (dock_pos - laptop_pos).angle()
+    dock.train_toward(laptop.position)
+    laptop.train_toward(dock.position)
+    return Link(tx=laptop, rx=dock)
+
+
+def coupling_for(links):
+    devices = {}
+    for link in links:
+        devices[link.tx.name] = link.tx
+        devices[link.rx.name] = link.rx
+    return DeviceCoupling(devices, budget=LinkBudget())
+
+
+class TestMargins:
+    def test_margin_rows_cover_all_pairs(self):
+        links = [
+            make_link("a", Vec2(0, 0), Vec2(3, 0), seed=1),
+            make_link("b", Vec2(0, 6), Vec2(3, 6), seed=2),
+        ]
+        rows = link_margins(links, coupling_for(links))
+        assert len(rows) == 2  # one aggressor per victim with two links
+
+    def test_far_parallel_links_have_margin(self):
+        links = [
+            make_link("a", Vec2(0, 0), Vec2(3, 0), seed=1),
+            make_link("b", Vec2(0, 8), Vec2(3, 8), seed=2),
+        ]
+        rows = link_margins(links, coupling_for(links))
+        assert all(r.margin_db > 20.0 for r in rows)
+
+    def test_collinear_links_conflict(self):
+        # Link B fires straight down link A's corridor.
+        links = [
+            make_link("a", Vec2(0, 0), Vec2(3, 0), seed=1),
+            make_link("b", Vec2(5, 0), Vec2(8, 0), seed=2),
+        ]
+        rows = link_margins(links, coupling_for(links))
+        assert any(r.margin_db < 20.0 for r in rows)
+
+
+class TestConflictGraph:
+    def test_no_edges_for_isolated_links(self):
+        links = [
+            make_link("a", Vec2(0, 0), Vec2(3, 0), seed=1),
+            make_link("b", Vec2(0, 9), Vec2(3, 9), seed=2),
+        ]
+        assert conflict_graph(links, coupling_for(links)) == []
+
+    def test_edge_for_collinear_links(self):
+        links = [
+            make_link("a", Vec2(0, 0), Vec2(3, 0), seed=1),
+            make_link("b", Vec2(5, 0), Vec2(8, 0), seed=2),
+        ]
+        edges = conflict_graph(links, coupling_for(links))
+        assert len(edges) == 1
+
+    def test_schedule_groups_conflicting_links_apart(self):
+        links = [
+            make_link("a", Vec2(0, 0), Vec2(3, 0), seed=1),
+            make_link("b", Vec2(5, 0), Vec2(8, 0), seed=2),
+            make_link("c", Vec2(0, 9), Vec2(3, 9), seed=3),
+        ]
+        groups = greedy_schedule(links, coupling_for(links))
+        # a and b conflict -> different groups; c coexists with one.
+        locate = {name: i for i, group in enumerate(groups) for name in group}
+        assert locate["laptop-a->dock-a"] != locate["laptop-b->dock-b"]
+        assert len(groups) == 2
+
+    def test_schedule_single_group_when_clean(self):
+        links = [
+            make_link("a", Vec2(0, 0), Vec2(3, 0), seed=1),
+            make_link("b", Vec2(0, 9), Vec2(3, 9), seed=2),
+        ]
+        groups = greedy_schedule(links, coupling_for(links))
+        assert len(groups) == 1
+
+
+class TestCoverageMap:
+    def test_main_lobe_direction_strongest(self):
+        dock = make_d5000_dock(position=Vec2(0, 0), orientation_rad=0.0)
+        dock.train_toward(Vec2(4, 0))
+        xs, ys, snr = coverage_map(
+            dock, LinkBudget(), bounds=(-4.0, -4.0, 4.0, 4.0), resolution_m=1.0
+        )
+        ahead = snr[np.searchsorted(ys, 0.0), np.searchsorted(xs, 3.0)]
+        behind = snr[np.searchsorted(ys, 0.0), np.searchsorted(xs, -3.0)]
+        assert ahead > behind + 5.0
+
+    def test_device_cell_is_inf(self):
+        dock = make_d5000_dock(position=Vec2(0, 0))
+        xs, ys, snr = coverage_map(
+            dock, LinkBudget(), bounds=(-1.0, -1.0, 1.0, 1.0), resolution_m=1.0
+        )
+        assert math.isinf(snr[np.searchsorted(ys, 0.0), np.searchsorted(xs, 0.0)])
+
+    def test_invalid_bounds(self):
+        dock = make_d5000_dock()
+        with pytest.raises(ValueError):
+            coverage_map(dock, LinkBudget(), bounds=(0, 0, 0, 1))
+
+    def test_traced_map_blocked_region(self):
+        from repro.geometry.materials import get_material
+        from repro.geometry.room import Room
+        from repro.geometry.segments import Segment
+        from repro.phy.raytracing import RayTracer
+
+        wall = Segment(Vec2(2.0, -5.0), Vec2(2.0, 5.0), get_material("metal"))
+        tracer = RayTracer(Room([wall]), max_order=0)
+        dock = make_d5000_dock(position=Vec2(0, 0), orientation_rad=0.0)
+        xs, ys, snr = coverage_map(
+            dock, LinkBudget(), bounds=(-1.0, -1.0, 5.0, 1.0),
+            resolution_m=1.0, tracer=tracer,
+        )
+        beyond = snr[np.searchsorted(ys, 0.0), np.searchsorted(xs, 4.0)]
+        assert math.isinf(beyond) and beyond < 0  # -inf: no path
+
+
+class TestMacRecommendation:
+    def test_consumer_device_gets_rts_cts(self):
+        dock = make_d5000_dock()
+        dock.train_toward(Vec2(2, 0))
+        assert recommend_mac_behavior(dock) == "rts-cts"
+
+    def test_boundary_beam_gets_conservative(self):
+        dock = make_d5000_dock()
+        dock.train_toward(Vec2.from_polar(2.0, math.radians(70)))
+        assert recommend_mac_behavior(dock) == "conservative"
+
+    def test_clean_array_gets_aggressive_reuse(self):
+        import numpy as np
+
+        from repro.devices.base import RadioDevice
+        from repro.phy.antenna import PhaseShifterModel, UniformRectangularArray
+        from repro.phy.codebook import Codebook
+
+        clean = UniformRectangularArray(
+            4, 16, 60.48e9,
+            phase_shifter=PhaseShifterModel(None),
+            amplitude_error_std_db=0.0,
+            phase_error_std_rad=0.0,
+            scatter_level_db=-300.0,
+            rng=np.random.default_rng(0),
+        )
+        codebook = Codebook.build(clean, num_directional=8, num_quasi_omni=2)
+        device = RadioDevice("lab-grade", clean, codebook)
+        device.train_toward(Vec2(2, 0))
+        assert recommend_mac_behavior(device) == "aggressive-reuse"

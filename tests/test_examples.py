@@ -1,0 +1,62 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are part of the public surface; these tests import each one
+as a module and run its ``main()`` with output captured, asserting the
+headline strings appear.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, capsys, argv=None):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    old_argv = sys.argv
+    sys.argv = [str(path)] + (argv or [])
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart", capsys)
+        assert "trained dock beam" in out
+        assert "TCP throughput" in out
+        assert "MPDUs/frame" in out
+
+    def test_beam_pattern_survey(self, capsys):
+        out = run_example("beam_pattern_survey", capsys)
+        assert "Figure 17 metrics" in out
+        assert "Quasi-omni discovery patterns" in out
+
+    def test_office_deployment(self, capsys):
+        out = run_example("office_deployment", capsys)
+        assert "CONFLICT" in out
+        assert "OK" in out
+
+    def test_interference_study(self, capsys):
+        out = run_example("interference_study", capsys)
+        assert "baseline" in out.lower()
+        assert "Recommendation" in out or "No significant" in out
+
+    def test_spatial_planning(self, capsys):
+        out = run_example("spatial_planning", capsys)
+        assert "conflict graph edges" in out
+        assert "airtime division factor" in out
+        assert "Coverage map" in out
+
+    def test_nlos_rescue(self, capsys):
+        out = run_example("nlos_rescue", capsys)
+        assert "LOS lobe in angular profile: gone" in out
+        assert "% of line-of-sight" in out

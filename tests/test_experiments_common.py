@@ -1,0 +1,150 @@
+"""Tests for the shared scenario builders and misc experiment utils."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import (
+    build_wigig_link_setup,
+    build_wihd_link_setup,
+    misalignment_70deg,
+    train_pair,
+)
+from repro.experiments.interference import (
+    build_interference_scenario,
+    channel_utilization,
+    mean_link_rate_bps,
+)
+from repro.geometry.vec import Vec2
+from repro.mac.frames import FrameKind
+from repro.phy.mcs import mcs_by_index
+
+
+class TestWiGigBuilder:
+    def test_default_geometry(self):
+        setup = build_wigig_link_setup(distance_m=3.0)
+        assert setup.dock.position.distance_to(setup.laptop.position) == pytest.approx(3.0)
+
+    def test_devices_trained_at_each_other(self):
+        setup = build_wigig_link_setup(distance_m=2.0)
+        assert setup.dock.tx_gain_dbi(setup.laptop.position) > 10.0
+        assert setup.laptop.tx_gain_dbi(setup.dock.position) > 10.0
+
+    def test_no_flow_when_window_none(self):
+        setup = build_wigig_link_setup(window_bytes=None)
+        assert setup.flow is None
+        setup.run(0.01)
+        assert not any(
+            r.kind == FrameKind.DATA for r in setup.medium.history
+        )
+
+    def test_rotated_dock_orientation_offset(self):
+        aligned = build_wigig_link_setup(window_bytes=None)
+        rotated = build_wigig_link_setup(
+            window_bytes=None, dock_orientation_offset_rad=misalignment_70deg()
+        )
+        diff = rotated.dock.orientation_rad - aligned.dock.orientation_rad
+        assert math.degrees(diff) == pytest.approx(70.0)
+
+    def test_rotated_link_has_less_snr(self):
+        aligned = build_wigig_link_setup(window_bytes=None)
+        rotated = build_wigig_link_setup(
+            window_bytes=None, dock_orientation_offset_rad=misalignment_70deg()
+        )
+        snr_a = aligned.coupling.snr_db("laptop", "dock")
+        snr_r = rotated.coupling.snr_db("laptop", "dock")
+        assert snr_r < snr_a - 2.0
+
+    def test_explicit_positions(self):
+        setup = build_wigig_link_setup(
+            window_bytes=None,
+            dock_position=Vec2(1.0, 1.0),
+            laptop_position=Vec2(1.0, 4.0),
+        )
+        assert setup.dock.position == Vec2(1.0, 1.0)
+        assert setup.laptop.position == Vec2(1.0, 4.0)
+        # The laptop faces back toward the dock.
+        assert setup.laptop.tx_gain_dbi(setup.dock.position) > 10.0
+
+
+class TestWiHDBuilder:
+    def test_distance(self):
+        setup = build_wihd_link_setup(distance_m=8.0)
+        assert setup.tx.position.distance_to(setup.rx.position) == pytest.approx(8.0)
+
+    def test_stream_moves_bits(self):
+        setup = build_wihd_link_setup(video_rate_bps=1.5e9)
+        setup.run(0.01)
+        assert setup.link.stats.bits_sent > 0
+
+    def test_facing_each_other(self):
+        setup = build_wihd_link_setup()
+        assert setup.tx.tx_gain_dbi(setup.rx.position) > 5.0
+
+
+class TestTrainPair:
+    def test_free_space_training(self):
+        from repro.devices.d5000 import make_d5000_dock, make_e7440_laptop
+
+        a = make_d5000_dock(position=Vec2(0, 0), orientation_rad=0.0)
+        b = make_e7440_laptop(position=Vec2(3, 1), orientation_rad=math.pi)
+        train_pair(a, b)
+        assert a.tx_gain_dbi(b.position) > 8.0
+
+    def test_traced_training_follows_reflection(self):
+        from repro.devices.d5000 import make_d5000_dock, make_e7440_laptop
+        from repro.experiments.reflection_range import build_reflection_room
+        from repro.phy.raytracing import RayTracer
+
+        tracer = RayTracer(build_reflection_room(blocked=True), max_order=2)
+        a = make_d5000_dock(position=Vec2(0, 0), orientation_rad=0.0)
+        b = make_e7440_laptop(position=Vec2(2.5, 0), orientation_rad=math.pi)
+        train_pair(a, b, tracer)
+        # Beams point into the wall's half plane, not at the obstacle.
+        peak = a.active_beam.steering_azimuth_rad + a.orientation_rad
+        assert math.sin(peak) < 0
+
+
+class TestInterferenceUtilities:
+    def test_mean_link_rate_reflects_mcs_steps(self):
+        scen = build_interference_scenario(with_wihd=False, seed=77)
+        scen.run(0.05)
+        link = scen.link_a
+        # Force an artificial step and verify the time weighting.
+        start = scen.sim.now
+        link.set_mcs(6)
+        scen.run(0.05)
+        end = scen.sim.now
+        rate = mean_link_rate_bps(link, start, end)
+        assert rate == pytest.approx(mcs_by_index(6).phy_rate_bps, rel=0.05)
+
+    def test_mean_link_rate_weights_halves(self):
+        scen = build_interference_scenario(with_wihd=False, seed=78)
+        scen.run(0.02)
+        link = scen.link_a
+        link.mcs_history.clear()
+        start = scen.sim.now
+        link.set_mcs(11)
+        scen.run(0.05)
+        link.set_mcs(1)
+        scen.run(0.05)
+        end = scen.sim.now
+        rate = mean_link_rate_bps(link, start, end)
+        expected = 0.5 * (
+            mcs_by_index(11).phy_rate_bps + mcs_by_index(1).phy_rate_bps
+        )
+        assert rate == pytest.approx(expected, rel=0.1)
+
+    def test_channel_utilization_threshold_filters(self):
+        scen = build_interference_scenario(wihd_offset_m=0.0, seed=79)
+        scen.run(0.15)
+        permissive = channel_utilization(scen, 0.05, scen.sim.now, threshold_dbm=-90.0)
+        strict = channel_utilization(scen, 0.05, scen.sim.now, threshold_dbm=-55.0)
+        assert permissive >= strict
+
+    def test_utilization_in_unit_interval(self):
+        scen = build_interference_scenario(wihd_offset_m=1.0, seed=80)
+        scen.run(0.12)
+        u = channel_utilization(scen, 0.05, scen.sim.now)
+        assert 0.0 <= u <= 1.0

@@ -1,0 +1,50 @@
+"""Tests for the break/re-association lifecycle experiment."""
+
+import pytest
+
+from repro.experiments.link_recovery import RecoveryResult, run_break_and_recover
+
+
+class TestRecoveryCycle:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_break_and_recover()
+
+    def test_break_detected_during_outage(self, result):
+        assert result.break_detected_s is not None
+        assert result.outage_start_s < result.break_detected_s < result.outage_end_s
+
+    def test_detection_delay_is_supervisor_scale(self, result):
+        # 3 dead intervals of 10 ms each.
+        assert 0.02 <= result.detection_delay_s <= 0.08
+
+    def test_reassociation_after_obstruction_clears(self, result):
+        assert result.reassociated_s is not None
+        assert result.reassociated_s > result.outage_end_s
+
+    def test_protocol_recovery_within_one_discovery_interval(self, result):
+        """The dominant term is waiting for the next 102.4 ms sweep."""
+        assert result.protocol_recovery_s is not None
+        assert result.protocol_recovery_s < 0.110 + 0.01
+
+    def test_traffic_resumes_at_full_rate(self, result):
+        assert result.traffic_resumed_s is not None
+        assert result.throughput_after_bps > 0.8 * result.throughput_before_bps
+
+    def test_total_downtime_accounting(self, result):
+        assert result.total_downtime_s == pytest.approx(
+            result.traffic_resumed_s - result.outage_start_s
+        )
+
+
+class TestParameterSensitivity:
+    def test_longer_outage_means_later_recovery(self):
+        short = run_break_and_recover(outage_duration_s=0.15, total_s=1.0)
+        long = run_break_and_recover(outage_duration_s=0.35, total_s=1.2)
+        assert long.reassociated_s > short.reassociated_s
+
+    def test_mild_outage_does_not_break_link(self):
+        # 10 dB of extra loss: the link degrades but survives, so no
+        # break is declared and no rediscovery happens.
+        result = run_break_and_recover(outage_loss_db=10.0, total_s=0.8)
+        assert result.break_detected_s is None

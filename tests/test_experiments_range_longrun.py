@@ -1,0 +1,140 @@
+"""Integration tests for the range (Figs 12/13) and long-run (Fig 14)
+experiments."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.long_run import (
+    amplitude_change_times,
+    rate_change_times,
+    realignment_times,
+    run_long_term,
+)
+from repro.experiments.range_vs_distance import (
+    DistanceRun,
+    cliff_statistics,
+    link_snr_db,
+    phy_rate_timeseries,
+    throughput_vs_distance,
+    wigig_goodput_bps,
+)
+from repro.phy.mcs import mcs_by_index, select_mcs
+
+
+class TestFigure12McsLadder:
+    def test_short_link_reaches_16qam_but_not_top(self):
+        """2 m: 16-QAM 5/8, never 16-QAM 3/4 (paper Section 4.1)."""
+        mcs = select_mcs(link_snr_db(2.0))
+        assert mcs.label() == "16-QAM, 5/8"
+
+    def test_8m_link_runs_qpsk(self):
+        mcs = select_mcs(link_snr_db(8.0))
+        assert mcs.modulation == "QPSK"
+
+    def test_14m_link_runs_bpsk(self):
+        mcs = select_mcs(link_snr_db(14.0))
+        assert mcs.modulation == "BPSK"
+
+    def test_snr_monotone_decreasing(self):
+        snrs = [link_snr_db(d) for d in (1, 2, 5, 10, 15, 20)]
+        assert snrs == sorted(snrs, reverse=True)
+
+    def test_timeseries_stable_at_2m(self):
+        samples = phy_rate_timeseries(2.0, duration_s=300, seed=1)
+        rates = {s.phy_rate_bps for s in samples}
+        # Short links are essentially constant (Figure 12).
+        assert len(rates) <= 2
+
+    def test_timeseries_fluctuates_at_14m(self):
+        samples = phy_rate_timeseries(14.0, duration_s=600, seed=2)
+        rates = {s.phy_rate_bps for s in samples}
+        assert len(rates) >= 2
+
+    def test_labels_present(self):
+        samples = phy_rate_timeseries(8.0, duration_s=60, seed=3)
+        assert all(s.mcs_label for s in samples)
+
+    def test_invalid_distance(self):
+        with pytest.raises(ValueError):
+            link_snr_db(0.0)
+
+
+class TestFigure13ThroughputVsDistance:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return throughput_vs_distance(runs=12, seed=7)
+
+    def test_individual_runs_break_abruptly(self, sweep):
+        runs, _ = sweep
+        for run in runs:
+            if run.cliff_m is None:
+                continue
+            idx = list(run.distances_m).index(run.cliff_m)
+            if idx > 0:
+                # From healthy throughput straight to zero.
+                assert run.throughput_bps[idx - 1] > 300e6
+            assert run.throughput_bps[idx] == 0.0
+
+    def test_cliff_range_matches_paper(self, sweep):
+        """Paper: the cliff distance varies between 10 and 17 m."""
+        runs, _ = sweep
+        lo, hi = cliff_statistics(runs)
+        assert 8.0 <= lo <= 14.0
+        assert 14.0 <= hi <= 21.0
+
+    def test_average_falls_gradually(self, sweep):
+        _, avg = sweep
+        # The average has intermediate values where individual runs
+        # are all-or-nothing.
+        intermediate = (avg > 100e6) & (avg < 800e6)
+        assert intermediate.sum() >= 3
+
+    def test_gige_cap_at_short_range(self, sweep):
+        _, avg = sweep
+        assert avg[0] <= 940e6 + 1
+        assert avg[0] > 900e6
+
+    def test_goodput_tracks_mcs(self):
+        assert wigig_goodput_bps(mcs_by_index(11)) > wigig_goodput_bps(mcs_by_index(6))
+
+    def test_invalid_runs(self):
+        with pytest.raises(ValueError):
+            throughput_vs_distance(runs=0)
+
+
+class TestFigure14LongRun:
+    @pytest.fixture(scope="class")
+    def samples(self):
+        return run_long_term(duration_s=80 * 60, sample_period_s=30, seed=4)
+
+    def test_duration_covered(self, samples):
+        assert samples[-1].time_s >= 80 * 60 - 31
+
+    def test_rate_mostly_constant(self, samples):
+        rates = [s.link_rate_bps for s in samples]
+        dominant = max(set(rates), key=rates.count)
+        assert rates.count(dominant) / len(rates) > 0.5
+
+    def test_realignments_occur(self, samples):
+        assert len(realignment_times(samples)) >= 1
+
+    def test_amplitude_changes_coincide_with_realignments(self, samples):
+        """Figure 14's key observation: rate steps happen exactly when
+        the observed frame amplitude moves (a beam change)."""
+        realigns = realignment_times(samples)
+        amp_changes = amplitude_change_times(samples, threshold_db=0.5)
+        assert realigns
+        for t in realigns:
+            assert any(abs(t - a) <= 31.0 for a in amp_changes)
+
+    def test_beam_index_changes_at_realignment(self, samples):
+        realigns = set(realignment_times(samples))
+        for prev, cur in zip(samples, samples[1:]):
+            if cur.time_s in realigns:
+                assert cur.beam_index != prev.beam_index
+
+    def test_rate_changes_only_with_amplitude_changes(self, samples):
+        rate_steps = rate_change_times(samples)
+        amp_changes = amplitude_change_times(samples, threshold_db=0.2)
+        for t in rate_steps:
+            assert any(abs(t - a) <= 61.0 for a in amp_changes)

@@ -1,0 +1,71 @@
+"""Tests for the service-area sweep experiment."""
+
+import pytest
+
+from repro.experiments.service_area import (
+    ServicePoint,
+    high_service_span_deg,
+    service_room,
+    sweep_service_area,
+    usable_span_deg,
+)
+from repro.phy.mcs import mcs_by_index
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def free(self):
+        return sweep_service_area(step_deg=30.0)
+
+    def test_point_count(self, free):
+        assert len(free) == 12
+
+    def test_boresight_is_best(self, free):
+        by_bearing = {p.bearing_deg: p for p in free}
+        assert by_bearing[0.0].snr_db == max(p.snr_db for p in free)
+
+    def test_front_cone_high_rate(self, free):
+        by_bearing = {p.bearing_deg: p for p in free}
+        for bearing in (-30.0, 0.0, 30.0):
+            assert by_bearing[bearing].mcs.modulation == "16-QAM"
+
+    def test_rear_degraded(self, free):
+        by_bearing = {p.bearing_deg: p for p in free}
+        rear = by_bearing[180.0 - 180.0 if 180.0 in by_bearing else -180.0]
+        front = by_bearing[0.0]
+        assert rear.snr_db < front.snr_db - 8.0
+
+    def test_step_validation(self):
+        with pytest.raises(ValueError):
+            sweep_service_area(step_deg=0.0)
+
+
+class TestSpans:
+    def test_usable_span_counts_steps(self):
+        points = [
+            ServicePoint(0.0, 20.0, mcs_by_index(11)),
+            ServicePoint(90.0, 20.0, mcs_by_index(11)),
+            ServicePoint(180.0, -5.0, None),
+            ServicePoint(270.0, -5.0, None),
+        ]
+        assert usable_span_deg(points) == 180.0
+
+    def test_high_service_span_thresholds(self):
+        points = [
+            ServicePoint(0.0, 20.0, mcs_by_index(11)),   # 3.85 G
+            ServicePoint(90.0, 10.0, mcs_by_index(6)),   # 1.54 G
+        ]
+        assert high_service_span_deg(points, min_rate_bps=3e9) == 180.0
+
+    def test_empty(self):
+        assert usable_span_deg([]) == 0.0
+        assert high_service_span_deg([]) == 0.0
+
+
+class TestRoomEffect:
+    def test_reflector_reaches_rear(self):
+        indoor = sweep_service_area(step_deg=45.0, room=service_room())
+        by_bearing = {p.bearing_deg: p for p in indoor}
+        rear = by_bearing[-180.0]
+        assert rear.mcs is not None
+        assert rear.mcs.phy_rate_bps >= 3e9

@@ -1,0 +1,200 @@
+"""Failure-injection and adversarial-input tests.
+
+Production use means weird inputs: clipped captures, saturated traces,
+degenerate geometry, extreme couplings, and torture-scale simulations.
+These tests pin down that the library degrades gracefully instead of
+crashing or silently lying.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.frames import FrameDetector, estimate_periodicity_s
+from repro.core.utilization import medium_usage_from_trace
+from repro.geometry.vec import Vec2
+from repro.mac.frames import FrameKind, FrameRecord
+from repro.mac.simulator import Medium, Simulator, Station, StaticCoupling
+from repro.mac.wigig import WiGigLink
+from repro.phy.signal import Emission, Trace, synthesize_trace
+
+
+class TestCorruptedTraces:
+    def test_clipped_trace_still_detects(self):
+        """ADC clipping flattens peaks; detection must still work."""
+        ems = [Emission(i * 100e-6, 40e-6, 5.0) for i in range(5)]
+        trace = synthesize_trace(ems, duration_s=600e-6, noise_floor_v=0.01,
+                                 rng=np.random.default_rng(0))
+        clipped = Trace(
+            samples=np.minimum(trace.samples, 1.0),
+            sample_rate_hz=trace.sample_rate_hz,
+        )
+        frames = FrameDetector(threshold_v=0.1).detect(clipped)
+        assert len(frames) == 5
+        assert all(f.peak_amplitude_v <= 1.0 for f in frames)
+
+    def test_dc_offset_breaks_auto_threshold_gracefully(self):
+        """A DC-offset trace saturates the auto threshold: the detector
+        returns either nothing or everything-as-one, never garbage."""
+        ems = [Emission(100e-6, 40e-6, 0.5)]
+        trace = synthesize_trace(ems, duration_s=300e-6, noise_floor_v=0.01,
+                                 rng=np.random.default_rng(1))
+        offset = Trace(samples=trace.samples + 0.3,
+                       sample_rate_hz=trace.sample_rate_hz)
+        frames = FrameDetector().detect(offset)
+        assert len(frames) <= 1
+
+    def test_fully_saturated_trace(self):
+        trace = Trace(samples=np.full(10000, 0.8), sample_rate_hz=1e8)
+        frames = FrameDetector(threshold_v=0.1).detect(trace)
+        assert len(frames) == 1
+        assert frames[0].duration_s == pytest.approx(trace.duration_s)
+        assert medium_usage_from_trace(trace, threshold_v=0.1) == 1.0
+
+    def test_all_zero_trace(self):
+        trace = Trace(samples=np.zeros(10000), sample_rate_hz=1e8)
+        assert FrameDetector(threshold_v=0.1).detect(trace) == []
+
+    def test_single_sample_frames_rejected(self):
+        samples = np.zeros(1000)
+        samples[500] = 1.0  # one-sample glitch
+        trace = Trace(samples=samples, sample_rate_hz=1e8)
+        frames = FrameDetector(threshold_v=0.1, min_duration_s=1e-6).detect(trace)
+        assert frames == []
+
+    def test_periodicity_of_constant_starts(self):
+        from repro.core.frames import DetectedFrame
+
+        frames = [DetectedFrame(0.5, 1e-5, 0.5, 0.5) for _ in range(5)]
+        # Identical start times: zero gaps, must not divide by zero.
+        assert estimate_periodicity_s(frames) is None
+
+
+class TestExtremeCouplings:
+    def test_absurdly_strong_coupling(self):
+        sim = Simulator(seed=1)
+        medium = Medium(sim, StaticCoupling({("a", "b"): +20.0, ("b", "a"): +20.0}))
+        medium.register(Station("a", Vec2(0, 0)))
+        medium.register(Station("b", Vec2(1, 0)))
+        results = []
+        medium.transmit(
+            FrameRecord(0.0, 1e-5, "a", "b", FrameKind.DATA, mcs_index=11),
+            on_complete=lambda r, ok: results.append(ok),
+        )
+        sim.run_until(1e-3)
+        assert results == [True]
+
+    def test_total_isolation(self):
+        sim = Simulator(seed=2)
+        medium = Medium(sim, StaticCoupling({}, default_db=-300.0))
+        medium.register(Station("a", Vec2(0, 0)))
+        medium.register(Station("b", Vec2(1, 0)))
+        results = []
+        medium.transmit(
+            FrameRecord(0.0, 1e-5, "a", "b", FrameKind.DATA, mcs_index=1),
+            on_complete=lambda r, ok: results.append(ok),
+        )
+        sim.run_until(1e-3)
+        assert results == [False]
+
+    def test_queue_survives_channel_flapping(self):
+        """The link must deliver everything across repeated outages."""
+        sim = Simulator(seed=3)
+        coupling = StaticCoupling({("tx", "rx"): -40.0, ("rx", "tx"): -40.0})
+        medium = Medium(sim, coupling, capture_history=False)
+        tx, rx = Station("tx", Vec2(0, 0)), Station("rx", Vec2(2, 0))
+        medium.register(tx)
+        medium.register(rx)
+        link = WiGigLink(sim, medium, transmitter=tx, receiver=rx,
+                         snr_hint_db=35.0, send_beacons=False)
+        link.enqueue_mpdus(2000)
+
+        def flap(down: bool):
+            value = -150.0 if down else -40.0
+            coupling.set("tx", "rx", value)
+            coupling.set("rx", "tx", value)
+
+        for i in range(1, 8):
+            sim.schedule(i * 10e-3, lambda d=(i % 2 == 1): flap(d))
+        sim.run_until(1.5)
+        assert link.stats.mpdus_delivered == 2000
+        assert link.queue_depth_mpdus == 0
+
+
+class TestTortureScale:
+    def test_many_stations_medium(self):
+        """A dense deployment: 20 stations, all beaconing."""
+        sim = Simulator(seed=4)
+        medium = Medium(sim, StaticCoupling({}, default_db=-80.0))
+        stations = []
+        for i in range(20):
+            st = Station(f"s{i}", Vec2(i * 0.5, 0))
+            medium.register(st)
+            stations.append(st)
+
+        def beacon(i: int):
+            medium.transmit(FrameRecord(
+                sim.now, 6e-6, f"s{i}", "", FrameKind.BEACON))
+            sim.schedule(1.1e-3, lambda: beacon(i))
+
+        for i in range(20):
+            sim.schedule(i * 50e-6, lambda i=i: beacon(i))
+        sim.run_until(0.05)
+        beacons = [r for r in medium.history if r.kind == FrameKind.BEACON]
+        assert len(beacons) == pytest.approx(20 * 45, rel=0.1)
+
+    def test_deep_event_nesting(self):
+        """A chain of 10k immediate events must not recurse or stall."""
+        sim = Simulator()
+        count = [0]
+
+        def step():
+            count[0] += 1
+            if count[0] < 10_000:
+                sim.schedule(0.0, step)
+
+        sim.schedule(0.0, step)
+        sim.run_until(1.0)
+        assert count[0] == 10_000
+
+    def test_huge_enqueue(self):
+        sim = Simulator(seed=5)
+        medium = Medium(sim, StaticCoupling(
+            {("tx", "rx"): -40.0, ("rx", "tx"): -40.0}), capture_history=False)
+        tx, rx = Station("tx", Vec2(0, 0)), Station("rx", Vec2(2, 0))
+        medium.register(tx)
+        medium.register(rx)
+        link = WiGigLink(sim, medium, transmitter=tx, receiver=rx,
+                         snr_hint_db=35.0, send_beacons=False)
+        link.enqueue_mpdus(100_000)
+        sim.run_until(0.2)
+        # Tens of thousands of MPDUs per 0.2 s at full aggregation:
+        # sane progress, no blow-up, queue accounting intact up to the
+        # single aggregate that may still be in flight at the horizon.
+        assert link.stats.mpdus_delivered > 30_000
+        outstanding = 100_000 - link.stats.mpdus_delivered - link.queue_depth_mpdus
+        assert 0 <= outstanding <= 12
+
+
+class TestDegenerateGeometry:
+    def test_nearly_collinear_room_walls(self):
+        from repro.geometry.materials import get_material
+        from repro.geometry.room import Room
+        from repro.geometry.segments import Segment
+        from repro.phy.raytracing import RayTracer
+
+        # Two almost-parallel walls meeting at a glancing angle.
+        walls = [
+            Segment(Vec2(0, 0), Vec2(10, 0.0), get_material("metal")),
+            Segment(Vec2(0, 1e-4), Vec2(10, 0.02), get_material("metal")),
+        ]
+        tracer = RayTracer(Room(walls), max_order=2)
+        paths = tracer.trace(Vec2(1, 1), Vec2(9, 1))
+        assert paths  # no crash, at least the LOS survives
+
+    def test_zero_length_sweep_window(self):
+        from repro.core.utilization import medium_usage_from_records
+
+        with pytest.raises(ValueError):
+            medium_usage_from_records([], 1.0, 1.0)

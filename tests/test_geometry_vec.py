@@ -1,0 +1,96 @@
+"""Unit tests for 2D vectors and angle helpers."""
+
+import math
+
+import pytest
+
+from repro.geometry.vec import Vec2, angle_between, normalize_angle
+
+
+class TestArithmetic:
+    def test_add(self):
+        assert Vec2(1, 2) + Vec2(3, 4) == Vec2(4, 6)
+
+    def test_sub(self):
+        assert Vec2(3, 4) - Vec2(1, 2) == Vec2(2, 2)
+
+    def test_scalar_mul_both_sides(self):
+        assert Vec2(1, 2) * 3 == Vec2(3, 6)
+        assert 3 * Vec2(1, 2) == Vec2(3, 6)
+
+    def test_div(self):
+        assert Vec2(2, 4) / 2 == Vec2(1, 2)
+
+    def test_neg(self):
+        assert -Vec2(1, -2) == Vec2(-1, 2)
+
+    def test_iter_unpacking(self):
+        x, y = Vec2(7, 8)
+        assert (x, y) == (7, 8)
+
+
+class TestProducts:
+    def test_dot_orthogonal(self):
+        assert Vec2(1, 0).dot(Vec2(0, 1)) == 0.0
+
+    def test_cross_sign(self):
+        assert Vec2(1, 0).cross(Vec2(0, 1)) == 1.0
+        assert Vec2(0, 1).cross(Vec2(1, 0)) == -1.0
+
+
+class TestNormsAndAngles:
+    def test_length(self):
+        assert Vec2(3, 4).length() == 5.0
+
+    def test_length_squared(self):
+        assert Vec2(3, 4).length_squared() == 25.0
+
+    def test_distance(self):
+        assert Vec2(0, 0).distance_to(Vec2(0, 5)) == 5.0
+
+    def test_normalized(self):
+        n = Vec2(0, 2).normalized()
+        assert n == Vec2(0, 1)
+
+    def test_normalize_zero_raises(self):
+        with pytest.raises(ValueError):
+            Vec2(0, 0).normalized()
+
+    def test_angle(self):
+        assert Vec2(0, 1).angle() == pytest.approx(math.pi / 2)
+        assert Vec2(-1, 0).angle() == pytest.approx(math.pi)
+
+    def test_rotation_quarter_turn(self):
+        r = Vec2(1, 0).rotated(math.pi / 2)
+        assert r.x == pytest.approx(0.0, abs=1e-12)
+        assert r.y == pytest.approx(1.0)
+
+    def test_rotation_preserves_length(self):
+        v = Vec2(3, -4)
+        assert v.rotated(1.234).length() == pytest.approx(v.length())
+
+    def test_perpendicular_is_ccw(self):
+        assert Vec2(1, 0).perpendicular() == Vec2(0, 1)
+
+    def test_from_polar(self):
+        v = Vec2.from_polar(2.0, math.pi)
+        assert v.x == pytest.approx(-2.0)
+        assert v.y == pytest.approx(0.0, abs=1e-12)
+
+    def test_unit(self):
+        assert Vec2.unit(0.0) == Vec2(1.0, 0.0)
+
+
+class TestAngleHelpers:
+    def test_normalize_wraps_above_pi(self):
+        assert normalize_angle(3 * math.pi / 2) == pytest.approx(-math.pi / 2)
+
+    def test_normalize_idempotent(self):
+        for a in (-3.0, -0.5, 0.0, 0.5, 3.0):
+            assert normalize_angle(normalize_angle(a)) == pytest.approx(normalize_angle(a))
+
+    def test_angle_between_wraps(self):
+        assert angle_between(math.pi - 0.1, -math.pi + 0.1) == pytest.approx(0.2)
+
+    def test_angle_between_symmetric(self):
+        assert angle_between(0.3, 1.2) == pytest.approx(angle_between(1.2, 0.3))

@@ -1,0 +1,120 @@
+"""Unit tests for trace and frame-record persistence."""
+
+import numpy as np
+import pytest
+
+from repro.core.frames import DetectedFrame
+from repro.io import (
+    export_detected_frames_csv,
+    import_detected_frames_csv,
+    load_frame_records,
+    load_trace,
+    save_frame_records,
+    save_trace,
+)
+from repro.mac.frames import FrameKind, FrameRecord
+from repro.phy.signal import Emission, Trace, synthesize_trace
+
+
+class TestTraceRoundTrip:
+    def test_round_trip_preserves_everything(self, tmp_path):
+        trace = synthesize_trace(
+            [Emission(10e-6, 20e-6, 0.5)],
+            duration_s=100e-6,
+            rng=np.random.default_rng(0),
+        )
+        path = tmp_path / "capture.npz"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert np.array_equal(loaded.samples, trace.samples)
+        assert loaded.sample_rate_hz == trace.sample_rate_hz
+        assert loaded.start_s == trace.start_s
+
+    def test_nonzero_start_time(self, tmp_path):
+        trace = Trace(samples=np.ones(100), sample_rate_hz=1e8, start_s=3.25)
+        path = tmp_path / "t.npz"
+        save_trace(trace, path)
+        assert load_trace(path).start_s == 3.25
+
+    def test_version_check(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez_compressed(
+            path,
+            samples=np.ones(10),
+            sample_rate_hz=np.array([1e8]),
+            start_s=np.array([0.0]),
+            version=np.array([99]),
+        )
+        with pytest.raises(ValueError):
+            load_trace(path)
+
+
+class TestFrameRecordRoundTrip:
+    def _records(self):
+        return [
+            FrameRecord(0.0, 10e-6, "laptop", "dock", FrameKind.DATA,
+                        mcs_index=11, payload_bits=2560, aggregated_mpdus=1,
+                        delivered=True),
+            FrameRecord(20e-6, 2e-6, "dock", "laptop", FrameKind.ACK),
+            FrameRecord(50e-6, 6e-6, "dock", "", FrameKind.BEACON),
+            FrameRecord(80e-6, 25e-6, "laptop", "dock", FrameKind.DATA,
+                        retransmission=True, delivered=False),
+        ]
+
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "frames.jsonl"
+        count = save_frame_records(self._records(), path)
+        assert count == 4
+        loaded = load_frame_records(path)
+        for orig, back in zip(self._records(), loaded):
+            assert back.start_s == orig.start_s
+            assert back.kind == orig.kind
+            assert back.delivered == orig.delivered
+            assert back.retransmission == orig.retransmission
+            assert back.aggregated_mpdus == orig.aggregated_mpdus
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "frames.jsonl"
+        save_frame_records(self._records()[:1], path)
+        with open(path, "a") as fh:
+            fh.write("\n\n")
+        assert len(load_frame_records(path)) == 1
+
+    def test_corrupt_line_reports_location(self, tmp_path):
+        path = tmp_path / "frames.jsonl"
+        path.write_text('{"nope": 1}\n')
+        with pytest.raises(ValueError, match="frames.jsonl:1"):
+            load_frame_records(path)
+
+    def test_simulation_history_round_trip(self, tmp_path):
+        """End-to-end: persist a real simulation history and re-analyze."""
+        from repro.core.utilization import medium_usage_from_records
+        from repro.experiments.frame_level import run_wigig_tcp
+
+        setup = run_wigig_tcp(window_bytes=32 * 1024, duration_s=0.02)
+        path = tmp_path / "history.jsonl"
+        save_frame_records(setup.medium.history, path)
+        loaded = load_frame_records(path)
+        assert len(loaded) == len(setup.medium.history)
+        orig = medium_usage_from_records(setup.medium.history, 0.05, 0.07)
+        back = medium_usage_from_records(loaded, 0.05, 0.07)
+        assert back == pytest.approx(orig)
+
+
+class TestDetectedFramesCsv:
+    def test_round_trip(self, tmp_path):
+        frames = [
+            DetectedFrame(1e-3, 10e-6, 0.5, 0.6),
+            DetectedFrame(2e-3, 20e-6, 0.3, 0.35),
+        ]
+        path = tmp_path / "frames.csv"
+        export_detected_frames_csv(frames, path)
+        loaded = import_detected_frames_csv(path)
+        assert len(loaded) == 2
+        assert loaded[0].start_s == pytest.approx(1e-3)
+        assert loaded[1].peak_amplitude_v == pytest.approx(0.35)
+
+    def test_empty_export(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        export_detected_frames_csv([], path)
+        assert import_detected_frames_csv(path) == []

@@ -1,0 +1,153 @@
+"""Unit tests for NAV virtual carrier sensing and channel separation."""
+
+import pytest
+
+from repro.geometry.vec import Vec2
+from repro.mac.frames import FrameKind, FrameRecord
+from repro.mac.simulator import (
+    NAV_DECODE_THRESHOLD_DBM,
+    Medium,
+    Simulator,
+    Station,
+    StaticCoupling,
+)
+
+
+def three_stations(third_coupling_db=-50.0):
+    """a -> b link plus a third station c that may overhear."""
+    sim = Simulator(seed=1)
+    coupling = StaticCoupling({
+        ("a", "b"): -40.0,
+        ("b", "a"): -40.0,
+        ("a", "c"): third_coupling_db,
+        ("b", "c"): third_coupling_db,
+        ("c", "a"): third_coupling_db,
+        ("c", "b"): third_coupling_db,
+    })
+    medium = Medium(sim, coupling)
+    stations = {}
+    for name, x in (("a", 0.0), ("b", 2.0), ("c", 4.0)):
+        st = Station(name, Vec2(x, 0.0), cca_threshold_dbm=-60.0)
+        medium.register(st)
+        stations[name] = st
+    return sim, medium, stations
+
+
+def rts(nav_s=1e-3):
+    return FrameRecord(
+        start_s=0.0, duration_s=3e-6, source="a", destination="b",
+        kind=FrameKind.RTS, nav_duration_s=nav_s,
+    )
+
+
+class TestNav:
+    def test_overhearing_station_sets_nav(self):
+        sim, medium, st = three_stations(third_coupling_db=-50.0)
+        medium.transmit(rts(nav_s=1e-3))
+        sim.run_until(10e-6)  # RTS over, NAV still running
+        assert medium.channel_busy_for(st["c"])
+        assert medium.nav_remaining_s(st["c"]) > 0.9e-3
+
+    def test_nav_expires(self):
+        sim, medium, st = three_stations()
+        medium.transmit(rts(nav_s=1e-3))
+        sim.run_until(2e-3)
+        assert not medium.channel_busy_for(st["c"])
+        assert medium.nav_remaining_s(st["c"]) == 0.0
+
+    def test_hidden_station_ignores_nav(self):
+        # Coupling below the control-PHY decode threshold: the third
+        # station cannot read the duration field.
+        weak = NAV_DECODE_THRESHOLD_DBM - 10.0 - 10.0  # power = 10 + coupling
+        sim, medium, st = three_stations(third_coupling_db=weak)
+        medium.transmit(rts(nav_s=1e-3))
+        sim.run_until(10e-6)
+        assert not medium.channel_busy_for(st["c"])
+
+    def test_link_endpoints_exempt_from_nav(self):
+        sim, medium, st = three_stations()
+        medium.transmit(rts(nav_s=1e-3))
+        sim.run_until(10e-6)
+        assert medium.nav_remaining_s(st["a"]) == 0.0
+        assert medium.nav_remaining_s(st["b"]) == 0.0
+
+    def test_wait_for_idle_respects_nav(self):
+        sim, medium, st = three_stations()
+        medium.transmit(rts(nav_s=1e-3))
+        sim.run_until(10e-6)
+        fired = []
+        medium.wait_for_idle(st["c"], lambda: fired.append(sim.now))
+        sim.run_until(5e-3)
+        assert len(fired) == 1
+        # Fires at NAV expiry (frame end 3us + 1ms), not at frame end.
+        assert fired[0] == pytest.approx(3e-6 + 1e-3, abs=5e-5)
+
+    def test_plain_frames_set_no_nav(self):
+        sim, medium, st = three_stations()
+        medium.transmit(FrameRecord(0.0, 10e-6, "a", "b", FrameKind.DATA, mcs_index=8))
+        sim.run_until(20e-6)
+        assert medium.nav_remaining_s(st["c"]) == 0.0
+
+    def test_wigig_rts_carries_txop_nav(self):
+        from repro.mac.wigig import WiGigLink
+
+        sim, medium, st = three_stations()
+        link = WiGigLink(sim, medium, transmitter=st["a"], receiver=st["b"],
+                         snr_hint_db=35.0, send_beacons=False)
+        link.enqueue_mpdus(5)
+        sim.run_until(1e-3)
+        rts_frames = [r for r in medium.history if r.kind == FrameKind.RTS]
+        assert rts_frames
+        # The reservation covers (nearly) the whole 2 ms TXOP.
+        assert rts_frames[0].nav_duration_s == pytest.approx(2e-3, rel=0.05)
+
+
+class TestChannels:
+    def make_pair_on_channels(self, ch_tx, ch_rx, ch_other):
+        sim = Simulator(seed=2)
+        coupling = StaticCoupling({
+            ("a", "b"): -40.0,
+            ("x", "b"): -42.0,
+            ("x", "a"): -42.0,
+        })
+        medium = Medium(sim, coupling)
+        a = Station("a", Vec2(0, 0), channel=ch_tx)
+        b = Station("b", Vec2(2, 0), channel=ch_rx)
+        x = Station("x", Vec2(1, 1), channel=ch_other)
+        for s in (a, b, x):
+            medium.register(s)
+        return sim, medium, a, b, x
+
+    def test_cross_channel_interference_ignored(self):
+        sim, medium, a, b, x = self.make_pair_on_channels(2, 2, 3)
+        results = []
+        medium.transmit(
+            FrameRecord(0.0, 10e-6, "a", "b", FrameKind.DATA, mcs_index=11),
+            on_complete=lambda r, ok: results.append(ok),
+        )
+        medium.transmit(FrameRecord(0.0, 10e-6, "x", "", FrameKind.DATA))
+        sim.run_until(1e-3)
+        assert results == [True]  # would be lost if co-channel
+
+    def test_co_channel_interference_applies(self):
+        sim, medium, a, b, x = self.make_pair_on_channels(2, 2, 2)
+        results = []
+        medium.transmit(
+            FrameRecord(0.0, 10e-6, "a", "b", FrameKind.DATA, mcs_index=11),
+            on_complete=lambda r, ok: results.append(ok),
+        )
+        medium.transmit(FrameRecord(0.0, 10e-6, "x", "", FrameKind.DATA))
+        sim.run_until(1e-3)
+        assert results == [False]
+
+    def test_cross_channel_not_sensed(self):
+        sim, medium, a, b, x = self.make_pair_on_channels(2, 2, 3)
+        medium.transmit(FrameRecord(0.0, 100e-6, "a", "b", FrameKind.DATA))
+        assert not medium.channel_busy_for(x)
+
+    def test_device_channel_propagates_to_station(self):
+        from repro.devices.d5000 import make_d5000_dock
+
+        dock = make_d5000_dock()
+        dock.channel = 3
+        assert dock.make_station().channel == 3

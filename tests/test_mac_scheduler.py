@@ -1,0 +1,118 @@
+"""Tests for multi-station TXOP arbitration (the WBE dock)."""
+
+import pytest
+
+from repro.geometry.vec import Vec2
+from repro.mac.frames import FrameKind
+from repro.mac.scheduler import TransmitArbiter
+from repro.mac.simulator import Medium, Simulator, Station, StaticCoupling
+from repro.mac.wigig import WiGigLink
+
+
+def build_dock_with_stations(num_stations=2, seed=1):
+    """A dock transmitting downlink to several stations."""
+    sim = Simulator(seed=seed)
+    table = {}
+    for i in range(num_stations):
+        table[("dock", f"sta-{i}")] = -40.0
+        table[(f"sta-{i}", "dock")] = -40.0
+    medium = Medium(sim, StaticCoupling(table))
+    dock = Station("dock", Vec2(0, 0))
+    medium.register(dock)
+    stations = []
+    for i in range(num_stations):
+        st = Station(f"sta-{i}", Vec2(2, i))
+        medium.register(st)
+        stations.append(st)
+    arbiter = TransmitArbiter()
+    links = [
+        WiGigLink(sim, medium, transmitter=dock, receiver=st,
+                  snr_hint_db=35.0, send_beacons=False, tx_arbiter=arbiter)
+        for st in stations
+    ]
+    return sim, medium, dock, links, arbiter
+
+
+class TestArbiterUnit:
+    def test_free_token_granted(self):
+        arb = TransmitArbiter()
+        link = object()
+        assert arb.may_transmit(link)
+        assert arb.holder is link
+
+    def test_second_link_blocked(self):
+        arb = TransmitArbiter()
+        a, b = object(), object()
+        assert arb.may_transmit(a)
+        assert not arb.may_transmit(b)
+
+    def test_holder_keeps_token(self):
+        arb = TransmitArbiter()
+        a = object()
+        assert arb.may_transmit(a)
+        assert arb.may_transmit(a)
+
+    def test_release_by_non_holder_ignored(self):
+        arb = TransmitArbiter()
+        a, b = object(), object()
+        arb.may_transmit(a)
+        arb.burst_finished(b)
+        assert arb.holder is a
+
+
+class TestSharedRadio:
+    def test_no_simultaneous_bursts_from_one_radio(self):
+        sim, medium, dock, links, arbiter = build_dock_with_stations()
+        for link in links:
+            link.enqueue_mpdus(200)
+        sim.run_until(0.05)
+        # The dock's own data frames must never overlap in time.
+        own = sorted(
+            (r for r in medium.history if r.source == "dock"
+             and r.kind in (FrameKind.DATA, FrameKind.RTS)),
+            key=lambda r: r.start_s,
+        )
+        for a, b in zip(own, own[1:]):
+            assert a.end_s <= b.start_s + 1e-12
+
+    def test_both_queues_drain(self):
+        sim, medium, dock, links, arbiter = build_dock_with_stations()
+        for link in links:
+            link.enqueue_mpdus(300)
+        sim.run_until(0.2)
+        for link in links:
+            assert link.stats.mpdus_delivered == 300
+            assert link.queue_depth_mpdus == 0
+
+    def test_capacity_shared_roughly_fairly(self):
+        sim, medium, dock, links, arbiter = build_dock_with_stations()
+        # Saturate both links for a fixed window.
+        for link in links:
+            link.enqueue_mpdus(50_000)
+        sim.run_until(0.1)
+        delivered = [link.stats.mpdus_delivered for link in links]
+        assert min(delivered) > 0.35 * max(delivered)
+
+    def test_three_stations_round_robin(self):
+        sim, medium, dock, links, arbiter = build_dock_with_stations(num_stations=3)
+        for link in links:
+            link.enqueue_mpdus(50_000)
+        sim.run_until(0.1)
+        delivered = [link.stats.mpdus_delivered for link in links]
+        assert all(d > 0 for d in delivered)
+        assert min(delivered) > 0.25 * max(delivered)
+
+    def test_idle_link_does_not_block_others(self):
+        sim, medium, dock, links, arbiter = build_dock_with_stations()
+        links[0].enqueue_mpdus(500)
+        # links[1] stays idle.
+        sim.run_until(0.1)
+        assert links[0].stats.mpdus_delivered == 500
+
+    def test_token_passes_to_backlogged_link(self):
+        sim, medium, dock, links, arbiter = build_dock_with_stations()
+        links[0].enqueue_mpdus(100)
+        sim.run_until(0.002)  # link 0 mid-burst
+        links[1].enqueue_mpdus(100)
+        sim.run_until(0.2)
+        assert links[1].stats.mpdus_delivered == 100

@@ -1,0 +1,265 @@
+"""Unit tests for the discrete-event simulator core and medium."""
+
+import pytest
+
+from repro.geometry.vec import Vec2
+from repro.mac.frames import FrameKind, FrameRecord
+from repro.mac.simulator import (
+    FreeSpaceCoupling,
+    Medium,
+    Simulator,
+    Station,
+    StaticCoupling,
+)
+from repro.phy.antenna import AntennaPattern
+from repro.phy.channel import LinkBudget, SIXTY_GHZ
+
+
+def make_pair(coupling_db_value=-40.0):
+    sim = Simulator(seed=1)
+    coupling = StaticCoupling({
+        ("a", "b"): coupling_db_value,
+        ("b", "a"): coupling_db_value,
+    })
+    medium = Medium(sim, coupling)
+    a = Station("a", Vec2(0, 0))
+    b = Station("b", Vec2(2, 0))
+    medium.register(a)
+    medium.register(b)
+    return sim, medium, a, b
+
+
+def data_frame(src="a", dst="b", start=0.0, duration=10e-6, mcs=8):
+    return FrameRecord(
+        start_s=start, duration_s=duration, source=src, destination=dst,
+        kind=FrameKind.DATA, mcs_index=mcs,
+    )
+
+
+class TestSimulator:
+    def test_events_in_order(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(2.0, lambda: log.append("b"))
+        sim.schedule(1.0, lambda: log.append("a"))
+        sim.run_until(3.0)
+        assert log == ["a", "b"]
+
+    def test_time_advances_to_end(self):
+        sim = Simulator()
+        sim.run_until(5.0)
+        assert sim.now == 5.0
+
+    def test_fifo_for_simultaneous_events(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, lambda: log.append(1))
+        sim.schedule(1.0, lambda: log.append(2))
+        sim.run_until(2.0)
+        assert log == [1, 2]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_events_beyond_horizon_wait(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(10.0, lambda: log.append("late"))
+        sim.run_until(5.0)
+        assert log == []
+        sim.run_until(20.0)
+        assert log == ["late"]
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        log = []
+
+        def outer():
+            log.append(("outer", sim.now))
+            sim.schedule(1.0, lambda: log.append(("inner", sim.now)))
+
+        sim.schedule(1.0, outer)
+        sim.run_until(5.0)
+        assert log == [("outer", 1.0), ("inner", 2.0)]
+
+
+class TestStation:
+    def test_duplicate_name_rejected(self):
+        sim = Simulator()
+        medium = Medium(sim, StaticCoupling({}))
+        medium.register(Station("x", Vec2(0, 0)))
+        with pytest.raises(ValueError):
+            medium.register(Station("x", Vec2(1, 1)))
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Station("", Vec2(0, 0))
+
+    def test_control_power_boost_for_wide_pattern_frames(self):
+        st = Station("s", Vec2(0, 0), tx_power_dbm=10.0, control_power_boost_db=5.0)
+        assert st.tx_power_for(FrameKind.BEACON) == 15.0
+        assert st.tx_power_for(FrameKind.DATA) == 10.0
+        assert st.tx_power_for(FrameKind.RTS) == 10.0  # trained beam, no boost
+
+    def test_gain_toward_uses_orientation(self):
+        pattern = AntennaPattern.isotropic(0.0)
+        # Replace with a directional-ish pattern: horn for simplicity.
+        from repro.phy.antenna import HornAntenna
+
+        st = Station("s", Vec2(0, 0), orientation_rad=0.0,
+                     data_pattern=HornAntenna(20.0, hpbw_deg=20.0).pattern())
+        ahead = st.gain_toward_dbi(Vec2(1, 0))
+        side = st.gain_toward_dbi(Vec2(0, 1))
+        assert ahead > side + 10.0
+
+
+class TestDelivery:
+    def test_clean_frame_delivered(self):
+        sim, medium, a, b = make_pair(coupling_db_value=-40.0)
+        results = []
+        medium.transmit(data_frame(), on_complete=lambda r, ok: results.append(ok))
+        sim.run_until(1.0)
+        assert results == [True]
+
+    def test_weak_frame_lost(self):
+        sim, medium, a, b = make_pair(coupling_db_value=-120.0)
+        results = []
+        medium.transmit(data_frame(), on_complete=lambda r, ok: results.append(ok))
+        sim.run_until(1.0)
+        assert results == [False]
+
+    def test_broadcast_completes_without_verdict(self):
+        sim, medium, a, b = make_pair()
+        results = []
+        beacon = FrameRecord(0.0, 5e-6, "a", "", FrameKind.BEACON)
+        medium.transmit(beacon, on_complete=lambda r, ok: results.append(r.delivered))
+        sim.run_until(1.0)
+        assert results == [None]
+
+    def test_history_captured(self):
+        sim, medium, a, b = make_pair()
+        medium.transmit(data_frame())
+        sim.run_until(1.0)
+        assert len(medium.history) == 1
+
+    def test_history_can_be_disabled(self):
+        sim = Simulator()
+        medium = Medium(sim, StaticCoupling({("a", "b"): -40.0}), capture_history=False)
+        medium.register(Station("a", Vec2(0, 0)))
+        medium.register(Station("b", Vec2(1, 0)))
+        medium.transmit(data_frame())
+        sim.run_until(1.0)
+        assert medium.history == []
+
+
+class TestCollisions:
+    def test_strong_interferer_corrupts_frame(self):
+        sim = Simulator(seed=2)
+        coupling = StaticCoupling({
+            ("a", "b"): -40.0,   # signal
+            ("c", "b"): -42.0,   # interference nearly as strong
+        })
+        medium = Medium(sim, coupling)
+        for name in "abc":
+            medium.register(Station(name, Vec2(ord(name) - 97, 0)))
+        results = []
+        medium.transmit(data_frame("a", "b", mcs=11),
+                        on_complete=lambda r, ok: results.append(ok))
+        # Interfering broadcast overlapping the whole frame.
+        medium.transmit(FrameRecord(0.0, 10e-6, "c", "", FrameKind.DATA, mcs_index=9))
+        sim.run_until(1.0)
+        assert results == [False]
+
+    def test_weak_interferer_harmless(self):
+        sim = Simulator(seed=3)
+        coupling = StaticCoupling({
+            ("a", "b"): -40.0,
+            ("c", "b"): -110.0,
+        })
+        medium = Medium(sim, coupling)
+        for name in "abc":
+            medium.register(Station(name, Vec2(ord(name) - 97, 0)))
+        results = []
+        medium.transmit(data_frame("a", "b", mcs=11),
+                        on_complete=lambda r, ok: results.append(ok))
+        medium.transmit(FrameRecord(0.0, 10e-6, "c", "", FrameKind.DATA))
+        sim.run_until(1.0)
+        assert results == [True]
+
+    def test_later_interferer_still_corrupts(self):
+        """Worst-SINR semantics: a collision midway kills the frame."""
+        sim = Simulator(seed=4)
+        coupling = StaticCoupling({
+            ("a", "b"): -40.0,
+            ("c", "b"): -41.0,
+        })
+        medium = Medium(sim, coupling)
+        for name in "abc":
+            medium.register(Station(name, Vec2(ord(name) - 97, 0)))
+        results = []
+        medium.transmit(data_frame("a", "b", duration=20e-6, mcs=11),
+                        on_complete=lambda r, ok: results.append(ok))
+        sim.schedule(10e-6, lambda: medium.transmit(
+            FrameRecord(sim.now, 5e-6, "c", "", FrameKind.DATA)))
+        sim.run_until(1.0)
+        assert results == [False]
+
+
+class TestCarrierSense:
+    def test_idle_channel_not_busy(self):
+        sim, medium, a, b = make_pair()
+        assert not medium.channel_busy_for(a)
+
+    def test_active_transmission_sensed(self):
+        sim, medium, a, b = make_pair(coupling_db_value=-40.0)
+        a.cca_threshold_dbm = -60.0
+        b.cca_threshold_dbm = -60.0
+        medium.transmit(data_frame("a", "b"))
+        # While the frame is in flight, b senses energy (-30 dBm > -60).
+        assert medium.channel_busy_for(b)
+        sim.run_until(1.0)
+        assert not medium.channel_busy_for(b)
+
+    def test_own_transmission_not_sensed(self):
+        sim, medium, a, b = make_pair()
+        medium.transmit(data_frame("a", "b"))
+        assert medium.sensed_power_dbm(a) == -300.0
+
+    def test_wait_for_idle_fires_after_frame(self):
+        sim, medium, a, b = make_pair()
+        b.cca_threshold_dbm = -60.0
+        fired = []
+        medium.transmit(data_frame("a", "b", duration=50e-6))
+        medium.wait_for_idle(b, lambda: fired.append(sim.now))
+        sim.run_until(1.0)
+        assert len(fired) == 1
+        assert fired[0] == pytest.approx(50e-6, abs=1e-9)
+
+    def test_wait_for_idle_immediate_when_clear(self):
+        sim, medium, a, b = make_pair()
+        fired = []
+        medium.wait_for_idle(a, lambda: fired.append(sim.now))
+        sim.run_until(1.0)
+        assert fired == [0.0]
+
+
+class TestFreeSpaceCoupling:
+    def test_reciprocity_for_identical_patterns(self):
+        a = Station("a", Vec2(0, 0))
+        b = Station("b", Vec2(3, 0))
+        c = FreeSpaceCoupling(SIXTY_GHZ)
+        assert c.coupling_db(a, b) == pytest.approx(c.coupling_db(b, a))
+
+    def test_colocated_rejected(self):
+        a = Station("a", Vec2(0, 0))
+        b = Station("b", Vec2(0, 0))
+        with pytest.raises(ValueError):
+            FreeSpaceCoupling(SIXTY_GHZ).coupling_db(a, b)
+
+    def test_distance_monotone(self):
+        a = Station("a", Vec2(0, 0))
+        near = Station("n", Vec2(1, 0))
+        far = Station("f", Vec2(10, 0))
+        c = FreeSpaceCoupling(SIXTY_GHZ)
+        assert c.coupling_db(a, near) > c.coupling_db(a, far)

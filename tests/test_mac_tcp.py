@@ -1,0 +1,141 @@
+"""Unit tests for the Iperf-style TCP model."""
+
+import pytest
+
+from repro.geometry.vec import Vec2
+from repro.mac.simulator import Medium, Simulator, Station, StaticCoupling
+from repro.mac.tcp import GIGE_CAP_BPS, IperfFlow, TcpParameters
+from repro.mac.wigig import MPDU_BITS, WiGigLink
+
+
+def make_flow(params, coupling_db=-40.0, seed=1):
+    sim = Simulator(seed=seed)
+    coupling = StaticCoupling({
+        ("tx", "rx"): coupling_db,
+        ("rx", "tx"): coupling_db,
+    })
+    medium = Medium(sim, coupling, capture_history=False)
+    tx = Station("tx", Vec2(0, 0))
+    rx = Station("rx", Vec2(2, 0))
+    medium.register(tx)
+    medium.register(rx)
+    link = WiGigLink(sim, medium, transmitter=tx, receiver=rx,
+                     snr_hint_db=35.0, send_beacons=False)
+    flow = IperfFlow(sim, link, params)
+    return sim, link, flow
+
+
+class TestParameters:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TcpParameters(window_bytes=0)
+        with pytest.raises(ValueError):
+            TcpParameters(host_rtt_s=-1.0)
+        with pytest.raises(ValueError):
+            TcpParameters(rate_limit_bps=0.0)
+        with pytest.raises(ValueError):
+            TcpParameters(eth_rate_bps=0.0)
+
+
+class TestWindowControl:
+    def test_throughput_scales_with_window(self):
+        results = {}
+        for window in (8 * 1024, 32 * 1024):
+            sim, link, flow = make_flow(TcpParameters(window_bytes=window))
+            sim.run_until(0.2)
+            results[window] = flow.throughput_bps()
+        assert results[32 * 1024] > 2.5 * results[8 * 1024]
+
+    def test_window_limited_throughput_matches_w_over_rtt(self):
+        window = 8 * 1024
+        params = TcpParameters(window_bytes=window, host_rtt_s=600e-6)
+        sim, link, flow = make_flow(params)
+        sim.run_until(0.3)
+        # Far from saturation: throughput ~ window / (host RTT + small
+        # radio service time).
+        expected = window * 8 / params.host_rtt_s
+        assert flow.throughput_bps() == pytest.approx(expected, rel=0.2)
+
+    def test_gige_cap_enforced(self):
+        sim, link, flow = make_flow(TcpParameters(window_bytes=1024 * 1024))
+        sim.run_until(0.3)
+        assert flow.throughput_bps() <= GIGE_CAP_BPS
+
+    def test_large_windows_saturate(self):
+        sim, link, flow = make_flow(TcpParameters(window_bytes=256 * 1024))
+        sim.run_until(0.3)
+        assert flow.throughput_bps() > 0.9e9
+
+
+class TestPacedMode:
+    def test_rate_limit_respected(self):
+        params = TcpParameters(window_bytes=64 * 1024, rate_limit_bps=50e6)
+        sim, link, flow = make_flow(params)
+        sim.run_until(0.3)
+        assert flow.throughput_bps() == pytest.approx(50e6, rel=0.15)
+
+    def test_tiny_rate_sends_rarely(self):
+        params = TcpParameters(window_bytes=1024, rate_limit_bps=40e3)
+        sim, link, flow = make_flow(params)
+        sim.run_until(0.3)
+        # 40 kbps = one MPDU every 64 ms -> at most ~6 in 300 ms.
+        assert link.stats.data_frames_sent <= 7
+
+
+class TestAccounting:
+    def test_delivered_bits_counted(self):
+        sim, link, flow = make_flow(TcpParameters(window_bytes=16 * 1024))
+        sim.run_until(0.1)
+        assert flow.delivered_bits == link.stats.mpdus_delivered * MPDU_BITS
+
+    def test_reset_counters(self):
+        sim, link, flow = make_flow(TcpParameters(window_bytes=16 * 1024))
+        sim.run_until(0.1)
+        flow.reset_counters()
+        assert flow.delivered_bits == 0
+        sim.run_until(0.2)
+        assert flow.delivered_bits > 0
+
+    def test_delivery_log_monotone(self):
+        sim, link, flow = make_flow(TcpParameters(window_bytes=16 * 1024))
+        sim.run_until(0.1)
+        times = [t for t, _ in flow.delivery_log]
+        totals = [b for _, b in flow.delivery_log]
+        assert times == sorted(times)
+        assert totals == sorted(totals)
+
+    def test_zero_elapsed_is_zero_throughput(self):
+        sim, link, flow = make_flow(TcpParameters(window_bytes=16 * 1024))
+        assert flow.throughput_bps() == 0.0
+
+
+class TestAimd:
+    def test_clean_link_aimd_matches_fixed(self):
+        fixed = make_flow(TcpParameters(window_bytes=64 * 1024, aimd=False))
+        aimd = make_flow(TcpParameters(window_bytes=64 * 1024, aimd=True))
+        for sim, link, flow in (fixed, aimd):
+            sim.run_until(0.3)
+        assert aimd[2].throughput_bps() == pytest.approx(
+            fixed[2].throughput_bps(), rel=0.15
+        )
+
+    def test_lossy_link_reduces_aimd_throughput(self):
+        # SNR around the MCS-9 threshold: persistent losses.
+        clean = make_flow(TcpParameters(window_bytes=256 * 1024, aimd=True),
+                          coupling_db=-40.0)
+        lossy = make_flow(TcpParameters(window_bytes=256 * 1024, aimd=True),
+                          coupling_db=-73.5)
+        for sim, link, flow in (clean, lossy):
+            sim.run_until(0.3)
+        assert lossy[2].throughput_bps() < 0.85 * clean[2].throughput_bps()
+        assert lossy[2].loss_events > 0
+
+    def test_aimd_recovers_after_loss_period(self):
+        sim, link, flow = make_flow(TcpParameters(window_bytes=256 * 1024, aimd=True))
+        # Inject a synthetic loss: halve cwnd directly via the link's
+        # retransmission counter.
+        sim.run_until(0.05)
+        link.stats.retransmissions += 5
+        sim.run_until(0.4)
+        # Despite the event, long-run throughput approaches the cap.
+        assert flow.throughput_bps() > 0.75e9

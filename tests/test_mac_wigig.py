@@ -1,0 +1,266 @@
+"""Unit tests for the WiGig (D5000) MAC model."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.vec import Vec2
+from repro.mac.frames import FrameKind, WIGIG_TIMING
+from repro.mac.simulator import Medium, Simulator, Station, StaticCoupling
+from repro.mac.wigig import (
+    MAX_AGGREGATION,
+    MPDU_BITS,
+    WiGigLink,
+    data_frame_duration_s,
+    max_aggregation_for,
+)
+from repro.phy.mcs import mcs_by_index
+
+
+def make_link(coupling_db=-40.0, seed=1, **kwargs):
+    sim = Simulator(seed=seed)
+    coupling = StaticCoupling({
+        ("tx", "rx"): coupling_db,
+        ("rx", "tx"): coupling_db,
+    })
+    medium = Medium(sim, coupling)
+    tx = Station("tx", Vec2(0, 0))
+    rx = Station("rx", Vec2(2, 0))
+    medium.register(tx)
+    medium.register(rx)
+    kwargs.setdefault("snr_hint_db", 35.0)
+    link = WiGigLink(sim, medium, transmitter=tx, receiver=rx, **kwargs)
+    return sim, medium, link
+
+
+class TestFrameDurations:
+    def test_single_mpdu_is_short(self):
+        """One MPDU at the top MCS lasts ~6 us (Figure 9 'short')."""
+        d = data_frame_duration_s(1, mcs_by_index(11))
+        assert 5e-6 < d < 8e-6
+
+    def test_full_aggregate_is_25us(self):
+        """Twelve MPDUs at the top MCS approach the 25 us maximum."""
+        d = data_frame_duration_s(MAX_AGGREGATION, mcs_by_index(11))
+        assert 23e-6 < d <= 25.5e-6
+
+    def test_duration_monotone_in_mpdus(self):
+        mcs = mcs_by_index(11)
+        durations = [data_frame_duration_s(n, mcs) for n in range(1, 13)]
+        assert durations == sorted(durations)
+
+    def test_zero_mpdus_rejected(self):
+        with pytest.raises(ValueError):
+            data_frame_duration_s(0, mcs_by_index(11))
+
+    def test_low_mcs_fits_fewer_mpdus(self):
+        assert max_aggregation_for(mcs_by_index(6)) < max_aggregation_for(mcs_by_index(11))
+
+    def test_cap_respects_25us(self):
+        for idx in (1, 4, 6, 8, 11):
+            mcs = mcs_by_index(idx)
+            n = max_aggregation_for(mcs)
+            assert data_frame_duration_s(n, mcs) <= WIGIG_TIMING.max_data_frame_s + 1e-9
+
+
+class TestBeacons:
+    def test_beacon_interval(self):
+        sim, medium, link = make_link()
+        sim.run_until(0.011)
+        beacons = [r for r in medium.history if r.kind == FrameKind.BEACON]
+        # Dock beacon + laptop reply every 1.1 ms -> ~20 in 11 ms.
+        assert 16 <= len(beacons) <= 22
+        dock_beacons = sorted(r.start_s for r in beacons if r.source == "rx")
+        gaps = np.diff(dock_beacons)
+        assert np.median(gaps) == pytest.approx(WIGIG_TIMING.beacon_interval_s, rel=0.01)
+
+    def test_beacons_can_be_disabled(self):
+        sim, medium, link = make_link(send_beacons=False)
+        sim.run_until(0.01)
+        assert not any(r.kind == FrameKind.BEACON for r in medium.history)
+
+
+class TestDiscovery:
+    def test_discovery_period_102ms(self):
+        sim, medium, link = make_link(associated=False, send_beacons=False)
+        sim.run_until(0.5)
+        disc = sorted(r.start_s for r in medium.history if r.kind == FrameKind.DISCOVERY)
+        assert len(disc) >= 3
+        gaps = np.diff(disc)
+        assert np.allclose(gaps, WIGIG_TIMING.discovery_interval_s)
+
+    def test_discovery_frame_is_1ms(self):
+        sim, medium, link = make_link(associated=False, send_beacons=False)
+        sim.run_until(0.3)
+        disc = [r for r in medium.history if r.kind == FrameKind.DISCOVERY]
+        assert disc[0].duration_s == pytest.approx(1.0e-3)
+
+    def test_association_stops_discovery(self):
+        sim, medium, link = make_link(associated=False, send_beacons=False)
+        sim.run_until(0.15)
+        link.associate()
+        count = sum(1 for r in medium.history if r.kind == FrameKind.DISCOVERY)
+        sim.run_until(0.6)
+        after = sum(1 for r in medium.history if r.kind == FrameKind.DISCOVERY)
+        assert after == count
+
+    def test_unassociated_link_does_not_send_data(self):
+        sim, medium, link = make_link(associated=False, send_beacons=False)
+        link.enqueue_mpdus(100)
+        sim.run_until(0.05)
+        assert not any(r.kind == FrameKind.DATA for r in medium.history)
+
+
+class TestBurstStructure:
+    def test_burst_opens_with_rts_cts(self):
+        sim, medium, link = make_link(send_beacons=False)
+        link.enqueue_mpdus(5)
+        sim.run_until(0.01)
+        kinds = [r.kind for r in medium.history[:3]]
+        assert kinds[0] == FrameKind.RTS
+        assert kinds[1] == FrameKind.CTS
+        assert kinds[2] == FrameKind.DATA
+
+    def test_each_data_frame_acked(self):
+        sim, medium, link = make_link(send_beacons=False)
+        link.enqueue_mpdus(30)
+        sim.run_until(0.02)
+        data = [r for r in medium.history if r.kind == FrameKind.DATA]
+        acks = [r for r in medium.history if r.kind == FrameKind.ACK]
+        assert len(data) >= 2
+        assert len(acks) == len(data)
+
+    def test_queue_drains_completely(self):
+        sim, medium, link = make_link(send_beacons=False)
+        link.enqueue_mpdus(50)
+        sim.run_until(0.05)
+        assert link.queue_depth_mpdus == 0
+        assert link.stats.mpdus_delivered == 50
+
+    def test_deep_queue_aggregates_fully(self):
+        sim, medium, link = make_link(send_beacons=False)
+        link.enqueue_mpdus(MAX_AGGREGATION * 4)
+        sim.run_until(0.01)
+        data = [r for r in medium.history if r.kind == FrameKind.DATA]
+        assert data[0].aggregated_mpdus == MAX_AGGREGATION
+
+    def test_shallow_queue_single_mpdu(self):
+        sim, medium, link = make_link(send_beacons=False)
+        link.enqueue_mpdus(1)
+        sim.run_until(0.01)
+        data = [r for r in medium.history if r.kind == FrameKind.DATA]
+        assert data[0].aggregated_mpdus == 1
+
+    def test_delivery_callback_counts_mpdus(self):
+        delivered = []
+        sim, medium, link = make_link(send_beacons=False)
+        link.on_delivery = delivered.append
+        link.enqueue_mpdus(20)
+        sim.run_until(0.05)
+        assert sum(delivered) == 20
+
+    def test_bursts_bounded_by_2ms(self):
+        sim, medium, link = make_link(send_beacons=False)
+        link.enqueue_mpdus(5000)
+        sim.run_until(0.01)
+        data = [r for r in medium.history if r.kind == FrameKind.DATA]
+        rts = [r for r in medium.history if r.kind == FrameKind.RTS]
+        assert len(rts) >= 2  # must have re-contended at least once
+        # Each data frame belongs to the latest RTS before it and must
+        # start within that burst's 2 ms TXOP.
+        rts_starts = sorted(r.start_s for r in rts)
+        import bisect
+
+        for d in data:
+            idx = bisect.bisect_right(rts_starts, d.start_s) - 1
+            assert idx >= 0
+            assert d.start_s - rts_starts[idx] <= WIGIG_TIMING.max_burst_s + 1e-9
+
+
+class TestAggregationPolicy:
+    def test_ceiling_respected(self):
+        sim, medium, link = make_link(send_beacons=False, max_aggregation=3)
+        link.enqueue_mpdus(100)
+        sim.run_until(0.01)
+        data = [r for r in medium.history if r.kind == FrameKind.DATA]
+        assert max(r.aggregated_mpdus for r in data) <= 3
+
+    def test_unaggregated_mode(self):
+        sim, medium, link = make_link(send_beacons=False, max_aggregation=1)
+        link.enqueue_mpdus(50)
+        sim.run_until(0.05)
+        data = [r for r in medium.history if r.kind == FrameKind.DATA]
+        assert all(r.aggregated_mpdus == 1 for r in data)
+        assert link.stats.mpdus_delivered == 50
+
+    def test_ceiling_validation(self):
+        with pytest.raises(ValueError):
+            make_link(send_beacons=False, max_aggregation=0)
+        with pytest.raises(ValueError):
+            make_link(send_beacons=False, max_aggregation=99)
+
+    def test_lower_ceiling_lowers_throughput(self):
+        rates = {}
+        for ceiling in (1, 12):
+            sim, medium, link = make_link(send_beacons=False,
+                                          max_aggregation=ceiling)
+            link.enqueue_mpdus(50_000)
+            sim.run_until(0.05)
+            rates[ceiling] = link.stats.mpdus_delivered
+        assert rates[12] > 3 * rates[1]
+
+
+class TestRetransmissions:
+    def test_lossy_link_retransmits(self):
+        sim, medium, link = make_link(coupling_db=-86.0, send_beacons=False,
+                                      snr_hint_db=None, initial_mcs_index=11,
+                                      rate_adaptation_interval_s=0.0)
+        # SNR ~ 14.7 dB at MCS 11 threshold: heavy loss.
+        link.enqueue_mpdus(40)
+        sim.run_until(0.1)
+        assert link.stats.retransmissions > 0
+        assert link.stats.data_frames_sent > link.stats.data_frames_delivered
+
+    def test_mpdus_survive_retransmission(self):
+        # SNR ~3.7 dB: MCS 2 loses roughly a quarter of its frames, so
+        # the queue drains only through retries - but it must drain.
+        sim, medium, link = make_link(coupling_db=-81.0, send_beacons=False,
+                                      snr_hint_db=None, initial_mcs_index=2,
+                                      rate_adaptation_interval_s=0.0)
+        link.enqueue_mpdus(40)
+        sim.run_until(0.5)
+        assert link.stats.retransmissions > 0
+        assert link.stats.mpdus_delivered == 40
+
+    def test_retransmission_flag_set(self):
+        sim, medium, link = make_link(coupling_db=-86.0, send_beacons=False,
+                                      snr_hint_db=None, initial_mcs_index=11,
+                                      rate_adaptation_interval_s=0.0)
+        link.enqueue_mpdus(40)
+        sim.run_until(0.1)
+        assert any(r.retransmission for r in medium.history if r.kind == FrameKind.DATA)
+
+
+class TestRateAdaptation:
+    def test_initial_mcs_from_snr_hint(self):
+        _, _, link = make_link(snr_hint_db=12.0)
+        assert link.mcs.index == 9  # QPSK 13/16 at 12 dB with 2 dB backoff
+
+    def test_low_hint_starts_low(self):
+        _, _, link = make_link(snr_hint_db=4.0)
+        assert link.mcs.index <= 2
+
+    def test_losses_step_rate_down(self):
+        sim, medium, link = make_link(coupling_db=-86.0, send_beacons=False,
+                                      snr_hint_db=None, initial_mcs_index=11)
+        link.enqueue_mpdus(3000)
+        sim.run_until(0.3)
+        assert link.mcs.index < 11
+        assert len(link.mcs_history) >= 1
+
+    def test_clean_link_recovers_rate(self):
+        sim, medium, link = make_link(coupling_db=-40.0, send_beacons=False,
+                                      snr_hint_db=35.0)
+        link.set_mcs(5)
+        link.enqueue_mpdus(5000)
+        sim.run_until(0.5)
+        assert link.mcs.index > 5

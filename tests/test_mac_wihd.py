@@ -1,0 +1,172 @@
+"""Unit tests for the WiHD (Air-3c) MAC model."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.vec import Vec2
+from repro.mac.frames import FrameKind, WIHD_TIMING
+from repro.mac.simulator import Medium, Simulator, Station, StaticCoupling
+from repro.mac.wihd import WiHDLink, WiHDStation
+
+
+def make_link(video_rate_bps=3.0e9, paired=True, seed=2):
+    sim = Simulator(seed=seed)
+    coupling = StaticCoupling({
+        ("tx", "rx"): -50.0,
+        ("rx", "tx"): -50.0,
+    })
+    medium = Medium(sim, coupling)
+    tx = WiHDStation("tx", Vec2(0, 0))
+    rx = WiHDStation("rx", Vec2(8, 0))
+    medium.register(tx)
+    medium.register(rx)
+    link = WiHDLink(sim, medium, transmitter=tx, receiver=rx,
+                    video_rate_bps=video_rate_bps, paired=paired)
+    return sim, medium, link
+
+
+class TestBeacons:
+    def test_beacon_interval_224us(self):
+        sim, medium, link = make_link(video_rate_bps=0.0)
+        sim.run_until(0.01)
+        beacons = sorted(
+            r.start_s for r in medium.history if r.kind == FrameKind.BEACON
+        )
+        gaps = np.diff(beacons)
+        assert np.median(gaps) == pytest.approx(WIHD_TIMING.beacon_interval_s, rel=0.01)
+
+    def test_beacons_come_from_receiver(self):
+        sim, medium, link = make_link(video_rate_bps=0.0)
+        sim.run_until(0.005)
+        assert all(
+            r.source == "rx" for r in medium.history if r.kind == FrameKind.BEACON
+        )
+
+
+class TestStreaming:
+    def test_idle_link_sends_no_data(self):
+        sim, medium, link = make_link(video_rate_bps=0.0)
+        sim.run_until(0.01)
+        assert not any(r.kind == FrameKind.DATA for r in medium.history)
+
+    def test_data_follows_beacons(self):
+        sim, medium, link = make_link(video_rate_bps=2.0e9)
+        sim.run_until(0.005)
+        data = [r for r in medium.history if r.kind == FrameKind.DATA]
+        beacons = [r for r in medium.history if r.kind == FrameKind.BEACON]
+        assert data
+        # Every data frame starts shortly after some beacon's end.
+        beacon_ends = np.array(sorted(b.end_s for b in beacons))
+        for d in data:
+            idx = np.searchsorted(beacon_ends, d.start_s)
+            assert idx > 0
+            assert d.start_s - beacon_ends[idx - 1] < 3 * WIHD_TIMING.sifs_s
+
+    def test_frame_duration_scales_with_rate(self):
+        _, medium_low, _ = make_link(video_rate_bps=0.5e9)
+        _, medium_high, _ = make_link(video_rate_bps=2.0e9)
+        for medium in (medium_low, medium_high):
+            pass
+        sim_low, medium_low, _ = make_link(video_rate_bps=0.5e9)
+        sim_low.run_until(0.01)
+        sim_high, medium_high, _ = make_link(video_rate_bps=2.0e9)
+        sim_high.run_until(0.01)
+        low = np.median([r.duration_s for r in medium_low.history if r.kind == FrameKind.DATA])
+        high = np.median([r.duration_s for r in medium_high.history if r.kind == FrameKind.DATA])
+        assert high > low
+
+    def test_frame_duration_capped(self):
+        sim, medium, link = make_link(video_rate_bps=10.0e9)
+        sim.run_until(0.01)
+        durations = [r.duration_s for r in medium.history if r.kind == FrameKind.DATA]
+        assert max(durations) <= WIHD_TIMING.max_data_frame_s + 1e-9
+
+    def test_rate_change_to_zero_stops_data(self):
+        sim, medium, link = make_link(video_rate_bps=2.0e9)
+        sim.run_until(0.005)
+        link.set_video_rate(0.0)
+        count = sum(1 for r in medium.history if r.kind == FrameKind.DATA)
+        sim.run_until(0.02)
+        after = sum(1 for r in medium.history if r.kind == FrameKind.DATA)
+        # At most one queued frame may still drain right at the switch.
+        assert after <= count + 1
+
+    def test_negative_video_rate_rejected(self):
+        sim, medium, link = make_link()
+        with pytest.raises(ValueError):
+            link.set_video_rate(-1.0)
+
+
+class TestNoCarrierSense:
+    def test_wihd_transmits_over_busy_channel(self):
+        """The defining WiHD behavior: blind transmission (Section 3.2)."""
+        sim = Simulator(seed=3)
+        coupling = StaticCoupling({
+            ("tx", "rx"): -50.0,
+            ("blocker", "tx"): -30.0,  # very loud at the WiHD TX
+            ("blocker", "rx"): -30.0,
+        })
+        medium = Medium(sim, coupling)
+        tx = WiHDStation("tx", Vec2(0, 0))
+        rx = WiHDStation("rx", Vec2(8, 0))
+        blocker = Station("blocker", Vec2(1, 1))
+        for s in (tx, rx, blocker):
+            medium.register(s)
+        link = WiHDLink(sim, medium, transmitter=tx, receiver=rx, video_rate_bps=2e9)
+
+        # Keep the channel continuously occupied by the blocker.
+        from repro.mac.frames import FrameRecord
+
+        def keep_busy():
+            medium.transmit(FrameRecord(sim.now, 100e-6, "blocker", "", FrameKind.DATA))
+            sim.schedule(100e-6, keep_busy)
+
+        keep_busy()
+        sim.run_until(0.005)
+        wihd_data = [r for r in medium.history if r.source == "tx" and r.kind == FrameKind.DATA]
+        assert wihd_data  # transmitted despite the loud blocker
+
+
+class TestPowerControl:
+    def test_power_off_silences_link(self):
+        sim, medium, link = make_link(video_rate_bps=2e9)
+        sim.run_until(0.005)
+        link.power_off()
+        count = len(medium.history)
+        sim.run_until(0.02)
+        # A single already-scheduled beacon/data event may land.
+        assert len(medium.history) <= count + 2
+
+    def test_power_on_resumes(self):
+        sim, medium, link = make_link(video_rate_bps=2e9)
+        link.power_off()
+        sim.run_until(0.005)
+        link.power_on()
+        before = len(medium.history)
+        sim.run_until(0.02)
+        assert len(medium.history) > before
+
+    def test_double_power_on_is_idempotent(self):
+        sim, medium, link = make_link(video_rate_bps=0.0)
+        link.power_on()
+        link.power_on()
+        sim.run_until(0.005)
+        beacons = sorted(r.start_s for r in medium.history if r.kind == FrameKind.BEACON)
+        gaps = np.diff(beacons)
+        # No doubled beacon schedule.
+        assert np.median(gaps) == pytest.approx(WIHD_TIMING.beacon_interval_s, rel=0.05)
+
+
+class TestDiscovery:
+    def test_unpaired_sends_discovery(self):
+        sim, medium, link = make_link(paired=False)
+        sim.run_until(0.1)
+        disc = sorted(r.start_s for r in medium.history if r.kind == FrameKind.DISCOVERY)
+        assert len(disc) >= 3
+        gaps = np.diff(disc)
+        assert np.allclose(gaps, WIHD_TIMING.discovery_interval_s)
+
+    def test_paired_sends_no_discovery(self):
+        sim, medium, link = make_link(paired=True)
+        sim.run_until(0.1)
+        assert not any(r.kind == FrameKind.DISCOVERY for r in medium.history)

@@ -1,0 +1,132 @@
+"""Unit tests for the human blockage model."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry.vec import Vec2
+from repro.phy.blockage import (
+    HUMAN_SHADOW_DEPTH_DB,
+    BlockageEvent,
+    Blocker,
+    blocked_duration_s,
+    crossing_blocker,
+    path_blockage_loss_db,
+)
+
+TX = Vec2(0.0, 0.0)
+RX = Vec2(4.0, 0.0)
+
+
+class TestPathLoss:
+    def test_clear_of_path_is_zero(self):
+        assert path_blockage_loss_db(Vec2(2.0, 2.0), TX, RX) == 0.0
+
+    def test_on_path_is_full_shadow(self):
+        assert path_blockage_loss_db(Vec2(2.0, 0.0), TX, RX) == HUMAN_SHADOW_DEPTH_DB
+
+    def test_edge_region_ramps(self):
+        # Body edge at 0.2 m; edge region extends 0.08 m beyond.
+        loss = path_blockage_loss_db(Vec2(2.0, 0.24), TX, RX)
+        assert 0.0 < loss < HUMAN_SHADOW_DEPTH_DB
+
+    def test_beyond_endpoints_does_not_block(self):
+        assert path_blockage_loss_db(Vec2(-1.0, 0.0), TX, RX) == 0.0
+        assert path_blockage_loss_db(Vec2(5.0, 0.0), TX, RX) == 0.0
+
+    def test_wider_body_blocks_farther_out(self):
+        narrow = path_blockage_loss_db(Vec2(2.0, 0.3), TX, RX, width_m=0.4)
+        wide = path_blockage_loss_db(Vec2(2.0, 0.3), TX, RX, width_m=0.8)
+        assert wide > narrow
+
+    def test_custom_shadow_depth(self):
+        loss = path_blockage_loss_db(Vec2(2.0, 0.0), TX, RX, shadow_depth_db=30.0)
+        assert loss == 30.0
+
+    def test_degenerate_link(self):
+        assert path_blockage_loss_db(Vec2(0, 0), TX, TX) == 0.0
+
+
+class TestBlockerKinematics:
+    def test_position_at_time(self):
+        b = Blocker(start=Vec2(0, 0), velocity=Vec2(1.0, 0.0))
+        assert b.position(2.5) == Vec2(2.5, 0.0)
+
+    def test_crossing_blocker_reaches_link_at_lead_in(self):
+        b = crossing_blocker(TX, RX, crossing_fraction=0.5, lead_in_s=1.0)
+        at_crossing = b.position(1.0)
+        assert at_crossing.distance_to(Vec2(2.0, 0.0)) < 1e-9
+
+    def test_crossing_is_perpendicular(self):
+        b = crossing_blocker(TX, RX, crossing_fraction=0.25)
+        axis = (RX - TX).normalized()
+        assert abs(b.velocity.normalized().dot(axis)) < 1e-9
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            crossing_blocker(TX, RX, crossing_fraction=0.0)
+        with pytest.raises(ValueError):
+            crossing_blocker(TX, RX, speed_mps=0.0)
+
+
+class TestEventProfile:
+    def test_profile_has_single_shadow_pulse(self):
+        b = crossing_blocker(TX, RX, crossing_fraction=0.5, lead_in_s=1.0)
+        event = BlockageEvent(blocker=b, tx=TX, rx=RX)
+        times, losses = event.profile(duration_s=2.0, step_s=5e-3)
+        assert losses.max() == HUMAN_SHADOW_DEPTH_DB
+        assert losses[0] == 0.0 and losses[-1] == 0.0
+        # One contiguous blocked interval.
+        blocked = losses > 1.0
+        transitions = np.abs(np.diff(blocked.astype(int))).sum()
+        assert transitions == 2
+
+    def test_shadow_interval_centered_on_crossing(self):
+        b = crossing_blocker(TX, RX, crossing_fraction=0.5, lead_in_s=1.0)
+        event = BlockageEvent(blocker=b, tx=TX, rx=RX)
+        interval = event.shadow_interval(duration_s=2.0)
+        assert interval is not None
+        lo, hi = interval
+        assert lo < 1.0 < hi
+
+    def test_shadow_duration_matches_analytic(self):
+        b = crossing_blocker(TX, RX, crossing_fraction=0.5, lead_in_s=1.0)
+        event = BlockageEvent(blocker=b, tx=TX, rx=RX)
+        lo, hi = event.shadow_interval(duration_s=2.0, threshold_db=24.9)
+        expected = blocked_duration_s(4.0)
+        assert hi - lo == pytest.approx(expected, rel=0.25)
+
+    def test_no_shadow_when_missing_the_link(self):
+        b = Blocker(start=Vec2(2.0, 5.0), velocity=Vec2(1.0, 0.0))
+        event = BlockageEvent(blocker=b, tx=TX, rx=RX)
+        assert event.shadow_interval(duration_s=2.0) is None
+
+    def test_analytic_duration_validation(self):
+        with pytest.raises(ValueError):
+            blocked_duration_s(4.0, speed_mps=0.0)
+
+
+class TestBlockageExperiment:
+    def test_failover_beats_no_failover(self):
+        from repro.experiments.blockage import run_blockage_crossing
+
+        plain = run_blockage_crossing(failover=False, with_wall=True, duration_s=2.0)
+        rescued = run_blockage_crossing(failover=True, with_wall=True, duration_s=2.0)
+        assert plain.outage_s(20e-3) > 0.2
+        assert rescued.outage_s(20e-3) == 0.0
+        assert rescued.retrain_count >= 1
+        assert rescued.min_rate_bps() > 0
+
+    def test_failover_needs_a_wall(self):
+        from repro.experiments.blockage import run_blockage_crossing
+
+        no_wall = run_blockage_crossing(failover=True, with_wall=False, duration_s=2.0)
+        assert no_wall.outage_s(20e-3) > 0.2
+
+    def test_link_recovers_after_crossing(self):
+        from repro.experiments.blockage import run_blockage_crossing
+
+        result = run_blockage_crossing(failover=False, with_wall=True, duration_s=2.5)
+        t, rates = result.rate_series()
+        assert rates[-1] == rates[0]  # back to the pre-crossing rate

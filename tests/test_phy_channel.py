@@ -1,0 +1,146 @@
+"""Unit tests for the 60 GHz link budget and shadowing."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.phy.channel import (
+    LinkBudget,
+    ShadowingProcess,
+    SIXTY_GHZ,
+    friis_path_loss_db,
+    oxygen_absorption_db,
+    thermal_noise_dbm,
+)
+
+
+class TestFriis:
+    def test_sixty_ghz_one_meter(self):
+        # 20log10(4 pi * 60.48e9 / c) ~ 68.1 dB
+        assert friis_path_loss_db(1.0, SIXTY_GHZ) == pytest.approx(68.1, abs=0.2)
+
+    def test_doubling_distance_costs_6db(self):
+        a = friis_path_loss_db(2.0, SIXTY_GHZ)
+        b = friis_path_loss_db(4.0, SIXTY_GHZ)
+        assert b - a == pytest.approx(6.02, abs=0.01)
+
+    def test_sixty_vs_two_point_four_ghz(self):
+        diff = friis_path_loss_db(1.0, 60e9) - friis_path_loss_db(1.0, 2.4e9)
+        assert diff == pytest.approx(20 * math.log10(60 / 2.4), abs=0.01)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            friis_path_loss_db(0.0, SIXTY_GHZ)
+        with pytest.raises(ValueError):
+            friis_path_loss_db(1.0, 0.0)
+
+
+class TestOxygen:
+    def test_peak_absorption_rate(self):
+        # ~15 dB/km at the 60 GHz line center.
+        assert oxygen_absorption_db(1000.0, 60.0e9) == pytest.approx(15.0, rel=0.01)
+
+    def test_negligible_indoors(self):
+        assert oxygen_absorption_db(20.0, SIXTY_GHZ) < 0.5
+
+    def test_falls_off_frequency(self):
+        assert oxygen_absorption_db(1000.0, 66e9) < oxygen_absorption_db(1000.0, 60e9)
+
+    def test_zero_distance(self):
+        assert oxygen_absorption_db(0.0) == 0.0
+
+
+class TestNoise:
+    def test_ktb_1p7ghz(self):
+        # kTB over 1.76 GHz ~ -81.5 dBm; +7 dB NF ~ -74.5 dBm.
+        assert thermal_noise_dbm(1.7e9, 7.0) == pytest.approx(-74.6, abs=0.5)
+
+    def test_bandwidth_scaling(self):
+        narrow = thermal_noise_dbm(1e6, 0.0)
+        wide = thermal_noise_dbm(1e9, 0.0)
+        assert wide - narrow == pytest.approx(30.0, abs=0.01)
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(ValueError):
+            thermal_noise_dbm(0.0)
+
+
+class TestLinkBudget:
+    def test_received_power_monotone_in_distance(self):
+        b = LinkBudget()
+        p1 = b.received_power_dbm(1.0, 17.0, 17.0)
+        p5 = b.received_power_dbm(5.0, 17.0, 17.0)
+        assert p5 < p1
+
+    def test_excess_exponent_applies_beyond_1m(self):
+        flat = LinkBudget(excess_exponent=0.0)
+        steep = LinkBudget(excess_exponent=2.0)
+        assert flat.propagation_loss_db(0.5) == pytest.approx(steep.propagation_loss_db(0.5))
+        assert steep.propagation_loss_db(10.0) > flat.propagation_loss_db(10.0) + 19.0
+
+    def test_snr_equals_power_minus_noise(self):
+        b = LinkBudget()
+        snr = b.snr_db(2.0, 17.0, 17.0)
+        assert snr == pytest.approx(
+            b.received_power_dbm(2.0, 17.0, 17.0) - b.noise_floor_dbm()
+        )
+
+    def test_extra_loss_subtracts(self):
+        b = LinkBudget()
+        assert b.received_power_dbm(2.0, 0, 0, extra_loss_db=10.0) == pytest.approx(
+            b.received_power_dbm(2.0, 0, 0) - 10.0
+        )
+
+    def test_sinr_without_interference_is_snr(self):
+        b = LinkBudget()
+        signal = -50.0
+        assert b.sinr_db(signal) == pytest.approx(signal - b.noise_floor_dbm())
+
+    def test_sinr_with_strong_interference(self):
+        b = LinkBudget()
+        # Interference 30 dB above noise dominates: SINR ~ SIR.
+        sinr = b.sinr_db(-40.0, interference_dbm=b.noise_floor_dbm() + 30.0)
+        assert sinr == pytest.approx(-40.0 - (b.noise_floor_dbm() + 30.0), abs=0.1)
+
+    def test_paper_mcs_ladder_anchors(self):
+        """The calibrated budget puts 2 m links at 16-QAM and breaks
+        links around 18-20 m (Figures 12/13)."""
+        from repro.phy.mcs import select_mcs
+
+        b = LinkBudget()
+        snr_2m = b.snr_db(2.0, 17.0, 17.0)
+        assert select_mcs(snr_2m).modulation == "16-QAM"
+        snr_20m = b.snr_db(20.0, 17.0, 17.0)
+        assert select_mcs(snr_20m) is None
+
+
+class TestShadowing:
+    def test_zero_std_is_constant(self):
+        s = ShadowingProcess(std_db=0.0)
+        assert s.advance(100.0) == 0.0
+
+    def test_stationary_variance(self):
+        rng = np.random.default_rng(4)
+        s = ShadowingProcess(std_db=3.0, coherence_time_s=1.0, rng=rng)
+        samples = [s.advance(t * 10.0) for t in range(1, 3000)]
+        assert np.std(samples) == pytest.approx(3.0, rel=0.15)
+
+    def test_correlation_over_short_intervals(self):
+        rng = np.random.default_rng(5)
+        s = ShadowingProcess(std_db=3.0, coherence_time_s=100.0, rng=rng)
+        v0 = s.advance(0.001)
+        v1 = s.advance(0.002)
+        assert abs(v1 - v0) < 0.5  # barely moves within ~tau/1e5
+
+    def test_time_must_not_go_backward(self):
+        s = ShadowingProcess()
+        s.advance(10.0)
+        with pytest.raises(ValueError):
+            s.advance(5.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ShadowingProcess(std_db=-1.0)
+        with pytest.raises(ValueError):
+            ShadowingProcess(coherence_time_s=0.0)

@@ -1,0 +1,94 @@
+"""Unit tests for the 802.11ad MCS table and rate selection."""
+
+import pytest
+
+from repro.phy.mcs import (
+    CONTROL_MCS,
+    MAX_OBSERVED_MCS_INDEX,
+    MCS_TABLE,
+    frame_error_probability,
+    mcs_by_index,
+    select_mcs,
+)
+
+
+class TestTable:
+    def test_twelve_entries(self):
+        assert len(MCS_TABLE) == 12
+
+    def test_rates_monotonic(self):
+        rates = [m.phy_rate_bps for m in MCS_TABLE]
+        assert rates == sorted(rates)
+
+    def test_thresholds_monotonic(self):
+        thresholds = [m.min_snr_db for m in MCS_TABLE]
+        assert thresholds == sorted(thresholds)
+
+    def test_paper_rates_present(self):
+        """Figure 12 annotates exactly these single-carrier rates."""
+        rates_gbps = {round(m.phy_rate_gbps, 3) for m in MCS_TABLE}
+        for expected in (1.155, 1.54, 1.925, 2.31, 3.85):
+            assert expected in rates_gbps
+
+    def test_labels(self):
+        assert mcs_by_index(8).label() == "QPSK, 3/4"
+        assert mcs_by_index(11).label() == "16-QAM, 5/8"
+
+    def test_control_mcs_by_index_zero(self):
+        assert mcs_by_index(0) is CONTROL_MCS
+
+    def test_unknown_index_raises(self):
+        with pytest.raises(KeyError):
+            mcs_by_index(42)
+
+
+class TestSelection:
+    def test_high_snr_caps_at_observed_max(self):
+        """The paper never observed the top MCS (16-QAM 3/4)."""
+        best = select_mcs(60.0)
+        assert best.index == MAX_OBSERVED_MCS_INDEX
+        assert best.label() == "16-QAM, 5/8"
+
+    def test_uncapped_selection_reaches_top(self):
+        best = select_mcs(60.0, max_index=12)
+        assert best.index == 12
+
+    def test_low_snr_returns_none(self):
+        assert select_mcs(-5.0) is None
+
+    def test_backoff_is_applied(self):
+        mcs1 = MCS_TABLE[0]
+        # Just below threshold+backoff: not selectable.
+        assert select_mcs(mcs1.min_snr_db + 1.9, backoff_db=2.0) is None
+        assert select_mcs(mcs1.min_snr_db + 2.1, backoff_db=2.0) is not None
+
+    def test_selection_monotone_in_snr(self):
+        prev_rate = 0.0
+        for snr in range(0, 40, 2):
+            mcs = select_mcs(float(snr))
+            rate = mcs.phy_rate_bps if mcs else 0.0
+            assert rate >= prev_rate
+            prev_rate = rate
+
+
+class TestFrameErrorModel:
+    def test_far_above_threshold_is_lossless(self):
+        mcs = mcs_by_index(8)
+        assert frame_error_probability(mcs.min_snr_db + 40, mcs) == 0.0
+
+    def test_far_below_threshold_always_fails(self):
+        mcs = mcs_by_index(8)
+        assert frame_error_probability(mcs.min_snr_db - 40, mcs) == 1.0
+
+    def test_half_at_threshold(self):
+        mcs = mcs_by_index(8)
+        assert frame_error_probability(mcs.min_snr_db, mcs) == pytest.approx(0.5)
+
+    def test_monotone_decreasing(self):
+        mcs = mcs_by_index(6)
+        fers = [frame_error_probability(s, mcs) for s in range(-5, 25)]
+        assert all(a >= b for a, b in zip(fers, fers[1:]))
+
+    def test_steepness_validation(self):
+        with pytest.raises(ValueError):
+            frame_error_probability(10.0, mcs_by_index(1), steepness_db=0.0)

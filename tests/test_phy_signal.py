@@ -1,0 +1,129 @@
+"""Unit tests for trace synthesis."""
+
+import numpy as np
+import pytest
+
+from repro.phy.signal import (
+    Emission,
+    Trace,
+    concatenate_traces,
+    received_amplitude_v,
+    synthesize_trace,
+)
+
+
+class TestEmission:
+    def test_end_time(self):
+        e = Emission(start_s=1.0, duration_s=0.5, amplitude_v=0.2)
+        assert e.end_s == 1.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Emission(0.0, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            Emission(0.0, 1.0, -1.0)
+
+
+class TestTrace:
+    def test_duration(self):
+        t = Trace(samples=np.zeros(100), sample_rate_hz=100.0)
+        assert t.duration_s == pytest.approx(1.0)
+
+    def test_times_absolute(self):
+        t = Trace(samples=np.zeros(10), sample_rate_hz=10.0, start_s=5.0)
+        times = t.times()
+        assert times[0] == 5.0
+        assert times[-1] == pytest.approx(5.9)
+
+    def test_slice(self):
+        t = Trace(samples=np.arange(100, dtype=float), sample_rate_hz=100.0)
+        s = t.slice(0.25, 0.50)
+        assert s.samples.size == 25
+        assert s.start_s == pytest.approx(0.25)
+        assert s.samples[0] == 25.0
+
+    def test_slice_outside_raises(self):
+        t = Trace(samples=np.zeros(10), sample_rate_hz=10.0)
+        with pytest.raises(ValueError):
+            t.slice(5.0, 6.0)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            Trace(samples=np.zeros(10), sample_rate_hz=0.0)
+
+
+class TestSynthesis:
+    def test_frame_visible_above_noise(self):
+        em = Emission(start_s=0.3e-3, duration_s=0.2e-3, amplitude_v=0.5)
+        trace = synthesize_trace([em], duration_s=1e-3, noise_floor_v=0.01,
+                                 rng=np.random.default_rng(0))
+        mid = trace.slice(0.35e-3, 0.45e-3)
+        quiet = trace.slice(0.0, 0.2e-3)
+        assert np.mean(mid.samples) > 10 * np.mean(quiet.samples)
+
+    def test_amplitude_preserved_in_plateau(self):
+        em = Emission(start_s=0.2e-3, duration_s=0.5e-3, amplitude_v=0.8)
+        trace = synthesize_trace([em], duration_s=1e-3, noise_floor_v=0.0,
+                                 rng=np.random.default_rng(0))
+        mid = trace.slice(0.35e-3, 0.55e-3)
+        assert np.median(mid.samples) == pytest.approx(0.8, rel=0.02)
+
+    def test_overlapping_emissions_combine_rss(self):
+        a = Emission(0.0, 1e-3, amplitude_v=0.3)
+        b = Emission(0.0, 1e-3, amplitude_v=0.4)
+        trace = synthesize_trace([a, b], duration_s=1e-3, noise_floor_v=0.0,
+                                 rng=np.random.default_rng(0))
+        mid = trace.slice(0.4e-3, 0.6e-3)
+        assert np.median(mid.samples) == pytest.approx(0.5, rel=0.02)
+
+    def test_emission_outside_window_clipped(self):
+        em = Emission(start_s=2.0, duration_s=1.0, amplitude_v=1.0)
+        trace = synthesize_trace([em], duration_s=1e-3, noise_floor_v=0.0)
+        assert np.all(trace.samples == 0.0)
+
+    def test_noise_floor_level(self):
+        trace = synthesize_trace([], duration_s=1e-3, noise_floor_v=0.02,
+                                 rng=np.random.default_rng(1))
+        # Rayleigh with scale 0.02 -> mean ~ 0.0251.
+        assert np.mean(trace.samples) == pytest.approx(0.0251, rel=0.05)
+
+    def test_invalid_duration(self):
+        with pytest.raises(ValueError):
+            synthesize_trace([], duration_s=0.0)
+
+
+class TestConcatenation:
+    def test_contiguous_segments(self):
+        a = Trace(samples=np.ones(10), sample_rate_hz=10.0, start_s=0.0)
+        b = Trace(samples=np.zeros(10), sample_rate_hz=10.0, start_s=1.0)
+        merged = concatenate_traces([a, b])
+        assert merged.samples.size == 20
+        assert merged.end_s == pytest.approx(2.0)
+
+    def test_gap_rejected(self):
+        a = Trace(samples=np.ones(10), sample_rate_hz=10.0, start_s=0.0)
+        b = Trace(samples=np.zeros(10), sample_rate_hz=10.0, start_s=2.0)
+        with pytest.raises(ValueError):
+            concatenate_traces([a, b])
+
+    def test_rate_mismatch_rejected(self):
+        a = Trace(samples=np.ones(10), sample_rate_hz=10.0)
+        b = Trace(samples=np.ones(10), sample_rate_hz=20.0, start_s=1.0)
+        with pytest.raises(ValueError):
+            concatenate_traces([a, b])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            concatenate_traces([])
+
+
+class TestAmplitudeMapping:
+    def test_reference_point(self):
+        assert received_amplitude_v(-30.0) == pytest.approx(1.0)
+
+    def test_square_root_power_scaling(self):
+        # -20 dB of power is a factor 10 in amplitude.
+        assert received_amplitude_v(-50.0) == pytest.approx(0.1)
+
+    def test_monotone(self):
+        assert received_amplitude_v(-40.0) < received_amplitude_v(-35.0)

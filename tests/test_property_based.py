@@ -1,0 +1,179 @@
+"""Property-based tests (hypothesis) for core invariants."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.cdf import EmpiricalCDF
+from repro.analysis.dbmath import db_to_linear, linear_to_db, power_sum_db
+from repro.core.frames import DetectedFrame, group_bursts, split_sources_by_amplitude
+from repro.core.utilization import medium_usage_from_records
+from repro.geometry.segments import Segment
+from repro.geometry.vec import Vec2, normalize_angle
+from repro.phy.channel import LinkBudget, friis_path_loss_db
+from repro.phy.mcs import MCS_TABLE, frame_error_probability, select_mcs
+
+finite = st.floats(allow_nan=False, allow_infinity=False)
+small_floats = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+angles = st.floats(min_value=-50.0, max_value=50.0, allow_nan=False)
+positive = st.floats(min_value=1e-3, max_value=1e6, allow_nan=False)
+
+
+class TestDbMathProperties:
+    @given(st.floats(min_value=-200, max_value=200))
+    def test_db_roundtrip(self, x):
+        assert float(linear_to_db(db_to_linear(x))) == pytest_approx(x)
+
+    @given(st.lists(st.floats(min_value=-100, max_value=30), min_size=1, max_size=10))
+    def test_power_sum_at_least_max(self, values):
+        total = power_sum_db(values)
+        assert total >= max(values) - 1e-9
+
+    @given(st.lists(st.floats(min_value=-100, max_value=30), min_size=1, max_size=10))
+    def test_power_sum_bounded_by_max_plus_10logn(self, values):
+        total = power_sum_db(values)
+        assert total <= max(values) + 10 * math.log10(len(values)) + 1e-9
+
+    @given(
+        st.lists(st.floats(min_value=-100, max_value=30), min_size=1, max_size=8),
+        st.floats(min_value=-20, max_value=20),
+    )
+    def test_power_sum_shift_invariance(self, values, shift):
+        shifted = power_sum_db([v + shift for v in values])
+        assert shifted == pytest_approx(power_sum_db(values) + shift, abs_tol=1e-6)
+
+
+class TestVectorProperties:
+    @given(angles, angles, angles, angles)
+    def test_distance_symmetry(self, ax, ay, bx, by):
+        a, b = Vec2(ax, ay), Vec2(bx, by)
+        assert a.distance_to(b) == pytest_approx(b.distance_to(a))
+
+    @given(angles, angles, st.floats(min_value=-10, max_value=10))
+    def test_rotation_preserves_norm(self, x, y, theta):
+        v = Vec2(x, y)
+        assert v.rotated(theta).length() == pytest_approx(v.length(), abs_tol=1e-6)
+
+    @given(st.floats(min_value=-100, max_value=100))
+    def test_normalize_angle_range(self, a):
+        out = normalize_angle(a)
+        assert -math.pi < out <= math.pi + 1e-12
+
+    @given(angles, angles, angles, angles, angles, angles)
+    def test_mirror_preserves_distance_to_line(self, ax, ay, bx, by, px, py):
+        a, b = Vec2(ax, ay), Vec2(bx, by)
+        if a.distance_to(b) < 1e-3:
+            return
+        s = Segment(a, b)
+        p = Vec2(px, py)
+        m = s.mirror_point(p)
+        # Mirror image is equidistant from both segment endpoints.
+        assert p.distance_to(a) == pytest_approx(m.distance_to(a), abs_tol=1e-6)
+        assert p.distance_to(b) == pytest_approx(m.distance_to(b), abs_tol=1e-6)
+
+
+class TestCdfProperties:
+    @given(st.lists(small_floats, min_size=1, max_size=50))
+    def test_cdf_monotone(self, samples):
+        cdf = EmpiricalCDF(samples)
+        xs = sorted(samples)
+        values = [cdf(x) for x in xs]
+        assert values == sorted(values)
+
+    @given(st.lists(small_floats, min_size=1, max_size=50))
+    def test_cdf_bounds(self, samples):
+        cdf = EmpiricalCDF(samples)
+        assert cdf(min(samples) - 1) == 0.0
+        assert cdf(max(samples)) == 1.0
+
+    @given(
+        st.lists(small_floats, min_size=1, max_size=50),
+        st.floats(min_value=0.01, max_value=1.0),
+    )
+    def test_quantile_inverse(self, samples, q):
+        cdf = EmpiricalCDF(samples)
+        assert cdf(cdf.quantile(q)) >= q - 1e-12
+
+
+class TestChannelProperties:
+    @given(st.floats(min_value=0.1, max_value=1000.0))
+    def test_friis_monotone(self, d):
+        assert friis_path_loss_db(d * 2, 60e9) > friis_path_loss_db(d, 60e9)
+
+    @given(
+        st.floats(min_value=0.1, max_value=100.0),
+        st.floats(min_value=-10, max_value=30),
+        st.floats(min_value=-10, max_value=30),
+    )
+    def test_snr_monotone_in_gain(self, d, g1, g2):
+        b = LinkBudget()
+        assert b.snr_db(d, g1 + 1.0, g2) > b.snr_db(d, g1, g2)
+
+    @given(st.floats(min_value=-30, max_value=60))
+    def test_mcs_selection_never_violates_threshold(self, snr):
+        mcs = select_mcs(snr, backoff_db=2.0)
+        if mcs is not None:
+            assert snr >= mcs.min_snr_db + 2.0
+
+    @given(st.floats(min_value=-30, max_value=60), st.sampled_from(MCS_TABLE))
+    def test_fer_in_unit_interval(self, snr, mcs):
+        fer = frame_error_probability(snr, mcs)
+        assert 0.0 <= fer <= 1.0
+
+
+@st.composite
+def detected_frames(draw, max_frames=20):
+    n = draw(st.integers(min_value=0, max_value=max_frames))
+    frames = []
+    t = 0.0
+    for _ in range(n):
+        t += draw(st.floats(min_value=1e-6, max_value=1e-3))
+        duration = draw(st.floats(min_value=1e-6, max_value=1e-4))
+        amp = draw(st.floats(min_value=0.01, max_value=1.0))
+        frames.append(DetectedFrame(t, duration, amp, amp))
+        t += duration
+    return frames
+
+
+class TestFrameAnalysisProperties:
+    @given(detected_frames())
+    def test_usage_in_unit_interval(self, frames):
+        usage = medium_usage_from_records(frames, 0.0, 1.0)
+        assert 0.0 <= usage <= 1.0
+
+    @given(detected_frames(), st.floats(min_value=0.0, max_value=1e-4))
+    def test_bridging_never_decreases_usage(self, frames, bridge):
+        plain = medium_usage_from_records(frames, 0.0, 1.0)
+        bridged = medium_usage_from_records(frames, 0.0, 1.0, bridge_gap_s=bridge)
+        assert bridged >= plain - 1e-12
+
+    @given(detected_frames())
+    def test_burst_partition_is_complete(self, frames):
+        bursts = group_bursts(frames, gap_threshold_s=50e-6)
+        flattened = [f for b in bursts for f in b]
+        assert len(flattened) == len(frames)
+        assert {id(f) for f in flattened} == {id(f) for f in frames}
+
+    @given(detected_frames())
+    def test_bursts_are_time_ordered(self, frames):
+        bursts = group_bursts(frames, gap_threshold_s=50e-6)
+        for burst in bursts:
+            starts = [f.start_s for f in burst]
+            assert starts == sorted(starts)
+
+    @given(detected_frames(max_frames=15))
+    def test_source_split_is_partition(self, frames):
+        strong, weak = split_sources_by_amplitude(frames)
+        assert len(strong) + len(weak) == len(frames)
+        if strong and weak:
+            assert min(f.mean_amplitude_v for f in strong) >= max(
+                f.mean_amplitude_v for f in weak
+            ) - 1e-12
+
+
+def pytest_approx(value, abs_tol=1e-9):
+    import pytest
+
+    return pytest.approx(value, abs=abs_tol)

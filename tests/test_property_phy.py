@@ -1,0 +1,164 @@
+"""Property-based tests for PHY invariants (ray tracing, antennas,
+blockage)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.materials import get_material
+from repro.geometry.room import Room
+from repro.geometry.segments import Segment
+from repro.geometry.vec import Vec2
+from repro.phy.blockage import path_blockage_loss_db
+from repro.phy.channel import LinkBudget
+from repro.phy.raytracing import RayTracer
+
+coords = st.floats(min_value=-8.0, max_value=8.0, allow_nan=False)
+positive_coords = st.floats(min_value=0.5, max_value=8.0, allow_nan=False)
+
+
+def wall_room(y=-2.0):
+    return Room([Segment(Vec2(-50, y), Vec2(50, y), get_material("metal"))])
+
+
+class TestRayTracingProperties:
+    @given(coords, st.floats(min_value=-1.5, max_value=8.0), coords,
+           st.floats(min_value=-1.5, max_value=8.0))
+    @settings(max_examples=60, deadline=None)
+    def test_reflected_path_longer_than_los(self, ax, ay, bx, by):
+        a, b = Vec2(ax, ay), Vec2(bx, by)
+        assume(a.distance_to(b) > 0.1)
+        paths = RayTracer(wall_room(), max_order=1).trace(a, b)
+        los = [p for p in paths if p.is_los]
+        refl = [p for p in paths if p.order == 1]
+        if los and refl:
+            assert refl[0].length_m() >= los[0].length_m() - 1e-9
+
+    @given(coords, st.floats(min_value=0.0, max_value=8.0), coords,
+           st.floats(min_value=0.0, max_value=8.0))
+    @settings(max_examples=60, deadline=None)
+    def test_unfolded_length_matches_image_distance(self, ax, ay, bx, by):
+        a, b = Vec2(ax, ay), Vec2(bx, by)
+        assume(a.distance_to(b) > 0.1)
+        room = wall_room(y=-2.0)
+        wall = room.walls[0]
+        paths = RayTracer(room, max_order=1).trace(a, b)
+        refl = [p for p in paths if p.order == 1]
+        if refl:
+            image = wall.mirror_point(a)
+            assert refl[0].length_m() == pytest.approx(image.distance_to(b), rel=1e-9)
+
+    @given(coords, st.floats(min_value=0.0, max_value=8.0), coords,
+           st.floats(min_value=0.0, max_value=8.0))
+    @settings(max_examples=60, deadline=None)
+    def test_specular_law_at_bounce(self, ax, ay, bx, by):
+        a, b = Vec2(ax, ay), Vec2(bx, by)
+        assume(a.distance_to(b) > 0.1)
+        room = wall_room(y=-2.0)
+        paths = RayTracer(room, max_order=1).trace(a, b)
+        refl = [p for p in paths if p.order == 1]
+        if refl:
+            bounce = refl[0].points[1]
+            # Angle of incidence equals angle of reflection: both legs
+            # make the same angle with the (horizontal) wall.
+            in_dir = (bounce - a).normalized()
+            out_dir = (b - bounce).normalized()
+            assert abs(in_dir.y) == pytest.approx(abs(out_dir.y), abs=1e-9)
+            assert in_dir.x == pytest.approx(out_dir.x, abs=1e-9)
+
+    @given(st.floats(min_value=0.5, max_value=15.0),
+           st.floats(min_value=0.5, max_value=15.0))
+    @settings(max_examples=40, deadline=None)
+    def test_more_orders_never_fewer_paths(self, ax, bx):
+        room = Room([
+            Segment(Vec2(-50, -2), Vec2(50, -2), get_material("metal")),
+            Segment(Vec2(-50, 3), Vec2(50, 3), get_material("metal")),
+        ])
+        a, b = Vec2(-ax, 0.0), Vec2(bx, 0.0)
+        assume(a.distance_to(b) > 0.1)
+        counts = [
+            len(RayTracer(room, max_order=order).trace(a, b)) for order in (0, 1, 2)
+        ]
+        assert counts[0] <= counts[1] <= counts[2]
+
+
+class TestBudgetProperties:
+    @given(st.floats(min_value=0.1, max_value=50.0),
+           st.floats(min_value=0.1, max_value=50.0))
+    @settings(max_examples=60, deadline=None)
+    def test_propagation_loss_monotone(self, d1, d2):
+        b = LinkBudget()
+        lo, hi = sorted((d1, d2))
+        assert b.propagation_loss_db(lo) <= b.propagation_loss_db(hi) + 1e-9
+
+    @given(st.floats(min_value=0.1, max_value=50.0),
+           st.floats(min_value=0.0, max_value=40.0))
+    @settings(max_examples=60, deadline=None)
+    def test_extra_loss_is_linear(self, d, extra):
+        b = LinkBudget()
+        base = b.received_power_dbm(d, 10.0, 10.0)
+        assert b.received_power_dbm(d, 10.0, 10.0, extra_loss_db=extra) == pytest.approx(
+            base - extra
+        )
+
+
+class TestBlockageProperties:
+    @given(coords, coords)
+    @settings(max_examples=60, deadline=None)
+    def test_loss_bounded(self, px, py):
+        loss = path_blockage_loss_db(Vec2(px, py), Vec2(0, 0), Vec2(4, 0))
+        assert 0.0 <= loss <= 25.0
+
+    @given(st.floats(min_value=0.05, max_value=0.95),
+           st.floats(min_value=-2.0, max_value=2.0))
+    @settings(max_examples=60, deadline=None)
+    def test_loss_symmetric_about_path(self, t, offset):
+        a, b = Vec2(0, 0), Vec2(4, 0)
+        p_up = Vec2(4 * t, abs(offset))
+        p_down = Vec2(4 * t, -abs(offset))
+        assert path_blockage_loss_db(p_up, a, b) == pytest.approx(
+            path_blockage_loss_db(p_down, a, b)
+        )
+
+    @given(st.floats(min_value=0.05, max_value=0.95),
+           st.floats(min_value=0.0, max_value=1.0),
+           st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_loss_monotone_in_clearance(self, t, off1, off2):
+        a, b = Vec2(0, 0), Vec2(4, 0)
+        near, far = sorted((off1, off2))
+        loss_near = path_blockage_loss_db(Vec2(4 * t, near), a, b)
+        loss_far = path_blockage_loss_db(Vec2(4 * t, far), a, b)
+        assert loss_near >= loss_far - 1e-9
+
+
+class TestPatternProperties:
+    @given(st.integers(min_value=0, max_value=31))
+    @settings(max_examples=16, deadline=None)
+    def test_codebook_entries_peak_within_sector(self, index):
+        from repro.devices.d5000 import make_d5000_dock
+
+        dock = make_d5000_dock()
+        entry = dock.codebook.directional_entries[index]
+        # The realized peak stays within the serviceable half-space
+        # (clutter can pull it off the nominal angle, but not behind
+        # the array).
+        peak_az, _ = entry.pattern.peak()
+        assert abs(math.degrees(peak_az)) < 120.0
+
+    @given(st.floats(min_value=-math.pi, max_value=math.pi),
+           st.floats(min_value=-math.pi, max_value=math.pi))
+    @settings(max_examples=40, deadline=None)
+    def test_rotation_consistency(self, steer, query):
+        """rotated(p)(query) == p(query - rotation) for any pattern."""
+        from repro.phy.antenna import UniformLinearArray
+
+        arr = UniformLinearArray(8, 60.48e9, rng=np.random.default_rng(0))
+        pattern = arr.steered_pattern(0.3)
+        rotated = pattern.rotated(steer)
+        assert rotated.gain_dbi(query) == pytest.approx(
+            pattern.gain_dbi(query - steer), abs=0.2
+        )

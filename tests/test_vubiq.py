@@ -1,0 +1,141 @@
+"""Unit tests for the Vubiq measurement receiver model."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.devices.vubiq import MIN_DETECTABLE_DBM, VubiqReceiver
+from repro.geometry.materials import get_material
+from repro.geometry.room import Obstacle, Room
+from repro.geometry.segments import Segment
+from repro.geometry.vec import Vec2
+from repro.mac.frames import DISCOVERY_SUBELEMENTS, FrameKind, FrameRecord
+from repro.phy.antenna import open_waveguide, standard_horn_25dbi
+from repro.phy.raytracing import RayTracer
+
+
+@pytest.fixture()
+def receiver(trained_pair):
+    dock, laptop = trained_pair
+    return VubiqReceiver(
+        position=Vec2(1.0, 1.0), antenna=open_waveguide()
+    ).pointed_at(laptop.position)
+
+
+class TestPowerComputation:
+    def test_closer_device_stronger(self, trained_pair):
+        dock, laptop = trained_pair
+        near = VubiqReceiver(Vec2(1.9, 0.2)).pointed_at(laptop.position)
+        far = VubiqReceiver(Vec2(1.9, 3.0)).pointed_at(laptop.position)
+        assert near.received_power_dbm(laptop) > far.received_power_dbm(laptop)
+
+    def test_extra_gain_shifts_power(self, trained_pair):
+        dock, laptop = trained_pair
+        base = VubiqReceiver(Vec2(1, 1)).pointed_at(laptop.position)
+        boosted = VubiqReceiver(Vec2(1, 1), extra_gain_db=10.0).pointed_at(laptop.position)
+        assert boosted.received_power_dbm(laptop) == pytest.approx(
+            base.received_power_dbm(laptop) + 10.0
+        )
+
+    def test_horn_directivity_matters(self, trained_pair):
+        dock, laptop = trained_pair
+        aimed = VubiqReceiver(Vec2(1, 1), antenna=standard_horn_25dbi()).pointed_at(
+            laptop.position
+        )
+        away = aimed.rotated_to(aimed.boresight_rad + math.pi)
+        assert aimed.received_power_dbm(laptop) > away.received_power_dbm(laptop) + 20.0
+
+    def test_discovery_subelements_differ(self, trained_pair):
+        dock, _ = trained_pair
+        v = VubiqReceiver(Vec2(1, 1)).pointed_at(dock.position)
+        powers = {
+            round(v.received_power_dbm(dock, FrameKind.DISCOVERY, subelement=i), 3)
+            for i in range(8)
+        }
+        assert len(powers) > 3  # different quasi-omni patterns
+
+    def test_ray_tracer_collects_reflections(self, trained_pair):
+        dock, laptop = trained_pair
+        wall = Segment(Vec2(-5, -1.0), Vec2(8, -1.0), get_material("metal"))
+        tracer = RayTracer(Room([wall]), max_order=1)
+        base = VubiqReceiver(Vec2(1, 1)).pointed_at(laptop.position)
+        with_refl = VubiqReceiver(Vec2(1, 1), tracer=tracer).pointed_at(laptop.position)
+        assert with_refl.received_power_dbm(laptop) >= base.received_power_dbm(laptop) - 0.1
+
+    def test_fully_blocked_returns_floor(self, trained_pair):
+        dock, laptop = trained_pair
+        wall = Segment(Vec2(1.5, -5), Vec2(1.5, 5), get_material("metal"))
+        room = Room([wall])
+        tracer = RayTracer(room, max_order=0)
+        v = VubiqReceiver(Vec2(0.5, 0.5), tracer=tracer).pointed_at(laptop.position)
+        assert v.received_power_dbm(laptop) == -300.0
+
+
+class TestEmissionRendering:
+    def _records(self, n=3, kind=FrameKind.DATA, source="laptop"):
+        return [
+            FrameRecord(
+                start_s=i * 20e-6, duration_s=10e-6, source=source,
+                destination="dock", kind=kind, mcs_index=11,
+            )
+            for i in range(n)
+        ]
+
+    def test_emissions_match_records(self, receiver, trained_pair):
+        dock, laptop = trained_pair
+        devices = {d.name: d for d in trained_pair}
+        recs = self._records()
+        ems = receiver.emissions_for(recs, devices)
+        assert len(ems) == 3
+        for em, rec in zip(ems, recs):
+            assert em.start_s == rec.start_s
+            assert em.duration_s == rec.duration_s
+
+    def test_unknown_sources_skipped(self, receiver, trained_pair):
+        devices = {d.name: d for d in trained_pair}
+        recs = self._records(source="wired-host")
+        assert receiver.emissions_for(recs, devices) == []
+
+    def test_discovery_expands_to_subelements(self, receiver, trained_pair):
+        dock, laptop = trained_pair
+        devices = {d.name: d for d in trained_pair}
+        rec = FrameRecord(0.0, 1e-3, dock.name, "", FrameKind.DISCOVERY)
+        boosted = VubiqReceiver(
+            receiver.position, receiver.boresight_rad, receiver.antenna,
+            extra_gain_db=20.0,
+        )
+        ems = boosted.emissions_for([rec], devices)
+        # Most sub-elements should be visible; all share the frame span.
+        assert len(ems) > DISCOVERY_SUBELEMENTS // 2
+        assert min(e.start_s for e in ems) >= 0.0
+        assert max(e.end_s for e in ems) <= 1e-3 + 1e-9
+
+    def test_subelement_amplitudes_vary(self, trained_pair):
+        dock, laptop = trained_pair
+        devices = {d.name: d for d in trained_pair}
+        rec = FrameRecord(0.0, 1e-3, dock.name, "", FrameKind.DISCOVERY)
+        v = VubiqReceiver(Vec2(1, 1), extra_gain_db=25.0).pointed_at(dock.position)
+        ems = v.emissions_for([rec], devices)
+        amps = [e.amplitude_v for e in ems]
+        assert max(amps) / min(amps) > 1.5
+
+    def test_weak_frames_dropped(self, trained_pair):
+        dock, laptop = trained_pair
+        devices = {d.name: d for d in trained_pair}
+        v = VubiqReceiver(Vec2(500.0, 500.0))  # hundreds of meters away
+        assert v.emissions_for(self._records(), devices) == []
+
+    def test_capture_produces_trace(self, receiver, trained_pair):
+        devices = {d.name: d for d in trained_pair}
+        v = VubiqReceiver(
+            receiver.position, receiver.boresight_rad, receiver.antenna,
+            extra_gain_db=30.0,
+        )
+        trace = v.capture(
+            self._records(), devices, duration_s=100e-6,
+            rng=np.random.default_rng(0),
+        )
+        assert trace.duration_s == pytest.approx(100e-6)
+        # Frames visible above the noise.
+        assert trace.samples.max() > 5 * np.median(trace.samples)
