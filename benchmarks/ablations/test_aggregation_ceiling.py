@@ -7,7 +7,6 @@ trade-off is delay.  This ablation sweeps the frame-duration ceiling
 and reports throughput and worst-case medium holding time.
 """
 
-import pytest
 
 from repro.mac.frames import WIGIG_TIMING
 from repro.mac.wigig import MPDU_BITS, data_frame_duration_s

@@ -11,7 +11,6 @@ goodput plus the per-MPDU delay — the trade Section 5 describes.
 """
 
 import numpy as np
-import pytest
 
 from repro.geometry.vec import Vec2
 from repro.mac.simulator import Medium, Simulator, Station, StaticCoupling

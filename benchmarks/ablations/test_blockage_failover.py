@@ -6,7 +6,6 @@ real throughput.  This benchmark measures a pedestrian crossing a 3 m
 link with and without reflection fail-over.
 """
 
-import pytest
 
 from repro.experiments.blockage import run_blockage_crossing
 

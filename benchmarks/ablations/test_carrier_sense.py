@@ -7,7 +7,6 @@ ablation gives the interferer an idealized listen-before-talk gate and
 measures how many WiGig retransmissions disappear.
 """
 
-import pytest
 
 from repro.experiments.interference import build_interference_scenario
 

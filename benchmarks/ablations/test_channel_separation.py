@@ -8,7 +8,6 @@ must vanish entirely — validating both the channel model and the
 obvious mitigation.
 """
 
-import pytest
 
 from repro.experiments.interference import (
     build_interference_scenario,

@@ -7,7 +7,6 @@ delay (supervision), and protocol recovery (discovery + A-BFT +
 handshake).
 """
 
-import pytest
 
 from repro.experiments.link_recovery import run_break_and_recover
 

@@ -7,7 +7,6 @@ OFDM table to quantify what the cost-effective design left behind —
 and where it would not have mattered at all.
 """
 
-import pytest
 
 from repro.experiments.range_vs_distance import link_snr_db
 from repro.phy.mcs import MCS_TABLE, OFDM_MCS_TABLE, select_mcs

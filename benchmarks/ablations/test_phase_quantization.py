@@ -9,7 +9,6 @@ isolate the quantization contribution.
 import math
 
 import numpy as np
-import pytest
 
 from repro.phy.antenna import PhaseShifterModel, UniformRectangularArray
 

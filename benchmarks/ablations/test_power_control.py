@@ -7,9 +7,7 @@ footprint.  This ablation measures the margin a victim link sees from
 a neighboring transmitter, before and after power control.
 """
 
-import math
 
-import pytest
 
 from repro.core.spatial import Link, apply_power_control, link_margins
 from repro.devices.d5000 import make_d5000_dock, make_e7440_laptop

@@ -7,7 +7,6 @@ how many lobes first- and second-order reflections each contribute.
 """
 
 import numpy as np
-import pytest
 
 from repro.experiments.reflections import measure_room_profiles
 

@@ -10,7 +10,6 @@ the table.
 import math
 
 import numpy as np
-import pytest
 
 from repro.devices.d5000 import make_d5000_dock, make_e7440_laptop
 from repro.geometry.vec import Vec2

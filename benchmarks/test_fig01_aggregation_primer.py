@@ -14,7 +14,6 @@ pays for a smaller gain.
 """
 
 import numpy as np
-import pytest
 
 from repro.core.utilization import medium_usage_from_records
 from repro.experiments.frame_level import run_wigig_tcp

@@ -6,16 +6,10 @@ benchmark captures one discovery frame, splits it, and reports the
 per-sub-element amplitudes (the staircase of Figure 3).
 """
 
-import numpy as np
-import pytest
 
 from repro.core.discovery import is_discovery_frame, subelement_amplitudes, subelement_variation_db
 from repro.core.frames import FrameDetector
-from repro.experiments.frame_level import (
-    CAPTURE_DETECTION_THRESHOLD_V,
-    capture_with_vubiq,
-    run_unassociated_dock,
-)
+from repro.experiments.frame_level import capture_with_vubiq, run_unassociated_dock
 from repro.mac.frames import DISCOVERY_SUBELEMENTS, FrameKind
 
 

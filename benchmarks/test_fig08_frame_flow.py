@@ -6,7 +6,6 @@ The benchmark reproduces a 0.6 ms window of the flow and verifies its
 structure both in the ground truth and in the captured trace.
 """
 
-import pytest
 
 from repro.core.frames import FrameDetector, group_bursts, split_sources_by_amplitude
 from repro.experiments.frame_level import (
@@ -14,7 +13,6 @@ from repro.experiments.frame_level import (
     capture_with_vubiq,
     run_wigig_tcp,
 )
-from repro.mac.frames import FrameKind
 
 
 def run_flow():

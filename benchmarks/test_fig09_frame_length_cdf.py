@@ -6,7 +6,6 @@ the CDF quantiles for every operating point and asserts the bimodal
 short/long structure.
 """
 
-import pytest
 
 from figreport import cached_aggregation_sweep
 

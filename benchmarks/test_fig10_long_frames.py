@@ -5,7 +5,6 @@ kbps loads to essentially 100% at 930+ mbps — "the higher the traffic
 load, the more data aggregation".
 """
 
-import pytest
 
 from figreport import cached_aggregation_sweep
 

@@ -5,7 +5,6 @@ the transmitter transmits continuously — medium usage saturates near
 100% while throughput still scales 5.4x further through aggregation.
 """
 
-import pytest
 
 from figreport import cached_aggregation_sweep
 from repro.core.aggregation import aggregation_gain

@@ -6,7 +6,6 @@ the average therefore falls gradually.  Throughput never exceeds
 ~900 mbps because of the dock's Gigabit Ethernet interface.
 """
 
-import numpy as np
 import pytest
 
 from repro.experiments.range_vs_distance import (

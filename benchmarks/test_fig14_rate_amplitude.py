@@ -6,8 +6,6 @@ i.e. at beam pattern realignments; rate adaptation and beam selection
 are a joint process.
 """
 
-import numpy as np
-import pytest
 
 from repro.experiments.long_run import (
     amplitude_change_times,

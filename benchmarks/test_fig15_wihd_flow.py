@@ -6,7 +6,6 @@ beacons remain (the active -> idle transition in the figure).
 """
 
 import numpy as np
-import pytest
 
 from repro.core.frames import FrameDetector
 from repro.experiments.frame_level import (
@@ -14,7 +13,7 @@ from repro.experiments.frame_level import (
     capture_wihd_with_vubiq,
     run_wihd_stream,
 )
-from repro.mac.frames import FrameKind, WIHD_TIMING
+from repro.mac.frames import FrameKind
 
 
 def run_flow():

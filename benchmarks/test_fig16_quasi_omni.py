@@ -5,8 +5,6 @@ but every pattern contains deep gaps that may prevent communication at
 specific angles.
 """
 
-import numpy as np
-import pytest
 
 from repro.experiments.beam_patterns import measure_discovery_patterns
 

@@ -6,7 +6,6 @@ the boundary of its transmission area: link gain falls enough that the
 measurement needed +10 dB receiver gain, and side lobes rise to -1 dB.
 """
 
-import pytest
 
 from repro.experiments.beam_patterns import (
     PatternMetrics,

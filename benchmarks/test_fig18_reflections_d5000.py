@@ -5,7 +5,6 @@ toward the transmitter and receiver, plus additional lobes that point
 at neither device — wall reflections, including second-order ones.
 """
 
-import pytest
 
 from figreport import cached_room_profiles
 

@@ -5,7 +5,6 @@ D5000's (Figure 18), because the system is less directional — so its
 impact on spatial reuse is even higher.
 """
 
-import pytest
 
 from figreport import cached_room_profiles
 

@@ -8,7 +8,6 @@ than half of the LOS value.
 
 import math
 
-import pytest
 
 from repro.experiments.reflection_range import run_nlos_throughput
 

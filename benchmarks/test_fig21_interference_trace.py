@@ -6,7 +6,6 @@ retransmissions — and (b) dense WiHD frame series occupying enlarged
 gaps in the D5000 flow, attributed to the D5000's carrier sensing.
 """
 
-import pytest
 
 from repro.core.frames import FrameDetector
 from repro.core.utilization import idle_gaps_s

@@ -8,7 +8,6 @@ throughput recovers.
 """
 
 import numpy as np
-import pytest
 
 from repro.experiments.reflection_interference import (
     interference_path_report,

@@ -53,7 +53,7 @@ def measure_all_periodicities():
     from repro.mac.wihd import WiHDLink
 
     setup = build_wihd_link_setup(video_rate_bps=0.0)
-    unpaired = WiHDLink(
+    WiHDLink(
         setup.sim,
         setup.medium,
         transmitter=setup.medium.station(setup.tx.name),

@@ -9,7 +9,6 @@ discovery patterns of Figure 16.
 Run:  python examples/beam_pattern_survey.py
 """
 
-import math
 
 import numpy as np
 

@@ -19,9 +19,7 @@ Run:  python examples/office_deployment.py
 import math
 
 from repro.devices import make_d5000_dock, make_e7440_laptop
-from repro.geometry.materials import get_material
 from repro.geometry.room import Obstacle, Room
-from repro.geometry.segments import Segment
 from repro.geometry.vec import Vec2
 from repro.mac.coupling import DeviceCoupling
 from repro.phy.channel import LinkBudget

@@ -27,7 +27,6 @@ from repro.core.spatial import (
     recommend_mac_behavior,
 )
 from repro.devices.d5000 import make_d5000_dock, make_e7440_laptop
-from repro.geometry.materials import get_material
 from repro.geometry.room import Room
 from repro.geometry.vec import Vec2
 from repro.mac.coupling import DeviceCoupling

@@ -1,0 +1,70 @@
+"""Sharded parallel campaign engine with content-addressed caching.
+
+The paper's measurement workflow — hundreds of rotation-stage
+positions, distance sweeps, repeated trace captures, offline analysis
+— is campaign-shaped.  This package runs such campaigns at scale:
+
+* :mod:`repro.campaign.spec` — declarative, content-addressed
+  :class:`ScenarioSpec`/:class:`CampaignSpec` grids with deterministic
+  expansion and shard assignment;
+* :mod:`repro.campaign.runner` — a process-pool engine with
+  per-scenario timeouts, bounded-backoff retries, and graceful
+  degradation (failed cells are recorded, not fatal);
+* :mod:`repro.campaign.cache` — an on-disk result cache keyed by
+  SHA-256 of the canonical spec plus a code-version salt, so re-runs
+  only compute changed cells;
+* :mod:`repro.campaign.telemetry` — per-run counters/timers emitted
+  as a JSON run manifest;
+* :mod:`repro.campaign.store` — JSONL result persistence following
+  the :mod:`repro.io` conventions;
+* :mod:`repro.campaign.registry` — the experiment-cell registry and
+  the built-in campaign catalog behind ``python -m repro campaign``.
+"""
+
+from repro.campaign.cache import CACHE_SALT, ResultCache, default_cache_root
+from repro.campaign.registry import (
+    builtin_campaigns,
+    campaign_names,
+    get_campaign,
+    register_cell,
+    resolve_cell,
+)
+from repro.campaign.runner import (
+    CampaignResult,
+    CampaignRunner,
+    ScenarioOutcome,
+    ScenarioTimeout,
+    run_campaign,
+)
+from repro.campaign.spec import CampaignSpec, ScenarioSpec, canonicalize
+from repro.campaign.store import load_results, save_results, write_run
+from repro.campaign.telemetry import (
+    MANIFEST_SCHEMA_VERSION,
+    RunTelemetry,
+    read_manifest,
+)
+
+__all__ = [
+    "CACHE_SALT",
+    "MANIFEST_SCHEMA_VERSION",
+    "CampaignResult",
+    "CampaignRunner",
+    "CampaignSpec",
+    "ResultCache",
+    "RunTelemetry",
+    "ScenarioOutcome",
+    "ScenarioSpec",
+    "ScenarioTimeout",
+    "builtin_campaigns",
+    "campaign_names",
+    "canonicalize",
+    "default_cache_root",
+    "get_campaign",
+    "load_results",
+    "read_manifest",
+    "register_cell",
+    "resolve_cell",
+    "run_campaign",
+    "save_results",
+    "write_run",
+]

@@ -1,0 +1,179 @@
+"""Per-run counters, timers, and the JSON run manifest.
+
+Every campaign run emits a manifest next to its results: how many
+scenarios ran, how many were served from cache, how many failed (and
+why), wall-clock versus summed worker time, and the discrete-event
+simulator's throughput (events simulated per second) aggregated over
+all cells that report it.  The manifest is the run's flight recorder —
+the thing you read six months later to judge whether a result set is
+trustworthy and how expensive a re-run would be.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+PathLike = Union[str, pathlib.Path]
+
+#: Bump when the manifest layout changes incompatibly.
+MANIFEST_SCHEMA_VERSION = 1
+
+MANIFEST_FILENAME = "manifest.json"
+
+
+@dataclass
+class RunTelemetry:
+    """Counters and timers for one campaign run."""
+
+    campaign: str = ""
+    campaign_digest: str = ""
+    workers: int = 1
+    scenarios_total: int = 0
+    completed: int = 0
+    cached: int = 0
+    failed: int = 0
+    timeouts: int = 0
+    retries: int = 0
+    wall_clock_s: float = 0.0
+    worker_time_s: float = 0.0
+    events_simulated: int = 0
+    shard_sizes: List[int] = field(default_factory=list)
+    failures: List[Dict] = field(default_factory=list)
+    started_unix: Optional[float] = None
+    finished_unix: Optional[float] = None
+    _t0: Optional[float] = field(default=None, repr=False)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> None:
+        self.started_unix = time.time()
+        self._t0 = time.perf_counter()
+
+    def finish(self) -> None:
+        self.finished_unix = time.time()
+        if self._t0 is not None:
+            self.wall_clock_s = time.perf_counter() - self._t0
+
+    # -- recording -------------------------------------------------------------
+
+    def record_cached(self) -> None:
+        self.cached += 1
+
+    def record_completed(self, elapsed_s: float, events: int = 0) -> None:
+        self.completed += 1
+        self.worker_time_s += elapsed_s
+        self.events_simulated += events
+
+    def record_failure(
+        self,
+        digest: str,
+        experiment: str,
+        error: str,
+        attempts: int,
+        timed_out: bool = False,
+    ) -> None:
+        self.failed += 1
+        if timed_out:
+            self.timeouts += 1
+        self.failures.append(
+            {
+                "digest": digest,
+                "experiment": experiment,
+                "error": error,
+                "attempts": attempts,
+                "timed_out": timed_out,
+            }
+        )
+
+    def record_retry(self) -> None:
+        self.retries += 1
+
+    # -- derived ---------------------------------------------------------------
+
+    def events_per_second(self) -> float:
+        """DES events per summed worker-second (0 when nothing ran)."""
+        if self.worker_time_s <= 0:
+            return 0.0
+        return self.events_simulated / self.worker_time_s
+
+    def cache_hit_ratio(self) -> float:
+        if self.scenarios_total <= 0:
+            return 0.0
+        return self.cached / self.scenarios_total
+
+    def speedup_vs_serial(self) -> float:
+        """Summed worker time over wall clock (parallel efficiency)."""
+        if self.wall_clock_s <= 0:
+            return 0.0
+        return self.worker_time_s / self.wall_clock_s
+
+    # -- manifest --------------------------------------------------------------
+
+    def as_manifest(self) -> Dict:
+        return {
+            "schema_version": MANIFEST_SCHEMA_VERSION,
+            "campaign": self.campaign,
+            "campaign_digest": self.campaign_digest,
+            "workers": self.workers,
+            "started_unix": self.started_unix,
+            "finished_unix": self.finished_unix,
+            "scenarios": {
+                "total": self.scenarios_total,
+                "completed": self.completed,
+                "cached": self.cached,
+                "failed": self.failed,
+                "timeouts": self.timeouts,
+                "retries": self.retries,
+            },
+            "timing": {
+                "wall_clock_s": self.wall_clock_s,
+                "worker_time_s": self.worker_time_s,
+                "speedup_vs_serial": self.speedup_vs_serial(),
+            },
+            "des": {
+                "events_simulated": self.events_simulated,
+                "events_per_second": self.events_per_second(),
+            },
+            "cache_hit_ratio": self.cache_hit_ratio(),
+            "shard_sizes": list(self.shard_sizes),
+            "failures": list(self.failures),
+        }
+
+    def write_manifest(self, path: PathLike) -> pathlib.Path:
+        """Write the JSON manifest; returns the path written."""
+        path = pathlib.Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.as_manifest(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        return path
+
+    def summary(self) -> str:
+        """One-line human summary for CLI output."""
+        parts = [
+            f"{self.scenarios_total} scenarios",
+            f"{self.completed} computed",
+            f"{self.cached} cached",
+            f"{self.failed} failed",
+            f"wall {self.wall_clock_s:.2f} s",
+        ]
+        if self.events_simulated:
+            parts.append(f"{self.events_per_second():,.0f} DES events/s")
+        return ", ".join(parts)
+
+
+def read_manifest(path: PathLike) -> Dict:
+    """Load a manifest written by :meth:`RunTelemetry.write_manifest`."""
+    with open(path, "r", encoding="utf-8") as fh:
+        manifest = json.load(fh)
+    version = manifest.get("schema_version")
+    if version != MANIFEST_SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported manifest schema version {version} "
+            f"(expected {MANIFEST_SCHEMA_VERSION})"
+        )
+    return manifest

@@ -8,18 +8,30 @@ Usage::
     python -m repro interference [--distances 0 1 2 3]
     python -m repro nlos
     python -m repro blockage [--no-failover] [--no-wall]
+    python -m repro campaign list
+    python -m repro campaign run beam-patterns --workers 4
+    python -m repro campaign status beam-patterns
 
 Each subcommand runs a time-scaled version of the corresponding
 measurement (Section 3.2 setups) and prints the headline rows.  The
-full, asserted reproductions live in ``benchmarks/``.
+full, asserted reproductions live in ``benchmarks/``.  Every
+subcommand takes ``--seed`` so runs are reproducible from the command
+line; the defaults match the historical per-experiment seeds.
+
+``campaign`` drives the sharded parallel engine
+(:mod:`repro.campaign`): ``run`` executes a built-in campaign across
+worker processes with content-addressed result caching and writes
+``results.jsonl`` plus a ``manifest.json`` run manifest; ``status``
+shows how much of a campaign the cache already covers.
 """
 
 from __future__ import annotations
 
 import argparse
 import math
+import pathlib
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 
 def _cmd_patterns(args: argparse.Namespace) -> int:
@@ -31,14 +43,18 @@ def _cmd_patterns(args: argparse.Namespace) -> int:
 
     print("Beam pattern campaign (3.2 m semicircle, 100 positions)...")
     rows = [
-        PatternMetrics.from_measurement("laptop", measure_laptop_pattern()),
-        PatternMetrics.from_measurement("dock aligned", measure_dock_pattern(0.0)),
+        PatternMetrics.from_measurement(
+            "laptop", measure_laptop_pattern(seed=args.seed)
+        ),
+        PatternMetrics.from_measurement(
+            "dock aligned", measure_dock_pattern(0.0, seed=args.seed + 1)
+        ),
     ]
     if args.rotated:
         rows.append(
             PatternMetrics.from_measurement(
                 f"dock rotated {args.rotated:.0f}",
-                measure_dock_pattern(math.radians(args.rotated)),
+                measure_dock_pattern(math.radians(args.rotated), seed=args.seed + 1),
             )
         )
     for row in rows:
@@ -50,7 +66,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.experiments.frame_level import aggregation_sweep
 
     print("TCP operating-point sweep (Figures 9-11)...")
-    for report in aggregation_sweep(duration_s=args.duration, warmup_s=0.04):
+    for report in aggregation_sweep(
+        duration_s=args.duration, warmup_s=0.04, seed=args.seed
+    ):
         print("  " + report.row())
     return 0
 
@@ -77,12 +95,12 @@ def _cmd_interference(args: argparse.Namespace) -> int:
         run_interference_point,
     )
 
-    base = interference_free_baseline(duration_s=args.duration)
+    base = interference_free_baseline(duration_s=args.duration, seed=args.seed + 89)
     print(f"baseline: util {base.utilization * 100:.0f}%, "
           f"rate {base.link_rate_bps / 1e9:.2f} Gbps")
     print(f"{'d (m)':>6} {'util %':>7} {'rate Gbps':>10} {'retx':>6}")
     for i, d in enumerate(args.distances):
-        p = run_interference_point(d, duration_s=args.duration, seed=10 + i)
+        p = run_interference_point(d, duration_s=args.duration, seed=args.seed + i)
         print(f"{d:6.1f} {p.utilization * 100:7.1f} "
               f"{p.link_rate_bps / 1e9:10.2f} {p.retransmissions:6d}")
     return 0
@@ -91,7 +109,7 @@ def _cmd_interference(args: argparse.Namespace) -> int:
 def _cmd_nlos(args: argparse.Namespace) -> int:
     from repro.experiments.reflection_range import run_nlos_throughput
 
-    result = run_nlos_throughput(duration_s=0.24, intervals=4)
+    result = run_nlos_throughput(duration_s=0.24, intervals=4, seed=args.seed)
     print(f"LOS blocked: {result.los_blocked}")
     print(f"NLOS: {result.nlos_throughput.mean / 1e6:.0f} mbps "
           f"(+-{result.nlos_throughput.half_width / 1e6:.0f})")
@@ -106,6 +124,7 @@ def _cmd_blockage(args: argparse.Namespace) -> int:
     result = run_blockage_crossing(
         failover=not args.no_failover,
         with_wall=not args.no_wall,
+        seed=args.seed,
     )
     print(f"failover={'off' if args.no_failover else 'on'}, "
           f"wall={'absent' if args.no_wall else 'present'}:")
@@ -118,7 +137,7 @@ def _cmd_blockage(args: argparse.Namespace) -> int:
 def _cmd_recover(args: argparse.Namespace) -> int:
     from repro.experiments.link_recovery import run_break_and_recover
 
-    result = run_break_and_recover(outage_duration_s=args.outage)
+    result = run_break_and_recover(outage_duration_s=args.outage, seed=args.seed)
     print(f"outage: {result.outage_start_s:.2f} - {result.outage_end_s:.2f} s")
     if result.break_detected_s is None:
         print("link survived (no break declared)")
@@ -146,9 +165,12 @@ def _cmd_spatial(args: argparse.Namespace) -> int:
     devices = {}
     for i in range(args.links):
         y = 2.5 * i
-        dock = make_d5000_dock(name=f"dock-{i}", position=Vec2(0, y), unit_seed=i + 1)
+        dock = make_d5000_dock(
+            name=f"dock-{i}", position=Vec2(0, y), unit_seed=args.seed + i
+        )
         laptop = make_e7440_laptop(name=f"laptop-{i}", position=Vec2(3, y),
-                                   orientation_rad=math.pi, unit_seed=i + 70)
+                                   orientation_rad=math.pi,
+                                   unit_seed=args.seed + 69 + i)
         dock.train_toward(laptop.position)
         laptop.train_toward(dock.position)
         links.append(Link(tx=laptop, rx=dock))
@@ -169,13 +191,13 @@ def _cmd_table1(args: argparse.Namespace) -> int:
     from repro.experiments.frame_level import run_idle_wigig, run_unassociated_dock
     from repro.mac.frames import FrameKind
 
-    idle = run_idle_wigig(duration_s=0.02)
+    idle = run_idle_wigig(duration_s=0.02, seed=args.seed)
     beacons = sorted(
         r.start_s
         for r in idle.medium.history
         if r.kind == FrameKind.BEACON and r.source == idle.dock.name
     )
-    unassoc = run_unassociated_dock(duration_s=0.45)
+    unassoc = run_unassociated_dock(duration_s=0.45, seed=args.seed + 1)
     disc = sorted(
         r.start_s for r in unassoc.medium.history if r.kind == FrameKind.DISCOVERY
     )
@@ -185,6 +207,101 @@ def _cmd_table1(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_override(text: str):
+    """Parse a ``--set key=value`` override (int/float/bool/str)."""
+    if "=" not in text:
+        raise argparse.ArgumentTypeError(f"override {text!r} must look like key=value")
+    key, _, raw = text.partition("=")
+    lowered = raw.lower()
+    if lowered in ("true", "false"):
+        return key, lowered == "true"
+    for cast in (int, float):
+        try:
+            return key, cast(raw)
+        except ValueError:
+            pass
+    return key, raw
+
+
+def _campaign_spec_from_args(args: argparse.Namespace):
+    from repro.campaign import get_campaign
+
+    spec = get_campaign(args.name)
+    overrides = dict(args.set or [])
+    seeds = None
+    if args.seed is not None:
+        seeds = tuple(args.seed + i for i in range(len(spec.seeds)))
+    if overrides or seeds is not None:
+        spec = spec.with_overrides(overrides, seeds)
+    return spec
+
+
+def _campaign_cache(args: argparse.Namespace):
+    from repro.campaign import ResultCache
+
+    if getattr(args, "no_cache", False):
+        return None
+    return ResultCache(args.cache_dir) if args.cache_dir else ResultCache()
+
+
+def _cmd_campaign_list(args: argparse.Namespace) -> int:
+    from repro.campaign import builtin_campaigns
+
+    print(f"{'name':<20} {'cells':>6}  description")
+    for name, spec in sorted(builtin_campaigns().items()):
+        print(f"{name:<20} {spec.scenario_count():>6}  {spec.description}")
+    return 0
+
+
+def _cmd_campaign_run(args: argparse.Namespace) -> int:
+    from repro.campaign import CampaignRunner, write_run
+
+    spec = _campaign_spec_from_args(args)
+    cache = _campaign_cache(args)
+    runner = CampaignRunner(
+        spec,
+        cache=cache,
+        workers=args.workers,
+        timeout_s=args.timeout,
+        retries=args.retries,
+    )
+    print(f"campaign {spec.name}: {spec.scenario_count()} cells, "
+          f"{args.workers} worker(s), cache "
+          f"{'off' if cache is None else cache.root}")
+    result = runner.run()
+    out_dir = pathlib.Path(args.output) if args.output else (
+        pathlib.Path("campaign_runs") / spec.name
+    )
+    write_run(result, out_dir)
+    t = result.telemetry
+    print(f"done: {t.summary()}")
+    if t.events_simulated:
+        print(f"DES: {t.events_simulated} events, "
+              f"{t.events_per_second():,.0f} events/s")
+    for failure in t.failures:
+        print(f"FAILED {failure['digest'][:12]} {failure['experiment']}: "
+              f"{failure['error']} (attempts {failure['attempts']})")
+    print(f"results: {out_dir / 'results.jsonl'}")
+    print(f"manifest: {out_dir / 'manifest.json'}")
+    return 0 if any(o.ok for o in result.outcomes) else 1
+
+
+def _cmd_campaign_status(args: argparse.Namespace) -> int:
+    from repro.campaign import ResultCache
+
+    spec = _campaign_spec_from_args(args)
+    cache = ResultCache(args.cache_dir) if args.cache_dir else ResultCache()
+    scenarios = spec.expand()
+    cached = sum(1 for s in scenarios if cache.contains(s))
+    print(f"campaign {spec.name}: {cached}/{len(scenarios)} cells cached "
+          f"({cache.root}, {cache.entry_count()} entries total)")
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    return args.campaign_func(args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -192,45 +309,94 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def seed_option(p: argparse.ArgumentParser, default: int) -> None:
+        p.add_argument("--seed", type=int, default=default,
+                       help=f"base RNG seed (default {default})")
+
     p = sub.add_parser("patterns", help="beam pattern metrics (Figure 17)")
     p.add_argument("--rotated", type=float, default=70.0,
                    help="also measure the dock misaligned by DEG (0 to skip)")
+    seed_option(p, 0)
     p.set_defaults(func=_cmd_patterns)
 
     p = sub.add_parser("sweep", help="TCP aggregation sweep (Figures 9-11)")
     p.add_argument("--duration", type=float, default=0.1,
                    help="simulated seconds per operating point")
+    seed_option(p, 1)
     p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser("range", help="throughput vs distance (Figure 13)")
     p.add_argument("--runs", type=int, default=10)
-    p.add_argument("--seed", type=int, default=5)
+    seed_option(p, 5)
     p.set_defaults(func=_cmd_range)
 
     p = sub.add_parser("interference", help="side-lobe interference sweep (Figure 22)")
     p.add_argument("--distances", type=float, nargs="+", default=[0.0, 1.0, 2.0, 3.0])
     p.add_argument("--duration", type=float, default=0.25)
+    seed_option(p, 10)
     p.set_defaults(func=_cmd_interference)
 
     p = sub.add_parser("nlos", help="NLOS reflection link (Figures 5/20)")
+    seed_option(p, 7)
     p.set_defaults(func=_cmd_nlos)
 
     p = sub.add_parser("blockage", help="human blockage crossing + SLS fail-over")
     p.add_argument("--no-failover", action="store_true")
     p.add_argument("--no-wall", action="store_true")
+    seed_option(p, 0)
     p.set_defaults(func=_cmd_blockage)
 
     p = sub.add_parser("recover", help="link break + re-association lifecycle")
     p.add_argument("--outage", type=float, default=0.25,
                    help="obstruction duration in seconds")
+    seed_option(p, 20)
     p.set_defaults(func=_cmd_recover)
 
     p = sub.add_parser("spatial", help="conflict graph / schedule for N links")
     p.add_argument("--links", type=int, default=3)
+    seed_option(p, 1)
     p.set_defaults(func=_cmd_spatial)
 
     p = sub.add_parser("table1", help="frame periodicities (Table 1)")
+    seed_option(p, 3)
     p.set_defaults(func=_cmd_table1)
+
+    p = sub.add_parser(
+        "campaign", help="sharded parallel campaign engine (list/run/status)"
+    )
+    csub = p.add_subparsers(dest="campaign_command", required=True)
+
+    c = csub.add_parser("list", help="available campaigns")
+    c.set_defaults(func=_cmd_campaign, campaign_func=_cmd_campaign_list)
+
+    def campaign_target_options(c: argparse.ArgumentParser) -> None:
+        c.add_argument("name", help="campaign name (see 'campaign list')")
+        c.add_argument("--seed", type=int, default=None,
+                       help="base seed replacing the campaign's seed list")
+        c.add_argument("--set", type=_parse_override, action="append",
+                       metavar="KEY=VALUE",
+                       help="override a base parameter or pin a grid axis")
+        c.add_argument("--cache-dir", default=None,
+                       help="result cache directory "
+                            "(default: $REPRO_CACHE_DIR or ~/.cache/repro/campaigns)")
+
+    c = csub.add_parser("run", help="execute a campaign")
+    campaign_target_options(c)
+    c.add_argument("--workers", type=int, default=1,
+                   help="worker processes (1 = serial in-process)")
+    c.add_argument("--timeout", type=float, default=None,
+                   help="per-scenario timeout in seconds")
+    c.add_argument("--retries", type=int, default=2,
+                   help="retries for transient cell failures")
+    c.add_argument("--no-cache", action="store_true",
+                   help="compute every cell, bypassing the result cache")
+    c.add_argument("--output", default=None,
+                   help="run directory (default campaign_runs/<name>)")
+    c.set_defaults(func=_cmd_campaign, campaign_func=_cmd_campaign_run)
+
+    c = csub.add_parser("status", help="cache coverage of a campaign")
+    campaign_target_options(c)
+    c.set_defaults(func=_cmd_campaign, campaign_func=_cmd_campaign_status)
     return parser
 
 

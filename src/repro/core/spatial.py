@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -30,7 +30,6 @@ from repro.devices.base import RadioDevice
 from repro.geometry.vec import Vec2
 from repro.mac.coupling import DeviceCoupling
 from repro.phy.channel import LinkBudget
-from repro.phy.mcs import select_mcs
 
 #: Default SINR headroom (dB) a victim needs over an aggressor for the
 #: links to count as non-conflicting: top-MCS threshold (16) plus the
@@ -241,7 +240,7 @@ def apply_power_control(
     # the original powers; SNR scales linearly with TX power).
     for link in links:
         link.tx.tx_power_dbm = chosen[link.tx.name]
-    coupling.invalidate()
+    coupling.invalidate(*chosen)
     return chosen
 
 

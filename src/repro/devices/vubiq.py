@@ -18,7 +18,6 @@ reflected path — and renders it into a sampled :class:`Trace`.
 
 from __future__ import annotations
 
-import math
 from typing import Iterable, List, Mapping, Optional
 
 import numpy as np

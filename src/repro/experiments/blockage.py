@@ -30,7 +30,7 @@ from repro.geometry.room import Room
 from repro.geometry.segments import Segment
 from repro.geometry.vec import Vec2
 from repro.mac.beam_training import SectorSweepTrainer
-from repro.phy.blockage import BlockageEvent, Blocker, crossing_blocker
+from repro.phy.blockage import crossing_blocker
 from repro.phy.channel import LinkBudget
 from repro.phy.mcs import select_mcs
 from repro.phy.raytracing import PropagationPath, RayTracer
@@ -160,7 +160,7 @@ def run_blockage_crossing(
             # computed per sector pair with the blocker applied, so
             # training converges onto whatever propagation survives.
             blocked_trainer = _BlockedTrainer(budget, tracer, pos, seed + retrains)
-            result = blocked_trainer.train(laptop, dock)
+            blocked_trainer.train(laptop, dock)
             retrains += 1
             retrained = True
             snr_at_training = path_snr_db(laptop, dock, paths, pos, budget)

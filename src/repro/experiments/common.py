@@ -11,14 +11,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 from repro.devices.air3c import make_air3c_receiver, make_air3c_transmitter
 from repro.devices.base import RadioDevice
 from repro.devices.d5000 import make_d5000_dock, make_e7440_laptop
 from repro.geometry.vec import Vec2
 from repro.mac.coupling import DeviceCoupling
-from repro.mac.simulator import Medium, Simulator, Station
+from repro.mac.simulator import Medium, Simulator
 from repro.mac.tcp import IperfFlow, TcpParameters
 from repro.mac.wigig import WiGigLink
 from repro.mac.wihd import WiHDLink
@@ -193,3 +193,20 @@ def build_wihd_link_setup(
 def misalignment_70deg() -> float:
     """The 70-degree dock misalignment used in Sections 4.2/4.4."""
     return math.radians(70.0)
+
+
+def derive_seed(base: int, *components) -> int:
+    """A stable sub-seed from a base seed plus distinguishing labels.
+
+    Campaign cells repeat experiments over (seed, repetition) pairs
+    and must stay deterministic across processes, so ad-hoc arithmetic
+    like ``seed + 1000 * rep`` (collision-prone) won't do.  This
+    hashes the base and components (ints or strings) through SHA-256
+    and returns a 31-bit seed — the same inputs give the same seed on
+    every platform and process.
+    """
+    import hashlib
+
+    text = ":".join([str(int(base))] + [str(c) for c in components])
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:4], "big") & 0x7FFFFFFF

@@ -18,13 +18,10 @@ the tests, which verify they agree).
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.aggregation import AggregationReport
 from repro.core.utilization import medium_usage_from_records
-from repro.devices.base import RadioDevice
 from repro.devices.vubiq import VubiqReceiver
 from repro.experiments.common import (
     WiGigLinkSetup,

@@ -32,7 +32,7 @@ from repro.devices.air3c import make_air3c_receiver, make_air3c_transmitter
 from repro.devices.base import RadioDevice
 from repro.devices.d5000 import make_d5000_dock, make_e7440_laptop
 from repro.devices.vubiq import VubiqReceiver
-from repro.experiments.common import misalignment_70deg
+from repro.experiments.common import derive_seed, misalignment_70deg
 from repro.geometry.vec import Vec2
 from repro.mac.coupling import DeviceCoupling
 from repro.mac.frames import FrameKind, FrameRecord
@@ -249,18 +249,13 @@ def mean_link_rate_bps(link: WiGigLink, window_start_s: float, window_end_s: flo
     return total / (window_end_s - window_start_s)
 
 
-def run_interference_point(
+def measure_interference_point(
+    scenario: InterferenceScenario,
     wihd_offset_m: float,
-    rotated: bool = False,
     duration_s: float = 0.4,
     warmup_s: float = 0.1,
-    with_wihd: bool = True,
-    seed: int = 10,
 ) -> InterferencePoint:
-    """Measure one distance point of the Figure 22 sweep."""
-    scenario = build_interference_scenario(
-        wihd_offset_m=wihd_offset_m, rotated=rotated, with_wihd=with_wihd, seed=seed
-    )
+    """Warm a built scenario up, then measure one sweep point."""
     scenario.run(warmup_s)
     scenario.flow_a.reset_counters()
     retx_before = scenario.link_a.stats.retransmissions
@@ -275,10 +270,62 @@ def run_interference_point(
         distance_m=wihd_offset_m,
         utilization=utilization,
         link_rate_bps=rate,
-        rotated=rotated,
+        rotated=scenario.rotated,
         retransmissions=scenario.link_a.stats.retransmissions - retx_before,
         transfer_time_s=transfer,
     )
+
+
+def run_interference_point(
+    wihd_offset_m: float,
+    rotated: bool = False,
+    duration_s: float = 0.4,
+    warmup_s: float = 0.1,
+    with_wihd: bool = True,
+    seed: int = 10,
+) -> InterferencePoint:
+    """Measure one distance point of the Figure 22 sweep."""
+    scenario = build_interference_scenario(
+        wihd_offset_m=wihd_offset_m, rotated=rotated, with_wihd=with_wihd, seed=seed
+    )
+    return measure_interference_point(
+        scenario, wihd_offset_m, duration_s=duration_s, warmup_s=warmup_s
+    )
+
+
+def interference_cell(
+    *,
+    wihd_offset_m: float,
+    rotated: bool = False,
+    duration_s: float = 0.4,
+    warmup_s: float = 0.1,
+    with_wihd: bool = True,
+    seed: int = 10,
+    repetition: int = 0,
+) -> dict:
+    """One campaign cell of the Figure 22 sweep (full DES run).
+
+    Reports ``events_simulated`` so the run manifest can derive the
+    simulator's events-per-second throughput.
+    """
+    scenario = build_interference_scenario(
+        wihd_offset_m=wihd_offset_m,
+        rotated=rotated,
+        with_wihd=with_wihd,
+        seed=seed if repetition == 0 else derive_seed(seed, "rep", repetition),
+    )
+    point = measure_interference_point(
+        scenario, wihd_offset_m, duration_s=duration_s, warmup_s=warmup_s
+    )
+    return {
+        "distance_m": point.distance_m,
+        "utilization": point.utilization,
+        "link_rate_bps": point.link_rate_bps,
+        "rotated": point.rotated,
+        "retransmissions": point.retransmissions,
+        "transfer_time_s": point.transfer_time_s,
+        "events_simulated": scenario.sim.events_processed,
+    }
 
 
 def interference_sweep(

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Optional
 
 import numpy as np
 
@@ -157,7 +157,8 @@ def run_break_and_recover(
 
     def on_reassociated() -> None:
         state["reassociated"] = sim.now
-        coupling.invalidate()
+        # Re-association retrained just this pair's beams.
+        coupling.invalidate(dock.name, laptop.name)
         start_traffic()
 
     # Initial traffic phase.

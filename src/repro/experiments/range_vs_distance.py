@@ -21,14 +21,13 @@ what makes the cliff position vary between experiments.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.mac.tcp import GIGE_CAP_BPS
-from repro.mac.wigig import MAX_AGGREGATION, MPDU_BITS, data_frame_duration_s
+from repro.mac.wigig import MPDU_BITS, data_frame_duration_s
 from repro.mac.frames import WIGIG_TIMING
 from repro.phy.channel import LinkBudget, ShadowingProcess
 from repro.phy.mcs import MCS, select_mcs
@@ -164,6 +163,116 @@ def throughput_vs_distance(
                 tputs.append(min(wigig_goodput_bps(mcs), GIGE_CAP_BPS))
         all_runs.append(
             DistanceRun(distances_m=dist.copy(), throughput_bps=np.asarray(tputs), cliff_m=cliff)
+        )
+    average = np.mean(np.vstack([r.throughput_bps for r in all_runs]), axis=0)
+    return all_runs, average
+
+
+# -- campaign integration ------------------------------------------------------
+
+def distance_cell(
+    *,
+    distance_m: float,
+    seed: int = 0,
+    repetition: int = 0,
+    run_shadow_std_db: float = 3.0,
+    jitter_std_db: float = 0.5,
+) -> dict:
+    """One (distance, run) cell of the Figure 13 sweep.
+
+    ``seed`` identifies the *run*: the run-level shadowing offset is
+    drawn from ``seed`` alone so every distance cell of the same run
+    shares one offset (that coherence is what produces a single cliff
+    per run), while the within-run jitter is drawn per cell.
+    """
+    if distance_m <= 0:
+        raise ValueError("distance must be positive")
+    offset = float(
+        np.random.default_rng(seed).normal(0.0, run_shadow_std_db)
+    )
+    cell_rng = np.random.default_rng(
+        [seed, repetition, int(round(distance_m * 1000))]
+    )
+    jitter = float(cell_rng.normal(0.0, jitter_std_db))
+    snr = link_snr_db(distance_m, shadow_db=offset + jitter)
+    mcs = select_mcs(snr)
+    # Same cliff rule as throughput_vs_distance: devices never operate
+    # below ~1 gbps; the link drops dead instead.
+    if mcs is None or mcs.phy_rate_bps < 0.95e9:
+        return {
+            "distance_m": distance_m,
+            "snr_db": snr,
+            "throughput_bps": 0.0,
+            "mcs_index": None,
+            "broke": True,
+        }
+    return {
+        "distance_m": distance_m,
+        "snr_db": snr,
+        "throughput_bps": min(wigig_goodput_bps(mcs), GIGE_CAP_BPS),
+        "mcs_index": mcs.index,
+        "broke": False,
+    }
+
+
+def range_campaign_spec(
+    distances_m: Sequence[float] = tuple(np.arange(1.0, 21.0, 1.0)),
+    runs: int = 10,
+    seed: int = 0,
+) -> "CampaignSpec":
+    """The Figure 13 sweep as a campaign grid: one cell per
+    (distance, run-seed) pair."""
+    from repro.campaign.spec import CampaignSpec
+
+    return CampaignSpec(
+        name="range-vs-distance",
+        experiment="range_point",
+        grid={"distance_m": tuple(float(d) for d in distances_m)},
+        seeds=tuple(seed + i for i in range(runs)),
+        description="Figure 13 TCP throughput vs link length",
+    )
+
+
+def throughput_vs_distance_campaign(
+    distances_m: Sequence[float] = tuple(np.arange(1.0, 21.0, 1.0)),
+    runs: int = 10,
+    seed: int = 0,
+    workers: int = 1,
+    cache=None,
+) -> Tuple[List[DistanceRun], np.ndarray]:
+    """The Figure 13 sweep executed through the campaign engine.
+
+    Same return shape as :func:`throughput_vs_distance`, but each
+    (distance, run) point is an independently sharded, cached cell —
+    re-running the sweep with one extra distance only computes the new
+    column.  The per-run offsets are derived from the run seed (not a
+    shared RNG stream), so the numbers differ from the legacy serial
+    path deterministically.
+    """
+    from repro.campaign.runner import run_campaign
+
+    if runs < 1:
+        raise ValueError("need at least one run")
+    spec = range_campaign_spec(distances_m=distances_m, runs=runs, seed=seed)
+    result = run_campaign(spec, cache=cache, workers=workers)
+    cells: dict = {}
+    for outcome in result.outcomes:
+        if not outcome.ok:
+            raise RuntimeError(f"distance cell failed: {outcome.error}")
+        cells[(outcome.spec.seed, outcome.result["distance_m"])] = outcome.result
+    dist = np.asarray([float(d) for d in distances_m])
+    all_runs: List[DistanceRun] = []
+    for run_seed in spec.seeds:
+        tputs = [cells[(run_seed, float(d))]["throughput_bps"] for d in dist]
+        cliff = next(
+            (float(d) for d, t in zip(dist, tputs) if t == 0.0), None
+        )
+        all_runs.append(
+            DistanceRun(
+                distances_m=dist.copy(),
+                throughput_bps=np.asarray(tputs),
+                cliff_m=cliff,
+            )
         )
     average = np.mean(np.vstack([r.throughput_bps for r in all_runs]), axis=0)
     return all_runs, average

@@ -21,9 +21,8 @@ from repro.experiments.common import build_wigig_link_setup
 from repro.geometry.room import Obstacle, Room
 from repro.geometry.segments import Segment
 from repro.geometry.vec import Vec2
-from repro.geometry.materials import Material, get_material
+from repro.geometry.materials import Material
 from repro.phy.antenna import standard_horn_25dbi
-from repro.phy.channel import LinkBudget
 from repro.phy.raytracing import RayTracer
 
 #: Geometry of Figure 5 (meters).  The link runs along y = 0; the

@@ -8,7 +8,7 @@ reflectors, blockage elements, and shielding absorbers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.geometry.materials import Material, get_material

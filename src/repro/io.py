@@ -32,6 +32,36 @@ PathLike = Union[str, pathlib.Path]
 TRACE_FORMAT_VERSION = 1
 
 
+def save_jsonl(rows: Iterable[dict], path: PathLike) -> int:
+    """Write dict rows as JSON lines; returns the count written.
+
+    The repo's convention for record streams (frame records, campaign
+    results): one compact JSON document per line — diffs cleanly,
+    streams well, and greps with standard tools.
+    """
+    count = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        for row in rows:
+            fh.write(json.dumps(row, sort_keys=True) + "\n")
+            count += 1
+    return count
+
+
+def load_jsonl(path: PathLike) -> List[dict]:
+    """Read rows written by :func:`save_jsonl`; blank lines skipped."""
+    rows = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line_no, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rows.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{line_no}: bad JSON line ({exc})") from exc
+    return rows
+
+
 def save_trace(trace: Trace, path: PathLike) -> None:
     """Write a trace to a compressed ``.npz`` file."""
     np.savez_compressed(
@@ -91,12 +121,7 @@ def _record_from_dict(data: dict) -> FrameRecord:
 
 def save_frame_records(records: Iterable[FrameRecord], path: PathLike) -> int:
     """Write frame records as JSON lines; returns the count written."""
-    count = 0
-    with open(path, "w", encoding="utf-8") as fh:
-        for record in records:
-            fh.write(json.dumps(_record_to_dict(record)) + "\n")
-            count += 1
-    return count
+    return save_jsonl((_record_to_dict(r) for r in records), path)
 
 
 def load_frame_records(path: PathLike) -> List[FrameRecord]:

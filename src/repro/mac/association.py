@@ -28,8 +28,7 @@ a :class:`ReassociationController` measure the full outage -> discovery
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 import numpy as np
@@ -240,11 +239,11 @@ class AssociationManager:
         training = self.trainer.train(self.dock, station)
         if not training.success:
             return
-        # Training changed the active beams; any cached couplings
-        # are stale from here on.
+        # Training changed these two devices' active beams; couplings
+        # of unrelated pairs stay valid.
         coupling = self.medium.coupling
         if hasattr(coupling, "invalidate"):
-            coupling.invalidate()
+            coupling.invalidate(self.dock.name, station.name)
 
         req = FrameRecord(
             start_s=self.sim.now,

@@ -51,9 +51,27 @@ class DeviceCoupling:
         self._isolation = isolation_db
         self._cache: Dict[Tuple[str, str, bool], float] = {}
 
-    def invalidate(self) -> None:
-        """Clear the cache after moving or retraining a device."""
-        self._cache.clear()
+    def invalidate(self, *device_names: str) -> None:
+        """Drop cached couplings after moving or retraining devices.
+
+        With device names, only entries involving those devices are
+        dropped — unrelated pairs keep their (expensive, ray-traced)
+        couplings.  With no arguments everything is cleared, which is
+        what scenario-wide changes (an outage flag, a budget swap)
+        need.
+        """
+        if not device_names:
+            self._cache.clear()
+            return
+        names = set(device_names)
+        stale = [key for key in self._cache if key[0] in names or key[1] in names]
+        for key in stale:
+            del self._cache[key]
+
+    @property
+    def cached_pair_count(self) -> int:
+        """Number of (tx, rx, control) entries currently cached."""
+        return len(self._cache)
 
     def _device_gain(
         self, device: RadioDevice, toward: Vec2, control: bool

@@ -15,7 +15,7 @@ All timing constants trace back to measurements in the paper:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 

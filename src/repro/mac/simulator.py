@@ -21,7 +21,7 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Protocol, Tuple
 
 import numpy as np
@@ -166,6 +166,9 @@ class Simulator:
         self._queue: List[Tuple[float, int, Callable[[], None]]] = []
         self._counter = itertools.count()
         self.rng = np.random.default_rng(seed)
+        #: Events processed so far — the campaign telemetry reads this
+        #: to report DES events simulated per worker-second.
+        self.events_processed = 0
 
     @property
     def now(self) -> float:
@@ -187,6 +190,7 @@ class Simulator:
         while self._queue and self._queue[0][0] <= end_s:
             time, _, callback = heapq.heappop(self._queue)
             self._now = time
+            self.events_processed += 1
             callback()
         self._now = max(self._now, end_s)
 

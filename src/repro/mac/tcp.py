@@ -16,7 +16,7 @@ so TCP throughput visibly reacts to interference.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.mac.simulator import Simulator

@@ -26,14 +26,13 @@ overhead and ~1 us per-MPDU sub-header, a single-MPDU frame lasts
 
 from __future__ import annotations
 
-import math
 from collections import deque
 from dataclasses import dataclass
 from typing import Callable, List, Optional
 
 from repro.mac.frames import FrameKind, FrameRecord, MacTiming, WIGIG_TIMING
 from repro.mac.simulator import Medium, Simulator, Station
-from repro.phy.mcs import MCS, MCS_TABLE, MAX_OBSERVED_MCS_INDEX, mcs_by_index, select_mcs
+from repro.phy.mcs import MCS, MAX_OBSERVED_MCS_INDEX, mcs_by_index, select_mcs
 
 #: Payload bits of one MPDU (the WBE transfer unit, ~320 bytes).
 MPDU_BITS = 2560

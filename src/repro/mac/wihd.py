@@ -21,7 +21,6 @@ single variable-length frame, clamped to the frame-duration bounds.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.mac.frames import FrameKind, FrameRecord, MacTiming, WIHD_TIMING
 from repro.mac.simulator import Medium, Simulator, Station

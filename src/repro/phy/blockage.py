@@ -16,13 +16,11 @@ hardware).  This module models a person crossing a link:
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.geometry.segments import Segment
 from repro.geometry.vec import Vec2
 
 #: Shadow depth of a human torso at 60 GHz, dB.

@@ -22,7 +22,6 @@ the link evaluation combines with the antenna patterns at both ends.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 

@@ -1,0 +1,65 @@
+"""Cell functions for the campaign-engine tests.
+
+These must live in an importable module (not inside a test function)
+because worker processes resolve cells by dotted path —
+``tests.campaign_cells:double_cell`` — exactly like production cells.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+
+def double_cell(*, value: int = 1, scale: int = 2, seed: int = 0, repetition: int = 0):
+    """Deterministic arithmetic cell: the engine-equivalence workhorse."""
+    return {
+        "value": value * scale,
+        "seed": seed,
+        "repetition": repetition,
+    }
+
+
+def flaky_cell(*, marker_dir: str, seed: int = 0, repetition: int = 0):
+    """Fails on the first attempt per (seed, repetition), then succeeds.
+
+    The attempt marker lives on disk so the retry can land in any
+    worker process and still see that a first attempt happened.
+    """
+    marker = os.path.join(marker_dir, f"attempt-{seed}-{repetition}")
+    if not os.path.exists(marker):
+        with open(marker, "w", encoding="utf-8") as fh:
+            fh.write("attempted\n")
+        raise RuntimeError("transient failure on first attempt")
+    return {"ok": True, "seed": seed, "repetition": repetition}
+
+
+def always_fails(*, seed: int = 0, repetition: int = 0):
+    """A permanently broken cell — exercises graceful degradation."""
+    raise ValueError("this cell always fails")
+
+
+def slow_cell(*, sleep_s: float = 5.0, seed: int = 0, repetition: int = 0):
+    """Sleeps past any reasonable per-scenario timeout."""
+    time.sleep(sleep_s)
+    return {"slept_s": sleep_s}
+
+
+def des_cell(*, ticks: int = 50, seed: int = 0, repetition: int = 0):
+    """Drives the discrete-event simulator and reports its event count."""
+    from repro.mac.simulator import Simulator
+
+    sim = Simulator(seed=seed)
+    state = {"fired": 0}
+
+    def tick():
+        state["fired"] += 1
+        if state["fired"] < ticks:
+            sim.schedule(1e-3, tick)
+
+    sim.schedule(1e-3, tick)
+    sim.run_until(1.0)
+    return {
+        "fired": state["fired"],
+        "events_simulated": sim.events_processed,
+    }

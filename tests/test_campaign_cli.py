@@ -1,0 +1,174 @@
+"""End-to-end tests for ``python -m repro campaign`` and the migrated
+sweeps — including the acceptance scenario: the beam-pattern semicircle
+sweep runs across 2 workers, a second invocation is served >= 90% from
+cache, and the manifest reports counts, cache hits, failures, and
+wall-clock.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.campaign.cache import ResultCache
+from repro.campaign.telemetry import read_manifest
+from repro.cli import main
+
+
+@pytest.fixture()
+def cache_dir(tmp_path):
+    return tmp_path / "cache"
+
+
+def run_beam_campaign(cache_dir, out_dir, workers=2):
+    return main(
+        [
+            "campaign",
+            "run",
+            "beam-patterns",
+            "--workers",
+            str(workers),
+            "--set",
+            "positions=16",
+            "--cache-dir",
+            str(cache_dir),
+            "--output",
+            str(out_dir),
+        ]
+    )
+
+
+class TestCampaignCli:
+    def test_list(self, capsys):
+        assert main(["campaign", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "beam-patterns" in out
+        assert "range-vs-distance" in out
+
+    def test_unknown_campaign_raises(self):
+        with pytest.raises(KeyError):
+            main(["campaign", "run", "no-such-campaign"])
+
+    def test_beam_patterns_two_workers_then_cached(
+        self, cache_dir, tmp_path, capsys
+    ):
+        """The acceptance criteria of the campaign subsystem."""
+        first_out = tmp_path / "run1"
+        assert run_beam_campaign(cache_dir, first_out, workers=2) == 0
+        manifest = read_manifest(first_out / "manifest.json")
+        assert manifest["workers"] == 2
+        assert manifest["scenarios"]["total"] == 9
+        assert manifest["scenarios"]["completed"] == 9
+        assert manifest["scenarios"]["cached"] == 0
+        assert manifest["scenarios"]["failed"] == 0
+        assert manifest["failures"] == []
+        assert manifest["timing"]["wall_clock_s"] > 0
+        assert sum(manifest["shard_sizes"]) == 9
+
+        # Second invocation: served >= 90% from cache.
+        second_out = tmp_path / "run2"
+        assert run_beam_campaign(cache_dir, second_out, workers=2) == 0
+        manifest2 = read_manifest(second_out / "manifest.json")
+        assert manifest2["scenarios"]["cached"] >= 0.9 * manifest2["scenarios"]["total"]
+        assert manifest2["cache_hit_ratio"] >= 0.9
+
+        # Bit-for-bit: cached results equal the computed ones.
+        rows1 = [
+            json.loads(line)
+            for line in (first_out / "results.jsonl").read_text().splitlines()
+        ]
+        rows2 = [
+            json.loads(line)
+            for line in (second_out / "results.jsonl").read_text().splitlines()
+        ]
+        assert [r["result"] for r in rows1] == [r["result"] for r in rows2]
+
+        out = capsys.readouterr().out
+        assert "cached" in out
+        assert "manifest" in out
+
+    def test_status_reports_cache_coverage(self, cache_dir, tmp_path, capsys):
+        args = ["--set", "positions=16", "--cache-dir", str(cache_dir)]
+        assert main(["campaign", "status", "beam-patterns", *args]) == 0
+        assert "0/9 cells cached" in capsys.readouterr().out
+        run_beam_campaign(cache_dir, tmp_path / "run", workers=1)
+        capsys.readouterr()
+        assert main(["campaign", "status", "beam-patterns", *args]) == 0
+        assert "9/9 cells cached" in capsys.readouterr().out
+
+    def test_seed_option_rebases_seeds(self, cache_dir, tmp_path, capsys):
+        rc = main(
+            [
+                "campaign",
+                "run",
+                "beam-patterns",
+                "--seed",
+                "100",
+                "--set",
+                "positions=16",
+                "--set",
+                "setup=laptop",
+                "--workers",
+                "1",
+                "--cache-dir",
+                str(cache_dir),
+                "--output",
+                str(tmp_path / "seeded"),
+            ]
+        )
+        assert rc == 0
+        rows = [
+            json.loads(line)
+            for line in (tmp_path / "seeded" / "results.jsonl").read_text().splitlines()
+        ]
+        assert sorted({r["seed"] for r in rows}) == [100, 101, 102]
+        assert {r["params"]["setup"] for r in rows} == {"laptop"}
+
+
+class TestMigratedSweeps:
+    def test_pattern_report_matches_engine_output(self, tmp_path):
+        from repro.experiments.beam_patterns import (
+            directional_pattern_report_campaign,
+        )
+
+        cache = ResultCache(tmp_path / "cache")
+        serial = directional_pattern_report_campaign(positions=16, workers=1)
+        parallel = directional_pattern_report_campaign(
+            positions=16, workers=2, cache=cache
+        )
+        assert serial == parallel
+        # And the cache now short-circuits a third run.
+        cached = directional_pattern_report_campaign(
+            positions=16, workers=1, cache=cache
+        )
+        assert cached == serial
+        labels = [row.label for row in serial]
+        assert labels == ["laptop", "dock aligned", "dock rotated 70"]
+
+    def test_range_campaign_matches_serial_and_caches(self, tmp_path):
+        from repro.experiments.range_vs_distance import (
+            cliff_statistics,
+            throughput_vs_distance_campaign,
+        )
+
+        cache = ResultCache(tmp_path / "cache")
+        distances = tuple(float(d) for d in range(4, 20, 2))
+        serial_runs, serial_avg = throughput_vs_distance_campaign(
+            distances_m=distances, runs=6, seed=3, workers=1
+        )
+        parallel_runs, parallel_avg = throughput_vs_distance_campaign(
+            distances_m=distances, runs=6, seed=3, workers=2, cache=cache
+        )
+        assert np.array_equal(serial_avg, parallel_avg)
+        for a, b in zip(serial_runs, parallel_runs):
+            assert np.array_equal(a.throughput_bps, b.throughput_bps)
+            assert a.cliff_m == b.cliff_m
+        # Runs share an offset per seed: each run has one cliff beyond
+        # which the link stays dead.
+        lo, hi = cliff_statistics(serial_runs)
+        assert 4.0 <= lo <= hi <= 20.0
+        # Cached re-run computes nothing new.
+        rerun, rerun_avg = throughput_vs_distance_campaign(
+            distances_m=distances, runs=6, seed=3, workers=1, cache=cache
+        )
+        assert np.array_equal(rerun_avg, serial_avg)

@@ -1,0 +1,68 @@
+"""Tests for campaign result persistence (JSONL + manifest layout)."""
+
+import pytest
+
+from repro.campaign.runner import run_campaign
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.store import load_results, save_results, write_run
+from repro.campaign.telemetry import read_manifest
+from repro.io import load_jsonl, save_jsonl
+
+DOUBLE = "tests.campaign_cells:double_cell"
+
+
+@pytest.fixture()
+def result():
+    spec = CampaignSpec(
+        name="doubles",
+        experiment=DOUBLE,
+        grid={"value": (1, 2)},
+        seeds=(0,),
+    )
+    return run_campaign(spec)
+
+
+class TestJsonlHelpers:
+    def test_roundtrip(self, tmp_path):
+        rows = [{"a": 1}, {"b": [1, 2]}, {"c": None}]
+        path = tmp_path / "rows.jsonl"
+        assert save_jsonl(rows, path) == 3
+        assert load_jsonl(path) == rows
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "rows.jsonl"
+        path.write_text('{"a": 1}\n\n{"b": 2}\n')
+        assert load_jsonl(path) == [{"a": 1}, {"b": 2}]
+
+    def test_bad_line_reports_location(self, tmp_path):
+        path = tmp_path / "rows.jsonl"
+        path.write_text('{"a": 1}\n{broken\n')
+        with pytest.raises(ValueError, match=":2"):
+            load_jsonl(path)
+
+
+class TestResultRows:
+    def test_save_load_roundtrip(self, result, tmp_path):
+        path = tmp_path / "results.jsonl"
+        assert save_results(result, path) == 2
+        rows = load_results(path)
+        assert [r["digest"] for r in rows] == [o.digest for o in result.outcomes]
+        assert rows[0]["status"] == "completed"
+        assert rows[0]["result"]["value"] in (2, 4)
+        assert rows[0]["params"] == {"value": rows[0]["result"]["value"] // 2}
+
+    def test_load_validates_required_keys(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        save_jsonl([{"digest": "x"}], path)
+        with pytest.raises(ValueError, match="experiment"):
+            load_results(path)
+
+
+class TestWriteRun:
+    def test_layout_and_contents(self, result, tmp_path):
+        out = write_run(result, tmp_path / "run")
+        assert (out / "results.jsonl").is_file()
+        assert (out / "manifest.json").is_file()
+        manifest = read_manifest(out / "manifest.json")
+        assert manifest["scenarios"]["total"] == 2
+        assert len(load_results(out / "results.jsonl")) == 2

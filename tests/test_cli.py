@@ -22,9 +22,46 @@ class TestParser:
             ["recover", "--outage", "0.2"],
             ["spatial", "--links", "2"],
             ["table1"],
+            ["campaign", "list"],
+            ["campaign", "run", "beam-patterns", "--workers", "2"],
+            ["campaign", "status", "beam-patterns"],
         ):
             args = parser.parse_args(argv)
             assert callable(args.func)
+
+    def test_every_experiment_command_accepts_seed(self):
+        parser = build_parser()
+        for argv in (
+            ["patterns"],
+            ["sweep"],
+            ["range"],
+            ["interference"],
+            ["nlos"],
+            ["blockage"],
+            ["recover"],
+            ["spatial"],
+            ["table1"],
+        ):
+            args = parser.parse_args(argv + ["--seed", "123"])
+            assert args.seed == 123
+
+    def test_campaign_run_options_parse(self):
+        args = build_parser().parse_args(
+            [
+                "campaign", "run", "beam-patterns",
+                "--workers", "4",
+                "--seed", "9",
+                "--set", "positions=16",
+                "--set", "setup=laptop",
+                "--no-cache",
+                "--timeout", "30",
+            ]
+        )
+        assert args.workers == 4
+        assert args.seed == 9
+        assert dict(args.set) == {"positions": 16, "setup": "laptop"}
+        assert args.no_cache is True
+        assert args.timeout == 30.0
 
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
@@ -77,3 +114,9 @@ class TestCommands:
         assert main(["spatial", "--links", "2"]) == 0
         out = capsys.readouterr().out
         assert "schedule:" in out
+
+    def test_seed_makes_runs_reproducible(self, capsys):
+        assert main(["range", "--runs", "3", "--seed", "11"]) == 0
+        first = capsys.readouterr().out
+        assert main(["range", "--runs", "3", "--seed", "11"]) == 0
+        assert capsys.readouterr().out == first

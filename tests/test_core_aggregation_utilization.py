@@ -5,7 +5,6 @@ import pytest
 
 from repro.core.aggregation import (
     AggregationReport,
-    LONG_FRAME_THRESHOLD_S,
     aggregation_gain,
     frame_length_cdf,
     long_frame_fraction,

@@ -70,10 +70,6 @@ class TestTraceBasedMeasurement:
         flatten the measured pattern.  Verify the filtered measurement
         is more directional than an unfiltered amplitude average."""
         setup = running_link
-        from repro.core.frames import FrameDetector
-        from repro.devices.vubiq import VubiqReceiver
-        from repro.phy.antenna import standard_horn_25dbi
-        from repro.geometry.vec import Vec2
 
         campaign = BeamPatternCampaign(setup.laptop, positions=100)
         traced = campaign.measure_from_traces(

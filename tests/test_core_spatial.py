@@ -6,7 +6,6 @@ import numpy as np
 import pytest
 
 from repro.core.spatial import (
-    Conflict,
     Link,
     conflict_graph,
     coverage_map,

@@ -5,13 +5,7 @@ import math
 import numpy as np
 import pytest
 
-from repro.devices.air3c import make_air3c_receiver, make_air3c_transmitter
-from repro.devices.base import RadioDevice
-from repro.devices.d5000 import (
-    D5000_DISCOVERY_PATTERNS,
-    make_d5000_dock,
-    make_e7440_laptop,
-)
+from repro.devices.d5000 import D5000_DISCOVERY_PATTERNS, make_d5000_dock
 from repro.geometry.vec import Vec2
 from repro.mac.frames import FrameKind
 

@@ -12,7 +12,6 @@ from repro.core.frames import FrameDetector
 from repro.experiments.interference import (
     build_interference_scenario,
     capture_interference_trace,
-    channel_utilization,
     interference_free_baseline,
     mean_link_rate_bps,
     run_interference_point,

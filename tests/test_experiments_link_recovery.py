@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.experiments.link_recovery import RecoveryResult, run_break_and_recover
+from repro.experiments.link_recovery import run_break_and_recover
 
 
 class TestRecoveryCycle:

@@ -1,7 +1,6 @@
 """Integration tests for the range (Figs 12/13) and long-run (Fig 14)
 experiments."""
 
-import numpy as np
 import pytest
 
 from repro.experiments.long_run import (
@@ -11,7 +10,6 @@ from repro.experiments.long_run import (
     run_long_term,
 )
 from repro.experiments.range_vs_distance import (
-    DistanceRun,
     cliff_statistics,
     link_snr_db,
     phy_rate_timeseries,

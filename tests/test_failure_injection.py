@@ -6,7 +6,6 @@ These tests pin down that the library degrades gracefully instead of
 crashing or silently lying.
 """
 
-import math
 
 import numpy as np
 import pytest

@@ -2,7 +2,6 @@
 
 import math
 
-import pytest
 
 from repro.geometry.materials import get_material
 from repro.geometry.room import Room

@@ -112,7 +112,6 @@ class TestConferenceRoom:
         assert names["top-wood"] == "wood"
 
     def test_six_measurement_locations_inside(self):
-        room = conference_room()
         points = measurement_locations()
         assert len(points) == 6
         for p in points:

@@ -7,11 +7,7 @@ import pytest
 
 from repro.devices.d5000 import make_d5000_dock, make_e7440_laptop
 from repro.geometry.vec import Vec2
-from repro.mac.association import (
-    ABFT_SLOTS,
-    AssociationManager,
-    LinkSupervisor,
-)
+from repro.mac.association import AssociationManager, LinkSupervisor
 from repro.mac.coupling import DeviceCoupling
 from repro.mac.frames import FrameKind
 from repro.mac.simulator import Medium, Simulator, Station, StaticCoupling

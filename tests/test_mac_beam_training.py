@@ -12,13 +12,7 @@ from repro.experiments.reflection_range import (
     build_reflection_room,
 )
 from repro.geometry.vec import Vec2
-from repro.mac.beam_training import (
-    SBIFS_S,
-    SSW_FRAME_S,
-    SectorSweepTrainer,
-    TrainingResult,
-)
-from repro.phy.channel import LinkBudget
+from repro.mac.beam_training import SBIFS_S, SSW_FRAME_S, SectorSweepTrainer
 from repro.phy.raytracing import RayTracer
 
 
@@ -121,7 +115,7 @@ class TestMultipathTraining:
 
     def test_fully_shielded_training_fails(self):
         from repro.geometry.materials import get_material
-        from repro.geometry.room import Obstacle, Room
+        from repro.geometry.room import Room
         from repro.geometry.segments import Segment
 
         wall = Segment(Vec2(1.0, -5.0), Vec2(1.0, 5.0), get_material("metal"))

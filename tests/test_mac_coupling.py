@@ -6,7 +6,7 @@ import pytest
 
 from repro.devices.d5000 import make_d5000_dock, make_e7440_laptop
 from repro.geometry.materials import get_material
-from repro.geometry.room import Obstacle, Room
+from repro.geometry.room import Room
 from repro.geometry.segments import Segment
 from repro.geometry.vec import Vec2
 from repro.mac.coupling import DeviceCoupling
@@ -85,6 +85,63 @@ class TestFreeSpaceMode:
             - budget.noise_floor_dbm()
         )
         assert snr == pytest.approx(manual)
+
+
+class TestPerDeviceInvalidation:
+    """Retraining one pair must not evict unrelated pairs' couplings."""
+
+    @pytest.fixture()
+    def two_pairs(self):
+        devices = {}
+        for i in (0, 1):
+            dock = make_d5000_dock(
+                name=f"dock-{i}", position=Vec2(0, 5.0 * i), unit_seed=i + 1
+            )
+            laptop = make_e7440_laptop(
+                name=f"laptop-{i}",
+                position=Vec2(3, 5.0 * i),
+                orientation_rad=math.pi,
+                unit_seed=i + 70,
+            )
+            dock.train_toward(laptop.position)
+            laptop.train_toward(dock.position)
+            devices[dock.name] = dock
+            devices[laptop.name] = laptop
+        return devices
+
+    def test_unrelated_pair_keeps_cached_coupling(self, two_pairs):
+        coupling = DeviceCoupling(two_pairs)
+        st = stations_of(*two_pairs.values())
+        coupling.coupling_db(st["laptop-0"], st["dock-0"])
+        pair1_before = coupling.coupling_db(st["laptop-1"], st["dock-1"])
+        assert coupling.cached_pair_count == 2
+
+        # Retrain BOTH pairs' laptops away, but only invalidate pair 0:
+        # pair 1 must keep serving its cached (now stale) coupling —
+        # proof the entry survived the invalidation.
+        two_pairs["laptop-0"].train_toward(Vec2(3, -50))
+        two_pairs["laptop-1"].train_toward(Vec2(3, -50))
+        coupling.invalidate("laptop-0", "dock-0")
+        assert coupling.cached_pair_count == 1
+        pair0_after = coupling.coupling_db(st["laptop-0"], st["dock-0"])
+        assert pair0_after < coupling.coupling_db(st["laptop-1"], st["dock-1"]) - 10.0
+        assert coupling.coupling_db(st["laptop-1"], st["dock-1"]) == pair1_before
+
+        # A full invalidation finally recomputes pair 1 too.
+        coupling.invalidate()
+        assert coupling.cached_pair_count == 0
+        assert coupling.coupling_db(st["laptop-1"], st["dock-1"]) < pair1_before
+
+    def test_invalidate_drops_entries_in_both_directions(self, two_pairs):
+        coupling = DeviceCoupling(two_pairs)
+        st = stations_of(*two_pairs.values())
+        coupling.coupling_db(st["laptop-0"], st["dock-0"])
+        coupling.coupling_db(st["dock-0"], st["laptop-0"])
+        coupling.coupling_db(st["laptop-0"], st["dock-0"], control=True)
+        coupling.coupling_db(st["laptop-1"], st["dock-1"])
+        assert coupling.cached_pair_count == 4
+        coupling.invalidate("dock-0")
+        assert coupling.cached_pair_count == 1
 
 
 class TestRayTracedMode:

@@ -1,6 +1,5 @@
 """Tests for multi-station TXOP arbitration (the WBE dock)."""
 
-import pytest
 
 from repro.geometry.vec import Vec2
 from repro.mac.frames import FrameKind

@@ -11,8 +11,7 @@ from repro.mac.simulator import (
     Station,
     StaticCoupling,
 )
-from repro.phy.antenna import AntennaPattern
-from repro.phy.channel import LinkBudget, SIXTY_GHZ
+from repro.phy.channel import SIXTY_GHZ
 
 
 def make_pair(coupling_db_value=-40.0):
@@ -103,8 +102,7 @@ class TestStation:
         assert st.tx_power_for(FrameKind.RTS) == 10.0  # trained beam, no boost
 
     def test_gain_toward_uses_orientation(self):
-        pattern = AntennaPattern.isotropic(0.0)
-        # Replace with a directional-ish pattern: horn for simplicity.
+        # A directional-ish pattern: horn for simplicity.
         from repro.phy.antenna import HornAntenna
 
         st = Station("s", Vec2(0, 0), orientation_rad=0.0,

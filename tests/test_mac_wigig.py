@@ -8,7 +8,6 @@ from repro.mac.frames import FrameKind, WIGIG_TIMING
 from repro.mac.simulator import Medium, Simulator, Station, StaticCoupling
 from repro.mac.wigig import (
     MAX_AGGREGATION,
-    MPDU_BITS,
     WiGigLink,
     data_frame_duration_s,
     max_aggregation_for,

@@ -112,7 +112,7 @@ class TestNoCarrierSense:
         blocker = Station("blocker", Vec2(1, 1))
         for s in (tx, rx, blocker):
             medium.register(s)
-        link = WiHDLink(sim, medium, transmitter=tx, receiver=rx, video_rate_bps=2e9)
+        WiHDLink(sim, medium, transmitter=tx, receiver=rx, video_rate_bps=2e9)
 
         # Keep the channel continuously occupied by the blocker.
         from repro.mac.frames import FrameRecord

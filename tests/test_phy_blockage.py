@@ -1,6 +1,5 @@
 """Unit tests for the human blockage model."""
 
-import math
 
 import numpy as np
 import pytest

@@ -9,7 +9,7 @@ from repro.geometry.room import Obstacle, Room
 from repro.geometry.segments import Segment
 from repro.geometry.vec import Vec2
 from repro.phy.channel import LinkBudget
-from repro.phy.raytracing import PropagationPath, RayTracer, path_loss_db
+from repro.phy.raytracing import RayTracer, path_loss_db
 
 
 def single_wall_room(material="metal", y=-1.0):

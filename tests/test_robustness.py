@@ -5,7 +5,6 @@ fixed seeds; these tests re-run cheap versions at *different* seeds to
 confirm the shapes are properties of the model, not of one lucky draw.
 """
 
-import numpy as np
 import pytest
 
 from repro.core.frames import classify_detected_frames, DetectedFrame

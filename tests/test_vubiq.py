@@ -5,9 +5,9 @@ import math
 import numpy as np
 import pytest
 
-from repro.devices.vubiq import MIN_DETECTABLE_DBM, VubiqReceiver
+from repro.devices.vubiq import VubiqReceiver
 from repro.geometry.materials import get_material
-from repro.geometry.room import Obstacle, Room
+from repro.geometry.room import Room
 from repro.geometry.segments import Segment
 from repro.geometry.vec import Vec2
 from repro.mac.frames import DISCOVERY_SUBELEMENTS, FrameKind, FrameRecord
