@@ -9,9 +9,13 @@ measurement logic itself.
 """
 
 from repro.analysis.dbmath import (
+    amplitude_to_db_scalar,
+    db_to_amplitude_scalar,
     db_to_linear,
+    db_to_linear_scalar,
     db_to_power_ratio,
     linear_to_db,
+    linear_to_db_scalar,
     power_average_db,
     power_sum_db,
     watts_to_dbm,
@@ -28,10 +32,14 @@ from repro.analysis.stats import (
 __all__ = [
     "ConfidenceInterval",
     "EmpiricalCDF",
+    "amplitude_to_db_scalar",
+    "db_to_amplitude_scalar",
     "db_to_linear",
+    "db_to_linear_scalar",
     "db_to_power_ratio",
     "dbm_to_watts",
     "linear_to_db",
+    "linear_to_db_scalar",
     "mean_confidence_interval",
     "moving_average",
     "percentile_span",

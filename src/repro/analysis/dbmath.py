@@ -8,6 +8,7 @@ every conversion goes through the functions in this module.
 
 from __future__ import annotations
 
+import math
 from typing import Iterable, Union
 
 import numpy as np
@@ -41,6 +42,45 @@ def linear_to_db(value: ArrayLike) -> np.ndarray:
     np.log10(arr, out=out, where=positive)
     out[positive] *= 10.0
     return out
+
+
+def db_to_linear_scalar(value_db: float) -> float:
+    """Scalar fast path of :func:`db_to_linear` for DES hot loops.
+
+    Uses :mod:`math` rather than numpy: bit-identical to the inline
+    ``10.0 ** (x / 10.0)`` it replaces, with no array round-trip.  (The
+    numpy and libm ``log10``/``pow`` implementations differ by an ULP
+    on a small fraction of inputs, so the scalar and array variants
+    are each bit-stable but not interchangeable at the last bit.)
+    """
+    return 10.0 ** (value_db / 10.0)
+
+
+def linear_to_db_scalar(value: float) -> float:
+    """Scalar fast path of :func:`linear_to_db`.
+
+    Applies the same :data:`DB_FLOOR` guard: non-positive linear power
+    maps to the floor instead of raising or returning ``-inf``.
+    """
+    if value <= 0.0:
+        return DB_FLOOR
+    return 10.0 * math.log10(value)
+
+
+def db_to_amplitude_scalar(value_db: float) -> float:
+    """dB to amplitude (voltage) ratio: ``10^(x/20)``, scalar."""
+    return 10.0 ** (value_db / 20.0)
+
+
+def amplitude_to_db_scalar(ratio: float) -> float:
+    """Amplitude (voltage) ratio to dB: ``20 log10(r)``, scalar.
+
+    Non-positive ratios map to :data:`DB_FLOOR`, mirroring
+    :func:`linear_to_db_scalar`.
+    """
+    if ratio <= 0.0:
+        return DB_FLOOR
+    return 20.0 * math.log10(ratio)
 
 
 def watts_to_dbm(power_watts: ArrayLike) -> np.ndarray:

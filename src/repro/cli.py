@@ -11,6 +11,7 @@ Usage::
     python -m repro campaign list
     python -m repro campaign run beam-patterns --workers 4
     python -m repro campaign status beam-patterns
+    python -m repro lint [--baseline] [--json] [paths...]
 
 Each subcommand runs a time-scaled version of the corresponding
 measurement (Section 3.2 setups) and prints the headline rows.  The
@@ -23,6 +24,11 @@ line; the defaults match the historical per-experiment seeds.
 worker processes with content-addressed result caching and writes
 ``results.jsonl`` plus a ``manifest.json`` run manifest; ``status``
 shows how much of a campaign the cache already covers.
+
+``lint`` runs the domain-aware static analysis (:mod:`repro.lint`):
+AST rules RL001-RL008 covering determinism (unseeded RNG, wall-clock
+reads, frozen-spec mutation, unordered hashing) and dB-unit safety
+(inline conversions, log/linear mixing, float equality).
 """
 
 from __future__ import annotations
@@ -302,6 +308,14 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return args.campaign_func(args)
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint.cli import list_rules, run_lint
+
+    if args.list_rules:
+        return list_rules()
+    return run_lint(args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -397,6 +411,15 @@ def build_parser() -> argparse.ArgumentParser:
     c = csub.add_parser("status", help="cache coverage of a campaign")
     campaign_target_options(c)
     c.set_defaults(func=_cmd_campaign, campaign_func=_cmd_campaign_status)
+
+    p = sub.add_parser(
+        "lint",
+        help="domain-aware static analysis (determinism, dB-unit safety)",
+    )
+    from repro.lint.cli import add_lint_arguments
+
+    add_lint_arguments(p)
+    p.set_defaults(func=_cmd_lint)
     return parser
 
 

@@ -25,7 +25,7 @@ from repro.devices.rotation import RotationStage
 from repro.devices.vubiq import VubiqReceiver
 from repro.geometry.vec import Vec2, angle_between, normalize_angle
 from repro.mac.frames import FrameKind
-from repro.analysis.dbmath import power_sum_db
+from repro.analysis.dbmath import linear_to_db_scalar, power_sum_db
 
 
 @dataclass(frozen=True)
@@ -177,7 +177,7 @@ def measure_angular_profile_from_traces(
             powers.append(float("nan"))
             continue
         amps = np.array([f.mean_amplitude_v for f in kept])
-        powers.append(10.0 * math.log10(float(np.mean(amps**2))))
+        powers.append(linear_to_db_scalar(float(np.mean(amps**2))))
     power_arr = np.asarray(powers)
     finite = np.isfinite(power_arr)
     floor = power_arr[finite].min() - 10.0 if finite.any() else -120.0

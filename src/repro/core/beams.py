@@ -23,7 +23,7 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.analysis.dbmath import power_average_db
+from repro.analysis.dbmath import linear_to_db_scalar, power_average_db
 from repro.devices.base import RadioDevice
 from repro.devices.rotation import semicircle_positions
 from repro.devices.vubiq import VubiqReceiver
@@ -246,7 +246,7 @@ class BeamPatternCampaign:
             amps = np.array([f.mean_amplitude_v for f in chosen])
             # Amplitude -> power (relative): average in the linear
             # power domain as the paper does.
-            power = 10.0 * math.log10(float(np.mean(amps**2)))
+            power = linear_to_db_scalar(float(np.mean(amps**2)))
             bearings.append((pos - self.device.position).angle())
             powers.append(power)
         power_arr = np.asarray(powers)

@@ -18,6 +18,7 @@ from typing import List, Sequence
 
 import numpy as np
 
+from repro.analysis.dbmath import amplitude_to_db_scalar
 from repro.core.frames import DetectedFrame
 from repro.mac.frames import DISCOVERY_SUBELEMENTS
 from repro.phy.signal import Trace
@@ -100,4 +101,4 @@ def subelement_variation_db(amplitudes: Sequence[float]) -> float:
     positive = arr[arr > 0]
     if positive.size == 0:
         return 0.0
-    return float(20.0 * np.log10(positive.max() / positive.min()))
+    return amplitude_to_db_scalar(float(positive.max() / positive.min()))

@@ -1,0 +1,76 @@
+"""Committed baseline of grandfathered lint findings.
+
+The baseline is a JSON document listing fingerprints of findings that
+predate the linter (or are accepted for cause).  ``repro lint
+--baseline`` subtracts them; anything not in the file fails the run,
+so new code can never add to the debt.  Matching is by multiset: two
+identical findings need two baseline entries.
+
+Regenerate with ``python -m repro lint --write-baseline`` after
+deliberately accepting findings; the file is sorted so diffs review
+cleanly.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from collections import Counter
+from typing import Iterable, List, Tuple
+
+from repro.lint.engine import Finding
+
+BASELINE_VERSION = 1
+
+
+def load_baseline(path: pathlib.Path) -> Counter:
+    """Fingerprint multiset from a baseline file (empty if missing)."""
+    if not path.is_file():
+        return Counter()
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+        entries = data["entries"]
+    except (OSError, json.JSONDecodeError, KeyError, TypeError) as exc:
+        raise ValueError(f"unreadable baseline {path}: {exc}") from None
+    counts: Counter = Counter()
+    for entry in entries:
+        counts[str(entry["fingerprint"])] += 1
+    return counts
+
+
+def write_baseline(path: pathlib.Path, findings: Iterable[Finding]) -> int:
+    """Write ``findings`` as the new baseline; returns the entry count."""
+    entries = [
+        {
+            "fingerprint": f.fingerprint,
+            "code": f.code,
+            "path": f.path,
+            "line": f.line,
+            "message": f.message,
+        }
+        for f in sorted(findings, key=Finding.sort_key)
+    ]
+    payload = {"version": BASELINE_VERSION, "entries": entries}
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return len(entries)
+
+
+def apply_baseline(
+    findings: Iterable[Finding], baseline: Counter
+) -> Tuple[List[Finding], int]:
+    """Split findings into (new, baselined-count) against the multiset."""
+    remaining = Counter(baseline)
+    fresh: List[Finding] = []
+    suppressed = 0
+    for finding in findings:
+        fp = finding.fingerprint
+        if remaining.get(fp, 0) > 0:
+            remaining[fp] -= 1
+            suppressed += 1
+        else:
+            fresh.append(finding)
+    return fresh, suppressed

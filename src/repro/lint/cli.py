@@ -1,0 +1,137 @@
+"""CLI driver for ``python -m repro lint``.
+
+Exit codes (stable, for CI):
+
+* ``0`` — no findings (after baseline subtraction, if requested)
+* ``1`` — at least one (non-baselined) finding
+* ``2`` — operational error (unreadable baseline, bad arguments)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import List, Optional
+
+from repro.lint import baseline as baseline_mod
+from repro.lint.config import find_root, load_config
+from repro.lint.engine import RULES, Finding, lint_paths
+
+
+def resolve_paths(
+    raw_paths: List[str], root: pathlib.Path
+) -> List[pathlib.Path]:
+    """Default to ``<root>/src`` when no paths are given."""
+    if raw_paths:
+        return [pathlib.Path(p) for p in raw_paths]
+    src = root / "src"
+    return [src if src.is_dir() else root]
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    start = pathlib.Path(args.paths[0]) if args.paths else pathlib.Path.cwd()
+    root = pathlib.Path(args.root) if args.root else find_root(start)
+    config = load_config(root)
+    paths = resolve_paths(args.paths, root)
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(
+            f"repro lint: no such path: {', '.join(str(p) for p in missing)}",
+            file=sys.stderr,
+        )
+        return 2
+
+    findings = lint_paths(paths, root, config)
+    baseline_path = root / config.baseline
+
+    if args.write_baseline:
+        count = baseline_mod.write_baseline(baseline_path, findings)
+        print(f"wrote {count} finding(s) to {baseline_path}")
+        return 0
+
+    baselined = 0
+    if args.baseline:
+        try:
+            known = baseline_mod.load_baseline(baseline_path)
+        except ValueError as exc:
+            print(f"repro lint: {exc}", file=sys.stderr)
+            return 2
+        findings, baselined = baseline_mod.apply_baseline(findings, known)
+
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "findings": [f.to_dict() for f in findings],
+                    "count": len(findings),
+                    "baselined": baselined,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        for finding in findings:
+            print(finding.render())
+        summary = f"{len(findings)} finding(s)"
+        if baselined:
+            summary += f", {baselined} baselined"
+        print(summary)
+    return 1 if findings else 0
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: <root>/src)",
+    )
+    parser.add_argument(
+        "--baseline",
+        action="store_true",
+        help="subtract findings recorded in the committed baseline file",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="record the current findings as the new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable output (findings, count, baselined)",
+    )
+    parser.add_argument(
+        "--root",
+        default=None,
+        help="project root (default: nearest directory with pyproject.toml)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+
+
+def list_rules() -> int:
+    for code in sorted(RULES):
+        rule = RULES[code]
+        print(f"{code}  {rule.name:<26} {rule.summary}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro lint", description="domain-aware static analysis"
+    )
+    add_lint_arguments(parser)
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        return list_rules()
+    return run_lint(args)
+
+
+# Re-export for the repro.cli subcommand wiring.
+__all__ = ["add_lint_arguments", "list_rules", "main", "run_lint", "Finding"]

@@ -20,12 +20,12 @@ from __future__ import annotations
 
 import heapq
 import itertools
-import math
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Protocol, Tuple
 
 import numpy as np
 
+from repro.analysis.dbmath import db_to_linear_scalar, linear_to_db_scalar
 from repro.geometry.vec import Vec2
 from repro.mac.frames import FrameKind, FrameRecord
 from repro.phy.antenna import AntennaPattern
@@ -267,10 +267,8 @@ class Medium:
             if act.tx is station or act.tx.channel != station.channel:
                 continue
             p = self._rx_power_dbm(act.tx, station, act.record.kind)
-            total_mw += 10.0 ** (p / 10.0)
-        if total_mw <= 0.0:
-            return -300.0
-        return 10.0 * math.log10(total_mw)
+            total_mw += db_to_linear_scalar(p)
+        return linear_to_db_scalar(total_mw)
 
     def channel_busy_for(self, station: Station) -> bool:
         """CCA verdict: energy detection OR an unexpired NAV."""
@@ -336,7 +334,9 @@ class Medium:
                 and other.rx.channel == tx.channel
             ):
                 p = self._rx_power_dbm(tx, other.rx, record.kind)
-                other.max_interference_mw = max(other.max_interference_mw, 10.0 ** (p / 10.0))
+                other.max_interference_mw = max(
+                    other.max_interference_mw, db_to_linear_scalar(p)
+                )
             if (
                 rx is not None
                 and other.tx is not tx
@@ -344,7 +344,9 @@ class Medium:
                 and other.tx.channel == rx.channel
             ):
                 p = self._rx_power_dbm(other.tx, rx, other.record.kind)
-                act.max_interference_mw = max(act.max_interference_mw, 10.0 ** (p / 10.0))
+                act.max_interference_mw = max(
+                    act.max_interference_mw, db_to_linear_scalar(p)
+                )
 
         self._active.append(act)
         if self._capture_history:
@@ -386,8 +388,10 @@ class Medium:
     def _evaluate_delivery(self, act: _ActiveTransmission) -> Optional[bool]:
         if act.rx is None or act.signal_dbm is None:
             return None
-        noise_mw = 10.0 ** (self._budget.noise_floor_dbm() / 10.0)
-        sinr_db = act.signal_dbm - 10.0 * math.log10(noise_mw + act.max_interference_mw)
+        noise_mw = db_to_linear_scalar(self._budget.noise_floor_dbm())
+        sinr_db = act.signal_dbm - linear_to_db_scalar(
+            noise_mw + act.max_interference_mw
+        )
         mcs = mcs_by_index(act.record.mcs_index)
         fer = frame_error_probability(sinr_db, mcs)
         return bool(self._sim.rng.random() >= fer)

@@ -30,7 +30,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.analysis.dbmath import db_to_linear, linear_to_db
+from repro.analysis.dbmath import db_to_linear, db_to_linear_scalar, linear_to_db
 
 #: Speed of light in vacuum, m/s.
 SPEED_OF_LIGHT = 299_792_458.0
@@ -203,7 +203,7 @@ def _element_gain_db(azimuths: np.ndarray, broadside_gain_dbi: float = 5.0) -> n
     cos_az = np.cos(azimuths)
     forward = np.maximum(cos_az, 0.0)
     gain_lin = forward ** 2
-    floor = 10.0 ** ((-15.0) / 10.0)
+    floor = db_to_linear_scalar(-15.0)
     gain_lin = np.maximum(gain_lin, floor)
     return broadside_gain_dbi + linear_to_db(gain_lin)
 
@@ -331,8 +331,8 @@ class PhasedArray:
         if total_amp <= 0:
             return np.zeros(points)
         peak_gain = total_amp**2 / self.num_elements
-        elem_broadside = 10.0 ** (self._element_gain_dbi / 10.0)
-        scale = peak_gain * elem_broadside * 10.0 ** (self._scatter_level_db / 10.0)
+        elem_broadside = db_to_linear_scalar(self._element_gain_dbi)
+        scale = peak_gain * elem_broadside * db_to_linear_scalar(self._scatter_level_db)
         shape_power = np.abs(self._clutter_shape) ** 2
         # The scattered field depends on the excitation: different
         # beamforming weights illuminate the enclosure differently, so
@@ -552,7 +552,7 @@ class HornAntenna:
         self._gain = float(gain_dbi)
         if hpbw_deg is None:
             # Assume equal az/el beam widths for the directivity estimate.
-            hpbw_deg = math.sqrt(41_000.0 / (10.0 ** (self._gain / 10.0)))
+            hpbw_deg = math.sqrt(41_000.0 / db_to_linear_scalar(self._gain))
         if hpbw_deg <= 0:
             raise ValueError("HPBW must be positive")
         self._hpbw = float(hpbw_deg)

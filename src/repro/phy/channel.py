@@ -16,6 +16,11 @@ from typing import Optional
 
 import numpy as np
 
+from repro.analysis.dbmath import (
+    amplitude_to_db_scalar,
+    db_to_linear_scalar,
+    linear_to_db_scalar,
+)
 from repro.phy.antenna import SPEED_OF_LIGHT
 
 #: Center frequencies of the devices under test (Section 3.1): both the
@@ -45,7 +50,9 @@ def friis_path_loss_db(distance_m: float, frequency_hz: float) -> float:
         raise ValueError("distance must be positive")
     if frequency_hz <= 0:
         raise ValueError("frequency must be positive")
-    return 20.0 * math.log10(4.0 * math.pi * distance_m * frequency_hz / SPEED_OF_LIGHT)
+    return amplitude_to_db_scalar(
+        4.0 * math.pi * distance_m * frequency_hz / SPEED_OF_LIGHT
+    )
 
 
 def oxygen_absorption_db(distance_m: float, frequency_hz: float = SIXTY_GHZ) -> float:
@@ -73,7 +80,7 @@ def thermal_noise_dbm(bandwidth_hz: float, noise_figure_db: float = 7.0) -> floa
     if bandwidth_hz <= 0:
         raise ValueError("bandwidth must be positive")
     ktb_watts = BOLTZMANN * T0_KELVIN * bandwidth_hz
-    return 10.0 * math.log10(ktb_watts * 1e3) + noise_figure_db
+    return linear_to_db_scalar(ktb_watts * 1e3) + noise_figure_db
 
 
 @dataclass(frozen=True)
@@ -119,7 +126,7 @@ class LinkBudget:
         loss = friis_path_loss_db(distance_m, self.frequency_hz)
         loss += oxygen_absorption_db(distance_m, self.frequency_hz)
         if distance_m > 1.0:
-            loss += 10.0 * self.excess_exponent * math.log10(distance_m)
+            loss += self.excess_exponent * linear_to_db_scalar(distance_m)
         return loss
 
     def received_power_dbm(
@@ -162,9 +169,11 @@ class LinkBudget:
         interference_dbm: Optional[float] = None,
     ) -> float:
         """SINR given received signal and (optional) interference power."""
-        noise_lin = 10.0 ** (self.noise_floor_dbm() / 10.0)
-        interf_lin = 0.0 if interference_dbm is None else 10.0 ** (interference_dbm / 10.0)
-        return signal_dbm - 10.0 * math.log10(noise_lin + interf_lin)
+        noise_lin = db_to_linear_scalar(self.noise_floor_dbm())
+        interf_lin = (
+            0.0 if interference_dbm is None else db_to_linear_scalar(interference_dbm)
+        )
+        return signal_dbm - linear_to_db_scalar(noise_lin + interf_lin)
 
 
 class ShadowingProcess:
@@ -189,7 +198,10 @@ class ShadowingProcess:
             raise ValueError("coherence time must be positive")
         self._std = std_db
         self._tau = coherence_time_s
-        self._rng = rng if rng is not None else np.random.default_rng()
+        # Deterministic fallback: an unseeded generator here would make
+        # nominally seeded experiments irreproducible (and defeat the
+        # campaign engine's content-addressed cache).
+        self._rng = rng if rng is not None else np.random.default_rng(0)
         self._value = self._rng.normal(0.0, std_db) if std_db > 0 else 0.0
         self._time = 0.0
 

@@ -22,6 +22,8 @@ from typing import Iterable, List, Optional, Sequence
 
 import numpy as np
 
+from repro.analysis.dbmath import db_to_amplitude_scalar
+
 #: Sample rate used in most of the paper's captures (Section 3.1).
 DEFAULT_SAMPLE_RATE_HZ = 1.0e8
 
@@ -136,7 +138,10 @@ def synthesize_trace(
         raise ValueError("duration must be positive")
     if noise_floor_v < 0:
         raise ValueError("noise floor must be non-negative")
-    rng = rng if rng is not None else np.random.default_rng()
+    # Deterministic fallback: noise draws must be reproducible for a
+    # fixed (seed-derived) generator, and unseeded entropy here would
+    # leak nondeterminism into every synthesized trace.
+    rng = rng if rng is not None else np.random.default_rng(0)
     n = int(round(duration_s * sample_rate_hz))
     power = np.zeros(n)  # accumulate in power domain (V^2)
     end_s = start_s + duration_s
@@ -191,4 +196,4 @@ def received_amplitude_v(power_dbm: float, reference_dbm: float = -30.0, referen
     we anchor it so that ``reference_dbm`` produces ``reference_v`` at
     the scope.  Amplitude scales with the square root of power.
     """
-    return reference_v * 10.0 ** ((power_dbm - reference_dbm) / 20.0)
+    return reference_v * db_to_amplitude_scalar(power_dbm - reference_dbm)

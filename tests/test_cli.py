@@ -120,3 +120,30 @@ class TestCommands:
         first = capsys.readouterr().out
         assert main(["range", "--runs", "3", "--seed", "11"]) == 0
         assert capsys.readouterr().out == first
+
+
+class TestSeededDeterminism:
+    """Every experiment command, seeded, is byte-identical run to run.
+
+    This is the contract the campaign engine's content-addressed cache
+    rests on, and the property the dbmath scalar-helper refactor had to
+    preserve (RL003 cleanup).
+    """
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["patterns", "--rotated", "0"],
+            ["sweep", "--duration", "0.02"],
+            ["interference", "--distances", "0", "1", "--duration", "0.1"],
+            ["nlos"],
+            ["table1"],
+            ["spatial", "--links", "2"],
+        ],
+        ids=lambda argv: argv[0],
+    )
+    def test_two_seeded_runs_byte_identical(self, argv, capsys):
+        assert main(argv + ["--seed", "37"]) == 0
+        first = capsys.readouterr().out
+        assert main(argv + ["--seed", "37"]) == 0
+        assert capsys.readouterr().out == first

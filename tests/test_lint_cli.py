@@ -1,0 +1,208 @@
+"""CLI behavior of ``python -m repro lint``: exit codes, JSON, baseline."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.cli import main
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+CLEAN_SOURCE = """\
+import numpy as np
+
+
+def draw(seed):
+    rng = np.random.default_rng(seed)
+    return rng.normal()
+"""
+
+DIRTY_SOURCE = """\
+import random
+
+
+def draw():
+    return random.random()
+"""
+
+
+@pytest.fixture
+def project(tmp_path):
+    """A minimal project tree with a pyproject marking the root."""
+    (tmp_path / "pyproject.toml").write_text(
+        "[tool.repro-lint]\nbaseline = \"lint-baseline.json\"\n"
+    )
+    pkg = tmp_path / "src" / "repro" / "phy"
+    pkg.mkdir(parents=True)
+    return tmp_path
+
+
+def write_module(project, name, source):
+    path = project / "src" / "repro" / "phy" / name
+    path.write_text(source)
+    return path
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, project, capsys):
+        write_module(project, "clean.py", CLEAN_SOURCE)
+        rc = main(["lint", "--root", str(project), str(project / "src")])
+        assert rc == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, project, capsys):
+        write_module(project, "dirty.py", DIRTY_SOURCE)
+        rc = main(["lint", "--root", str(project), str(project / "src")])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "RL001" in out
+        assert "dirty.py" in out
+
+    def test_missing_path_exits_two(self, project, capsys):
+        rc = main(["lint", "--root", str(project), str(project / "nope")])
+        assert rc == 2
+
+    def test_default_path_is_src(self, project, capsys, monkeypatch):
+        write_module(project, "dirty.py", DIRTY_SOURCE)
+        monkeypatch.chdir(project)
+        rc = main(["lint"])
+        assert rc == 1
+
+
+class TestJsonOutput:
+    def test_json_document_shape(self, project, capsys):
+        write_module(project, "dirty.py", DIRTY_SOURCE)
+        rc = main(["lint", "--json", "--root", str(project), str(project / "src")])
+        assert rc == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["count"] == 1
+        assert doc["baselined"] == 0
+        (finding,) = doc["findings"]
+        assert finding["code"] == "RL001"
+        assert finding["path"].endswith("dirty.py")
+        assert finding["line"] >= 1
+        assert len(finding["fingerprint"]) == 16
+
+    def test_json_clean(self, project, capsys):
+        write_module(project, "clean.py", CLEAN_SOURCE)
+        rc = main(["lint", "--json", "--root", str(project), str(project / "src")])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc == {"findings": [], "count": 0, "baselined": 0}
+
+
+class TestBaseline:
+    def test_write_then_baseline_suppresses(self, project, capsys):
+        write_module(project, "dirty.py", DIRTY_SOURCE)
+        rc = main(
+            ["lint", "--write-baseline", "--root", str(project), str(project / "src")]
+        )
+        assert rc == 0
+        baseline = json.loads((project / "lint-baseline.json").read_text())
+        assert len(baseline["entries"]) == 1
+        assert baseline["entries"][0]["code"] == "RL001"
+
+        rc = main(
+            ["lint", "--baseline", "--root", str(project), str(project / "src")]
+        )
+        assert rc == 0
+        assert "1 baselined" in capsys.readouterr().out
+
+    def test_new_finding_fails_despite_baseline(self, project, capsys):
+        write_module(project, "dirty.py", DIRTY_SOURCE)
+        main(["lint", "--write-baseline", "--root", str(project), str(project / "src")])
+        write_module(
+            project,
+            "newer.py",
+            "import random\ny = random.uniform(0.0, 1.0)\n",
+        )
+        rc = main(["lint", "--baseline", "--root", str(project), str(project / "src")])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "newer.py" in out
+        assert "dirty.py" not in out.replace("1 baselined", "")
+
+    def test_missing_baseline_treated_as_empty(self, project, capsys):
+        write_module(project, "dirty.py", DIRTY_SOURCE)
+        rc = main(["lint", "--baseline", "--root", str(project), str(project / "src")])
+        assert rc == 1
+
+    def test_corrupt_baseline_exits_two(self, project, capsys):
+        write_module(project, "clean.py", CLEAN_SOURCE)
+        (project / "lint-baseline.json").write_text("{not json")
+        rc = main(["lint", "--baseline", "--root", str(project), str(project / "src")])
+        assert rc == 2
+
+    def test_baseline_is_multiset(self, project):
+        # Two identical violations need two baseline entries; fixing one
+        # but reintroducing it elsewhere must not widen the allowance.
+        write_module(
+            project,
+            "dirty.py",
+            "import random\nx = random.random()\nx = random.random()\n",
+        )
+        main(["lint", "--write-baseline", "--root", str(project), str(project / "src")])
+        baseline = json.loads((project / "lint-baseline.json").read_text())
+        assert len(baseline["entries"]) == 2
+        rc = main(["lint", "--baseline", "--root", str(project), str(project / "src")])
+        assert rc == 0
+
+
+class TestConfig:
+    def test_pyproject_per_file_ignores(self, project, capsys):
+        (project / "pyproject.toml").write_text(
+            "[tool.repro-lint.per-file-ignores]\n"
+            '"src/repro/phy/dirty.py" = ["RL001"]\n'
+        )
+        write_module(project, "dirty.py", DIRTY_SOURCE)
+        rc = main(["lint", "--root", str(project), str(project / "src")])
+        assert rc == 0
+
+    def test_pyproject_global_disable(self, project):
+        (project / "pyproject.toml").write_text(
+            "[tool.repro-lint]\ndisable = [\"RL001\"]\n"
+        )
+        write_module(project, "dirty.py", DIRTY_SOURCE)
+        rc = main(["lint", "--root", str(project), str(project / "src")])
+        assert rc == 0
+
+    def test_exclude_glob(self, project):
+        (project / "pyproject.toml").write_text(
+            "[tool.repro-lint]\nexclude = [\"*/generated/*\"]\n"
+        )
+        gen = project / "src" / "repro" / "phy" / "generated"
+        gen.mkdir()
+        (gen / "dirty.py").write_text(DIRTY_SOURCE)
+        rc = main(["lint", "--root", str(project), str(project / "src")])
+        assert rc == 0
+
+    def test_list_rules(self, capsys):
+        rc = main(["lint", "--list-rules"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for i in range(1, 9):
+            assert f"RL00{i}" in out
+
+
+class TestSelfLint:
+    """The repository's own source must be clean modulo the baseline."""
+
+    def test_src_tree_clean_against_committed_baseline(self, capsys):
+        rc = main(
+            [
+                "lint",
+                "--baseline",
+                "--root",
+                str(REPO_ROOT),
+                str(REPO_ROOT / "src"),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0, f"repro lint found new violations:\n{out}"
+
+    def test_committed_baseline_is_empty(self):
+        # All real findings were fixed in-tree rather than grandfathered;
+        # keep it that way.
+        baseline = json.loads((REPO_ROOT / "lint-baseline.json").read_text())
+        assert baseline["entries"] == []
