@@ -83,6 +83,36 @@ def amplitude_to_db_scalar(ratio: float) -> float:
     return 20.0 * math.log10(ratio)
 
 
+def amplitude_to_db(ratio: ArrayLike) -> np.ndarray:
+    """Amplitude (voltage) ratio to dB: ``20 log10(r)``, array variant.
+
+    Non-positive ratios map to :data:`DB_FLOOR`.  Uses numpy's
+    ``log10`` (not :mod:`math`), so it is bit-identical to the inline
+    ``20.0 * np.log10(r)`` it replaces — see the note on
+    :func:`db_to_linear_scalar` about the two implementations not
+    being interchangeable at the last bit.
+    """
+    arr = np.asarray(ratio, dtype=float)
+    out = np.full_like(arr, DB_FLOOR, dtype=float)
+    positive = arr > 0
+    np.log10(arr, out=out, where=positive)
+    out[positive] *= 20.0
+    return out
+
+
+def log_distance_loss_db(excess_exponent: float, distance: float) -> float:
+    """Excess log-distance path-loss term ``10 * n * log10(d)`` in dB.
+
+    Evaluated with the grouping ``(10 * n) * log10(d)``.  Float
+    multiplication is non-associative and the campaign engine's
+    content-addressed cache keys on bit-identical outputs, so the
+    historical operand order is part of this function's contract — do
+    not regroup it.  ``distance`` must be positive (it is a physical
+    distance in metres); no :data:`DB_FLOOR` guard is applied.
+    """
+    return 10.0 * excess_exponent * math.log10(distance)
+
+
 def watts_to_dbm(power_watts: ArrayLike) -> np.ndarray:
     """Convert absolute power in watts to dBm."""
     return linear_to_db(np.asarray(power_watts, dtype=float) * 1e3)

@@ -18,7 +18,7 @@ from typing import List, Sequence
 
 import numpy as np
 
-from repro.analysis.dbmath import amplitude_to_db_scalar
+from repro.analysis.dbmath import amplitude_to_db
 from repro.core.frames import DetectedFrame
 from repro.mac.frames import DISCOVERY_SUBELEMENTS
 from repro.phy.signal import Trace
@@ -101,4 +101,7 @@ def subelement_variation_db(amplitudes: Sequence[float]) -> float:
     positive = arr[arr > 0]
     if positive.size == 0:
         return 0.0
-    return amplitude_to_db_scalar(float(positive.max() / positive.min()))
+    # Array-variant helper: numpy's log10, bit-identical to the inline
+    # 20*np.log10 this historically was (math.log10 can differ by 1 ULP,
+    # which would shift content-addressed campaign cache keys).
+    return float(amplitude_to_db(positive.max() / positive.min()))

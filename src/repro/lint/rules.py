@@ -39,6 +39,23 @@ _NP_RANDOM_OK = {
 _PY_RANDOM_OK = {"Random"}
 
 
+def _default_rng_is_unseeded(node: ast.Call) -> bool:
+    """True when a ``default_rng`` call pulls OS entropy.
+
+    Both the bare ``default_rng()`` and an explicit ``None`` seed
+    (``default_rng(None)`` / ``default_rng(seed=None)``) fall back to
+    operating-system entropy and are equally nondeterministic.
+    """
+    if not node.args and not node.keywords:
+        return True
+    if node.args and isinstance(node.args[0], ast.Constant) and node.args[0].value is None:
+        return True
+    return any(
+        kw.arg == "seed" and isinstance(kw.value, ast.Constant) and kw.value.value is None
+        for kw in node.keywords
+    )
+
+
 @register
 class UnseededRngRule(Rule):
     code = "RL001"
@@ -79,7 +96,7 @@ class UnseededRngRule(Rule):
         elif isinstance(func, ast.Name):
             origin = self._imports.origin_of(func.id)
             if origin == "numpy.random.default_rng":
-                if not node.args and not node.keywords:
+                if _default_rng_is_unseeded(node):
                     self._flag(node, ctx, "unseeded numpy.random.default_rng()")
             elif origin and origin.startswith("numpy.random."):
                 tail = origin.rsplit(".", 1)[1]
@@ -92,7 +109,7 @@ class UnseededRngRule(Rule):
 
     def _visit_np_random(self, node: ast.Call, attr: str, ctx: FileContext) -> None:
         if attr == "default_rng":
-            if not node.args and not node.keywords:
+            if _default_rng_is_unseeded(node):
                 self._flag(node, ctx, "unseeded numpy.random.default_rng()")
         elif attr not in _NP_RANDOM_OK:
             self._flag(node, ctx, f"call to legacy global numpy.random.{attr}()")

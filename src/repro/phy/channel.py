@@ -20,8 +20,10 @@ from repro.analysis.dbmath import (
     amplitude_to_db_scalar,
     db_to_linear_scalar,
     linear_to_db_scalar,
+    log_distance_loss_db,
 )
 from repro.phy.antenna import SPEED_OF_LIGHT
+from repro.seeding import fallback_rng
 
 #: Center frequencies of the devices under test (Section 3.1): both the
 #: D5000 and the Air-3c operate on channel centers 60.48 and 62.64 GHz.
@@ -126,7 +128,7 @@ class LinkBudget:
         loss = friis_path_loss_db(distance_m, self.frequency_hz)
         loss += oxygen_absorption_db(distance_m, self.frequency_hz)
         if distance_m > 1.0:
-            loss += self.excess_exponent * linear_to_db_scalar(distance_m)
+            loss += log_distance_loss_db(self.excess_exponent, distance_m)
         return loss
 
     def received_power_dbm(
@@ -198,10 +200,11 @@ class ShadowingProcess:
             raise ValueError("coherence time must be positive")
         self._std = std_db
         self._tau = coherence_time_s
-        # Deterministic fallback: an unseeded generator here would make
-        # nominally seeded experiments irreproducible (and defeat the
-        # campaign engine's content-addressed cache).
-        self._rng = rng if rng is not None else np.random.default_rng(0)
+        # Without rng, draw a distinct deterministic fallback stream
+        # (shadowing on different links must stay independent) and warn
+        # so seeded experiments that forget to thread their rng are
+        # surfaced, not silently masked.
+        self._rng = rng if rng is not None else fallback_rng("ShadowingProcess")
         self._value = self._rng.normal(0.0, std_db) if std_db > 0 else 0.0
         self._time = 0.0
 

@@ -23,6 +23,7 @@ from typing import Iterable, List, Optional, Sequence
 import numpy as np
 
 from repro.analysis.dbmath import db_to_amplitude_scalar
+from repro.seeding import fallback_rng
 
 #: Sample rate used in most of the paper's captures (Section 3.1).
 DEFAULT_SAMPLE_RATE_HZ = 1.0e8
@@ -138,10 +139,10 @@ def synthesize_trace(
         raise ValueError("duration must be positive")
     if noise_floor_v < 0:
         raise ValueError("noise floor must be non-negative")
-    # Deterministic fallback: noise draws must be reproducible for a
-    # fixed (seed-derived) generator, and unseeded entropy here would
-    # leak nondeterminism into every synthesized trace.
-    rng = rng if rng is not None else np.random.default_rng(0)
+    # Without rng, draw a distinct deterministic fallback stream (noise
+    # in separately synthesized traces must stay independent) and warn
+    # so callers that forget to thread a campaign seed are surfaced.
+    rng = rng if rng is not None else fallback_rng("synthesize_trace")
     n = int(round(duration_s * sample_rate_hz))
     power = np.zeros(n)  # accumulate in power domain (V^2)
     end_s = start_s + duration_s

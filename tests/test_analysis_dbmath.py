@@ -7,9 +7,11 @@ import pytest
 
 from repro.analysis.dbmath import (
     DB_FLOOR,
+    amplitude_to_db,
     db_to_linear,
     dbm_to_watts,
     linear_to_db,
+    log_distance_loss_db,
     power_average_db,
     power_sum_db,
     watts_to_dbm,
@@ -79,3 +81,42 @@ class TestPowerCombining:
     def test_average_of_empty_raises(self):
         with pytest.raises(ValueError):
             power_average_db([])
+
+
+class TestAmplitudeToDb:
+    def test_unity_ratio_is_zero_db(self):
+        assert float(amplitude_to_db(1.0)) == 0.0
+
+    def test_factor_ten_is_twenty_db(self):
+        assert float(amplitude_to_db(10.0)) == pytest.approx(20.0)
+
+    def test_floors_non_positive(self):
+        out = amplitude_to_db([0.0, -1.0, 2.0])
+        assert out[0] == DB_FLOOR
+        assert out[1] == DB_FLOOR
+        assert out[2] == pytest.approx(20 * math.log10(2.0))
+
+    def test_bit_identical_to_inline_numpy_log10(self):
+        # The campaign cache keys on bit-identical outputs, so the
+        # helper must match the inline 20*np.log10 it replaced exactly.
+        rng = np.random.default_rng(7)
+        ratios = rng.uniform(1e-6, 1e3, 1000)
+        for r in ratios:
+            assert float(amplitude_to_db(r)) == float(20.0 * np.log10(r))
+
+
+class TestLogDistanceLoss:
+    def test_matches_inline_grouping_bit_for_bit(self):
+        # Must reproduce (10 * n) * log10(d) — the historical operand
+        # order — not n * (10 * log10(d)), which can differ by 1 ULP.
+        rng = np.random.default_rng(11)
+        for _ in range(1000):
+            n = float(rng.uniform(0.05, 4.0))
+            d = float(rng.uniform(1.0001, 200.0))
+            assert log_distance_loss_db(n, d) == 10.0 * n * math.log10(d)
+
+    def test_unit_distance_is_zero(self):
+        assert log_distance_loss_db(0.5, 1.0) == 0.0
+
+    def test_scales_with_exponent(self):
+        assert log_distance_loss_db(2.0, 10.0) == pytest.approx(20.0)

@@ -81,6 +81,28 @@ class TestRL001:
         )
         assert codes(found) == []
 
+    def test_explicit_none_seed_fires(self):
+        # default_rng(None) pulls OS entropy exactly like default_rng().
+        found = run(
+            """
+            import numpy as np
+            a = np.random.default_rng(None)
+            b = np.random.default_rng(seed=None)
+            """
+        )
+        assert codes(found) == ["RL001", "RL001"]
+
+    def test_from_import_none_seed_fires(self):
+        found = run(
+            """
+            from numpy.random import default_rng
+            bad = default_rng(None)
+            also_bad = default_rng(seed=None)
+            good = default_rng(seed=0)
+            """
+        )
+        assert codes(found) == ["RL001", "RL001"]
+
     def test_from_import_default_rng(self):
         found = run(
             """

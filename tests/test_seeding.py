@@ -1,0 +1,71 @@
+"""Tests for the deterministic fallback RNG streams (repro.seeding)."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.phy.channel import ShadowingProcess
+from repro.phy.signal import Emission, synthesize_trace
+from repro.seeding import FallbackSeedWarning, fallback_rng
+
+
+class TestFallbackRng:
+    def test_each_call_yields_independent_stream(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", FallbackSeedWarning)
+            a = fallback_rng("test")
+            b = fallback_rng("test")
+        assert not np.array_equal(a.standard_normal(16), b.standard_normal(16))
+
+    def test_warns_with_owner_name(self):
+        with pytest.warns(FallbackSeedWarning, match="my-component"):
+            fallback_rng("my-component")
+
+
+class TestShadowingFallback:
+    def test_default_instances_are_not_correlated(self):
+        # Two default-constructed processes model *different* links and
+        # must not replay one identical stream.
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", FallbackSeedWarning)
+            s1 = ShadowingProcess(std_db=3.0)
+            s2 = ShadowingProcess(std_db=3.0)
+        v1 = [s1.advance(t * 10.0) for t in range(1, 50)]
+        v2 = [s2.advance(t * 10.0) for t in range(1, 50)]
+        assert v1 != v2
+
+    def test_missing_rng_is_surfaced(self):
+        with pytest.warns(FallbackSeedWarning, match="ShadowingProcess"):
+            ShadowingProcess(std_db=3.0)
+
+    def test_explicit_rng_does_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", FallbackSeedWarning)
+            ShadowingProcess(std_db=3.0, rng=np.random.default_rng(1))
+
+
+class TestSynthesizeTraceFallback:
+    def test_default_noise_draws_are_independent(self):
+        em = Emission(start_s=1e-4, duration_s=2e-4, amplitude_v=0.5)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", FallbackSeedWarning)
+            t1 = synthesize_trace([em], duration_s=1e-3, noise_floor_v=0.01)
+            t2 = synthesize_trace([em], duration_s=1e-3, noise_floor_v=0.01)
+        assert not np.array_equal(t1.samples, t2.samples)
+
+    def test_missing_rng_is_surfaced(self):
+        em = Emission(start_s=1e-4, duration_s=2e-4, amplitude_v=0.5)
+        with pytest.warns(FallbackSeedWarning, match="synthesize_trace"):
+            synthesize_trace([em], duration_s=1e-3, noise_floor_v=0.01)
+
+    def test_explicit_rng_does_not_warn(self):
+        em = Emission(start_s=1e-4, duration_s=2e-4, amplitude_v=0.5)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", FallbackSeedWarning)
+            synthesize_trace(
+                [em],
+                duration_s=1e-3,
+                noise_floor_v=0.01,
+                rng=np.random.default_rng(2),
+            )
