@@ -20,7 +20,14 @@ from typing import Iterable, List, Tuple
 
 from repro.lint.engine import Finding
 
-BASELINE_VERSION = 1
+#: Version 2 fingerprints mix in the enclosing scope and column, so
+#: identical findings on different lines of one file no longer share a
+#: fingerprint (the multiset match used to treat them as
+#: interchangeable).  Line-move tolerance is unchanged: the line
+#: number itself is still not part of the fingerprint.  Loading is
+#: version-agnostic — stale version-1 entries simply stop matching and
+#: show up as new findings, which is the safe failure mode.
+BASELINE_VERSION = 2
 
 
 def load_baseline(path: pathlib.Path) -> Counter:
@@ -47,6 +54,8 @@ def write_baseline(path: pathlib.Path, findings: Iterable[Finding]) -> int:
             "code": f.code,
             "path": f.path,
             "line": f.line,
+            "col": f.col,
+            "context": f.context,
             "message": f.message,
         }
         for f in sorted(findings, key=Finding.sort_key)

@@ -5,6 +5,15 @@ Exit codes (stable, for CI):
 * ``0`` — no findings (after baseline subtraction, if requested)
 * ``1`` — at least one (non-baselined) finding
 * ``2`` — operational error (unreadable baseline, bad arguments)
+
+``--flow`` additionally runs the whole-program passes
+(:mod:`repro.lint.flow`): symbol table + call graph construction, then
+interprocedural dB/linear unit inference (RL010-RL012) and RNG taint
+tracking (RL013-RL015).  Flow findings merge into the same output,
+baseline, and exit-code machinery as the per-file rules.
+
+``--stats`` prints a per-rule finding table, the analyzed-file count,
+and wall time — for triaging CI logs at a glance.
 """
 
 from __future__ import annotations
@@ -13,11 +22,13 @@ import argparse
 import json
 import pathlib
 import sys
+import time
+from collections import Counter
 from typing import List, Optional
 
 from repro.lint import baseline as baseline_mod
 from repro.lint.config import find_root, load_config
-from repro.lint.engine import RULES, Finding, lint_paths
+from repro.lint.engine import RULES, Finding, iter_python_files, lint_paths
 
 
 def resolve_paths(
@@ -31,6 +42,7 @@ def resolve_paths(
 
 
 def run_lint(args: argparse.Namespace) -> int:
+    start_time = time.perf_counter()
     start = pathlib.Path(args.paths[0]) if args.paths else pathlib.Path.cwd()
     root = pathlib.Path(args.root) if args.root else find_root(start)
     config = load_config(root)
@@ -44,6 +56,12 @@ def run_lint(args: argparse.Namespace) -> int:
         return 2
 
     findings = lint_paths(paths, root, config)
+    flow_stats = None
+    if args.flow:
+        from repro.lint.flow import analyze_paths
+
+        flow_findings, flow_stats = analyze_paths(paths, root, config)
+        findings = sorted([*findings, *flow_findings], key=Finding.sort_key)
     baseline_path = root / config.baseline
 
     if args.write_baseline:
@@ -60,18 +78,18 @@ def run_lint(args: argparse.Namespace) -> int:
             return 2
         findings, baselined = baseline_mod.apply_baseline(findings, known)
 
+    duration_s = time.perf_counter() - start_time
     if args.json:
-        print(
-            json.dumps(
-                {
-                    "findings": [f.to_dict() for f in findings],
-                    "count": len(findings),
-                    "baselined": baselined,
-                },
-                indent=2,
-                sort_keys=True,
-            )
-        )
+        doc = {
+            "findings": [f.to_dict() for f in findings],
+            "count": len(findings),
+            "baselined": baselined,
+        }
+        if flow_stats is not None:
+            doc["flow"] = flow_stats.to_dict()
+        if args.stats:
+            doc["stats"] = _stats_dict(findings, paths, config, duration_s)
+        print(json.dumps(doc, indent=2, sort_keys=True))
     else:
         for finding in findings:
             print(finding.render())
@@ -79,7 +97,33 @@ def run_lint(args: argparse.Namespace) -> int:
         if baselined:
             summary += f", {baselined} baselined"
         print(summary)
+        if args.stats:
+            _print_stats(findings, paths, config, duration_s, flow_stats)
     return 1 if findings else 0
+
+
+def _stats_dict(findings, paths, config, duration_s) -> dict:
+    by_rule = Counter(f.code for f in findings)
+    return {
+        "by_rule": dict(sorted(by_rule.items())),
+        "files_analyzed": len(iter_python_files(list(paths), config)),
+        "wall_time_s": round(duration_s, 3),
+    }
+
+
+def _print_stats(findings, paths, config, duration_s, flow_stats) -> None:
+    stats = _stats_dict(findings, paths, config, duration_s)
+    print("-- stats --")
+    for code, count in stats["by_rule"].items():
+        print(f"  {code}: {count}")
+    print(f"  files analyzed: {stats['files_analyzed']}")
+    if flow_stats is not None:
+        print(
+            f"  flow: {flow_stats.modules} modules, "
+            f"{flow_stats.functions} functions, "
+            f"{flow_stats.call_edges} call edges"
+        )
+    print(f"  wall time: {stats['wall_time_s']:.3f} s")
 
 
 def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
@@ -87,6 +131,12 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         "paths",
         nargs="*",
         help="files or directories to lint (default: <root>/src)",
+    )
+    parser.add_argument(
+        "--flow",
+        action="store_true",
+        help="also run the whole-program passes (unit inference RL010-012, "
+        "RNG taint RL013-015)",
     )
     parser.add_argument(
         "--baseline",
@@ -101,7 +151,12 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--json",
         action="store_true",
-        help="machine-readable output (findings, count, baselined)",
+        help="machine-readable output (findings, count, baselined, flow)",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print per-rule finding counts, analyzed-file count, and wall time",
     )
     parser.add_argument(
         "--root",
@@ -116,9 +171,13 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
 
 
 def list_rules() -> int:
-    for code in sorted(RULES):
-        rule = RULES[code]
-        print(f"{code}  {rule.name:<26} {rule.summary}")
+    from repro.lint.flow import FLOW_RULES
+
+    catalog = {code: (cls.name, cls.summary) for code, cls in RULES.items()}
+    catalog.update(FLOW_RULES)
+    for code in sorted(catalog):
+        name, summary = catalog[code]
+        print(f"{code}  {name:<26} {summary}")
     return 0
 
 

@@ -10,6 +10,8 @@ Settings live in ``pyproject.toml`` under ``[tool.repro-lint]``::
     wall-clock-packages = ["repro.mac"]  # where RL002 applies
     rng-entry-points = []              # modules exempt from RL001
     dbmath-modules = ["repro.analysis.dbmath"]  # RL003's own home
+    flow-unit-packages = ["repro.phy", "repro.mac"]  # RL012 scope
+    flow-rng-packages = ["repro.phy", "repro.mac"]   # RL013/RL015 scope
 
     [tool.repro-lint.per-file-ignores]
     "src/repro/campaign/telemetry.py" = ["RL002"]
@@ -59,6 +61,21 @@ DEFAULT_PHYSICS_PACKAGES = (
 #: themselves).
 DEFAULT_DBMATH_MODULES = ("repro.analysis.dbmath",)
 
+#: Packages whose *public* API must declare units by suffix or
+#: ``# replint: unit=...`` annotation (RL012 scope).
+DEFAULT_FLOW_UNIT_PACKAGES = ("repro.phy", "repro.mac")
+
+#: Packages whose functions are checked for RNG injection and dropped
+#: seed chains (RL013/RL015 scope).
+DEFAULT_FLOW_RNG_PACKAGES = (
+    "repro.phy",
+    "repro.mac",
+    "repro.core",
+    "repro.experiments",
+    "repro.devices",
+    "repro.campaign",
+)
+
 
 @dataclass(frozen=True)
 class LintConfig:
@@ -72,6 +89,8 @@ class LintConfig:
     physics_packages: Tuple[str, ...] = DEFAULT_PHYSICS_PACKAGES
     rng_entry_points: Tuple[str, ...] = ()
     dbmath_modules: Tuple[str, ...] = DEFAULT_DBMATH_MODULES
+    flow_unit_packages: Tuple[str, ...] = DEFAULT_FLOW_UNIT_PACKAGES
+    flow_rng_packages: Tuple[str, ...] = DEFAULT_FLOW_RNG_PACKAGES
 
     def is_ignored(self, rel_path: str, code: str) -> bool:
         """True if ``code`` is switched off for ``rel_path`` by config."""
@@ -151,4 +170,10 @@ def load_config(root: pathlib.Path) -> LintConfig:
         ),
         rng_entry_points=_strings(section.get("rng-entry-points"), ()),
         dbmath_modules=_strings(section.get("dbmath-modules"), DEFAULT_DBMATH_MODULES),
+        flow_unit_packages=_strings(
+            section.get("flow-unit-packages"), DEFAULT_FLOW_UNIT_PACKAGES
+        ),
+        flow_rng_packages=_strings(
+            section.get("flow-rng-packages"), DEFAULT_FLOW_RNG_PACKAGES
+        ),
     )

@@ -7,10 +7,13 @@ rules can ask questions like "which function am I inside?" without a
 second traversal.
 
 Findings carry a *fingerprint* — a short hash of (rule code, file,
-normalized source line) — which is what the committed baseline matches
-against.  Fingerprints survive unrelated edits that only move a line,
-but change when the offending line itself changes, so a baseline entry
-cannot silently cover new code.
+enclosing scope, normalized source line, column) — which is what the
+committed baseline matches against.  Fingerprints survive unrelated
+edits that only move a line vertically, but change when the offending
+line itself changes, so a baseline entry cannot silently cover new
+code.  The scope and column components keep otherwise-identical lines
+in different functions (or different columns of one line) from
+colliding into interchangeable baseline entries.
 
 Inline suppressions use ``# replint: disable=RL003`` (comma-separated
 codes, or ``all``) on the first line of the flagged statement.
@@ -44,13 +47,24 @@ class Finding:
     code: str
     message: str
     line_text: str = ""
+    #: Enclosing scope ("Class.method", "function", or "" at module
+    #: level) — part of the fingerprint so identical lines in
+    #: different scopes stay distinct baseline entries.
+    context: str = ""
 
     @property
     def fingerprint(self) -> str:
-        """Stable identity for baseline matching (code+file+line text)."""
+        """Stable identity for baseline matching.
+
+        Hashes (code, file, scope, normalized line text, column) — the
+        line *number* is deliberately excluded so a finding keeps its
+        fingerprint when unrelated edits move it vertically.
+        """
         normalized = " ".join(self.line_text.split())
         digest = hashlib.sha256(
-            f"{self.code}|{self.path}|{normalized}".encode("utf-8")
+            f"{self.code}|{self.path}|{self.context}|{normalized}|{self.col}".encode(
+                "utf-8"
+            )
         )
         return digest.hexdigest()[:16]
 
@@ -63,6 +77,7 @@ class Finding:
             "line": self.line,
             "col": self.col,
             "code": self.code,
+            "context": self.context,
             "message": self.message,
             "fingerprint": self.fingerprint,
         }
@@ -113,6 +128,15 @@ class FileContext:
                 return node
         return None
 
+    def scope_name(self) -> str:
+        """Dotted class/function scope of the current node ("" at top level)."""
+        parts = [
+            node.name
+            for node in self.stack
+            if isinstance(node, (ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        return ".".join(parts)
+
     def line_text(self, lineno: int) -> str:
         if 1 <= lineno <= len(self.lines):
             return self.lines[lineno - 1].strip()
@@ -143,6 +167,7 @@ class FileContext:
                 code=code,
                 message=message,
                 line_text=self.line_text(lineno),
+                context=self.scope_name(),
             )
         )
 

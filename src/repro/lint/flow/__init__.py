@@ -1,0 +1,191 @@
+"""Whole-program flow analysis layer (``repro lint --flow``).
+
+Builds a project symbol table and call graph over the analyzed files,
+then runs two interprocedural passes on top of them:
+
+* :mod:`repro.lint.flow.units` — dB/linear unit inference
+  (RL010-RL012);
+* :mod:`repro.lint.flow.rngflow` — RNG-determinism taint tracking
+  (RL013-RL015).
+
+Findings use the same :class:`repro.lint.engine.Finding` type as the
+per-file rules, honor the same inline ``# replint: disable=...``
+suppressions, per-file ignores, and baseline machinery, and merge into
+the same CLI output.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.lint.config import LintConfig
+from repro.lint.engine import _SUPPRESS_RE, Finding, iter_python_files
+from repro.lint.flow.callgraph import build_call_graph
+from repro.lint.flow.rngflow import RngPass
+from repro.lint.flow.symbols import ModuleInfo, SymbolTable, build_symbol_table
+from repro.lint.flow.units import UnitPass
+
+#: Rule catalog for the flow passes (code -> (name, summary)), merged
+#: into ``repro lint --list-rules`` alongside the per-file registry.
+FLOW_RULES: Dict[str, Tuple[str, str]] = {
+    "RL010": (
+        "unit-conflicting-argument",
+        "call argument or cross-call arithmetic mixes dB and linear domains",
+    ),
+    "RL011": (
+        "unit-conflicting-return",
+        "return value conflicts with the unit the function declares",
+    ),
+    "RL012": (
+        "undeclared-unit-api",
+        "public phy/mac API with a physical return but no unit suffix/annotation",
+    ),
+    "RL013": (
+        "rng-not-injected",
+        "function builds a fixed-seed RNG instead of accepting a Generator",
+    ),
+    "RL014": (
+        "module-global-rng",
+        "RNG stored on a module/class global shares one stream process-wide",
+    ),
+    "RL015": (
+        "rng-chain-dropped",
+        "seeded generator not forwarded to a callee that accepts one",
+    ),
+}
+
+
+@dataclass
+class FlowStats:
+    """Shape of the ``flow`` section in ``repro lint --json`` output."""
+
+    files: int = 0
+    modules: int = 0
+    functions: int = 0
+    call_edges: int = 0
+    findings: int = 0
+    suppressed: int = 0
+    by_rule: Dict[str, int] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "files": self.files,
+            "modules": self.modules,
+            "functions": self.functions,
+            "call_edges": self.call_edges,
+            "findings": self.findings,
+            "suppressed": self.suppressed,
+            "by_rule": dict(sorted(self.by_rule.items())),
+        }
+
+
+class Reporter:
+    """Finding sink applying config/suppression filtering for the passes."""
+
+    def __init__(self, config: LintConfig):
+        self.config = config
+        self.findings: List[Finding] = []
+        self.suppressed_count = 0
+        self._suppressions: Dict[str, Dict[int, frozenset]] = {}
+
+    def _module_suppressions(self, module: ModuleInfo) -> Dict[int, frozenset]:
+        cached = self._suppressions.get(module.rel_path)
+        if cached is None:
+            cached = {}
+            for lineno, text in enumerate(module.lines, start=1):
+                match = _SUPPRESS_RE.search(text)
+                if match:
+                    cached[lineno] = frozenset(
+                        c.strip().upper()
+                        for c in match.group(1).split(",")
+                        if c.strip()
+                    )
+            self._suppressions[module.rel_path] = cached
+        return cached
+
+    def report(
+        self,
+        module: ModuleInfo,
+        node: ast.AST,
+        code: str,
+        message: str,
+        context: str = "",
+    ) -> None:
+        lineno = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        if code in self.config.disable:
+            return
+        if self.config.is_ignored(module.rel_path, code):
+            return
+        codes = self._module_suppressions(module).get(lineno)
+        if codes is not None and (code.upper() in codes or "ALL" in codes):
+            self.suppressed_count += 1
+            return
+        line_text = (
+            module.lines[lineno - 1].strip() if 1 <= lineno <= len(module.lines) else ""
+        )
+        self.findings.append(
+            Finding(
+                path=module.rel_path,
+                line=lineno,
+                col=col + 1,
+                code=code,
+                message=message,
+                line_text=line_text,
+                context=context,
+            )
+        )
+
+
+def analyze_files(
+    files: List[Tuple[str, str]], config: Optional[LintConfig] = None
+) -> Tuple[List[Finding], FlowStats]:
+    """Run the flow passes over ``(rel_path, source)`` pairs."""
+    config = config if config is not None else LintConfig()
+    table: SymbolTable = build_symbol_table(files)
+    graph = build_call_graph(table)
+    reporter = Reporter(config)
+    UnitPass(table, graph, config, reporter).run()
+    RngPass(table, graph, config, reporter).run()
+    findings = sorted(reporter.findings, key=Finding.sort_key)
+    stats = FlowStats(
+        files=len(files),
+        modules=len(table.modules),
+        functions=len(table.functions),
+        call_edges=graph.edge_count,
+        findings=len(findings),
+        suppressed=reporter.suppressed_count,
+    )
+    for finding in findings:
+        stats.by_rule[finding.code] = stats.by_rule.get(finding.code, 0) + 1
+    return findings, stats
+
+
+def analyze_paths(
+    paths: Iterable[pathlib.Path], root: pathlib.Path, config: LintConfig
+) -> Tuple[List[Finding], FlowStats]:
+    """Run the flow passes over every python file under ``paths``."""
+    files: List[Tuple[str, str]] = []
+    for path in iter_python_files(list(paths), config):
+        try:
+            rel = path.resolve().relative_to(root.resolve())
+        except ValueError:
+            rel = pathlib.Path(path.name)
+        try:
+            source = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError):
+            continue  # the per-file engine reports unreadable files
+        files.append((rel.as_posix(), source))
+    return analyze_files(files, config)
+
+
+__all__ = [
+    "FLOW_RULES",
+    "FlowStats",
+    "Reporter",
+    "analyze_files",
+    "analyze_paths",
+]

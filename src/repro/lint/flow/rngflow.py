@@ -1,0 +1,186 @@
+"""RNG-determinism taint tracking (rules RL013-RL015).
+
+The campaign engine's content-addressed cache is only valid if a
+cell's ``seed`` reaches every stochastic component.  The per-file rule
+RL001 catches *unseeded* RNG construction; the failure modes it cannot
+see are structural:
+
+* **RL013** — a library function constructs its own fixed-seed
+  generator instead of accepting one: every caller gets the same
+  stream, so nominally independent draws are perfectly correlated and
+  a campaign ``--seed`` cannot reach them.
+* **RL014** — a generator stored on a module (or class-body) global:
+  one process-wide stream shared across all users, with draw order —
+  not seeds — deciding the results.
+* **RL015** — a seeded generator that is *dropped* mid-chain: the
+  caller holds an rng, the callee accepts one, but the call site does
+  not forward it, so the callee silently falls back to its own
+  stream.
+
+Sources are ``numpy.random.default_rng`` / ``Generator`` /
+``RandomState``, ``random.Random``, and the toolkit's own
+:func:`repro.seeding.fallback_rng`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set
+
+from repro.lint.config import module_in
+from repro.lint.flow.callgraph import CallGraph, CallResolver, bind_arguments
+from repro.lint.flow.symbols import FunctionInfo, ModuleInfo, ParamInfo, SymbolTable
+
+#: Canonical dotted names that construct (or are) an RNG stream.
+RNG_CONSTRUCTORS = {
+    "numpy.random.default_rng",
+    "numpy.random.Generator",
+    "numpy.random.RandomState",
+    "random.Random",
+    "repro.seeding.fallback_rng",
+}
+
+
+def is_rng_param(param: ParamInfo) -> bool:
+    """Heuristic: does this parameter carry a generator?"""
+    if param.name == "rng" or param.name.endswith("_rng"):
+        return True
+    return "Generator" in param.annotation
+
+
+def rng_params(fn: FunctionInfo) -> List[ParamInfo]:
+    return [p for p in fn.params if is_rng_param(p)]
+
+
+def _expr_mentions_identifier(node: ast.AST) -> bool:
+    """True when an expression references any name — i.e. the seed is
+    derived from surrounding state rather than hard-coded."""
+    return any(isinstance(sub, (ast.Name, ast.Attribute)) for sub in ast.walk(node))
+
+
+class RngPass:
+    """Runs the three RNG-taint checks over the symbol table."""
+
+    def __init__(self, table: SymbolTable, graph: CallGraph, config, reporter):
+        self.table = table
+        self.graph = graph
+        self.config = config
+        self.reporter = reporter
+        self.resolver = CallResolver(table)
+
+    def run(self) -> None:
+        for module in sorted(self.table.modules.values(), key=lambda m: m.name):
+            self._check_module_globals(module)
+            if not module_in(module.name, self.config.flow_rng_packages):
+                continue
+            functions = list(module.functions.values())
+            for cls in module.classes.values():
+                functions.extend(cls.methods.values())
+            for fn in functions:
+                self._check_internal_construction(fn, module)
+                self._check_dropped_chain(fn, module)
+
+    # -- helpers ----------------------------------------------------
+
+    def _rng_constructor_target(self, call: ast.Call, module: ModuleInfo) -> Optional[str]:
+        dotted = self.resolver.dotted_callee(call.func, module)
+        dotted = self.table.resolve_alias(dotted) if dotted else dotted
+        return dotted if dotted in RNG_CONSTRUCTORS else None
+
+    def _available_rngs(self, fn: FunctionInfo, module: ModuleInfo) -> Set[str]:
+        """Names bound to generators inside ``fn`` (params + locals)."""
+        names = {p.name for p in rng_params(fn)}
+        for node in ast.walk(fn.node):
+            if not (isinstance(node, ast.Assign) and len(node.targets) == 1):
+                continue
+            target = node.targets[0]
+            if isinstance(target, ast.Name) and isinstance(node.value, ast.Call):
+                if self._rng_constructor_target(node.value, module):
+                    names.add(target.id)
+        return names
+
+    # -- RL013 ------------------------------------------------------
+
+    def _check_internal_construction(self, fn: FunctionInfo, module: ModuleInfo) -> None:
+        if rng_params(fn):
+            # The function *does* accept a generator; an internal
+            # construction is then the sanctioned fallback pattern.
+            return
+        for node in ast.walk(fn.node):
+            if not isinstance(node, ast.Call):
+                continue
+            if not self._rng_constructor_target(node, module):
+                continue
+            seed_exprs = [*node.args, *[kw.value for kw in node.keywords]]
+            if not seed_exprs:
+                continue  # bare default_rng() is RL001's unseeded case
+            if any(_expr_mentions_identifier(e) for e in seed_exprs):
+                continue  # seed derives from a parameter / surrounding state
+            self.reporter.report(
+                module,
+                node,
+                "RL013",
+                f"{fn.qualname} constructs a fixed-seed RNG internally — "
+                "every caller replays one stream; accept a "
+                "numpy.random.Generator (or a seed parameter) so campaign "
+                "seeds thread through",
+                context=fn.qualname,
+            )
+
+    # -- RL014 ------------------------------------------------------
+
+    def _check_module_globals(self, module: ModuleInfo) -> None:
+        def check_body(body, context: str) -> None:
+            for stmt in body:
+                value = None
+                if isinstance(stmt, ast.Assign):
+                    value = stmt.value
+                elif isinstance(stmt, ast.AnnAssign):
+                    value = stmt.value
+                if (
+                    isinstance(value, ast.Call)
+                    and self._rng_constructor_target(value, module)
+                ):
+                    self.reporter.report(
+                        module,
+                        stmt,
+                        "RL014",
+                        "RNG stored on a module/class global shares one "
+                        "stream across every user, making results depend on "
+                        "draw order — construct per run and pass it down",
+                        context=context,
+                    )
+
+        check_body(module.tree.body, "")
+        for cls in module.classes.values():
+            check_body(cls.node.body, cls.name)
+
+    # -- RL015 ------------------------------------------------------
+
+    def _check_dropped_chain(self, fn: FunctionInfo, module: ModuleInfo) -> None:
+        available = self._available_rngs(fn, module)
+        if not available:
+            return
+        for site in self.graph.calls_from(fn.qualname):
+            if site.kind != "call":
+                continue
+            params = site.callee.call_params if site.bound else site.callee.params
+            rng_like = [p for p in params if is_rng_param(p)]
+            if not rng_like:
+                continue
+            bound, exhaustive = bind_arguments(site)
+            if not exhaustive:
+                continue  # *args/**kwargs may forward it
+            for param in rng_like:
+                if param.name in bound:
+                    continue
+                self.reporter.report(
+                    module,
+                    site.node,
+                    "RL015",
+                    f"seeded generator ({', '.join(sorted(available))}) is "
+                    f"available here but not forwarded: "
+                    f"{site.callee.qualname} accepts '{param.name}' and will "
+                    "fall back to its own stream, breaking the seed chain",
+                    context=fn.qualname,
+                )

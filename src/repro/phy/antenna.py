@@ -574,7 +574,7 @@ class HornAntenna:
         rel = np.maximum(rel, self._floor)
         return AntennaPattern(az, self._gain + rel)
 
-    def gain_toward(self, off_boresight_rad: float) -> float:
+    def gain_toward(self, off_boresight_rad: float) -> float:  # replint: unit=dBi
         """Gain (dBi) toward a direction off the horn's boresight."""
         off_deg = abs(math.degrees(off_boresight_rad))
         # Wrap into [0, 180]: the horn is symmetric in azimuth.

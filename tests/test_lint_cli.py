@@ -183,6 +183,105 @@ class TestConfig:
         out = capsys.readouterr().out
         for i in range(1, 9):
             assert f"RL00{i}" in out
+        for i in range(10, 16):  # flow rules share the catalog
+            assert f"RL0{i}" in out
+
+
+class TestFingerprints:
+    def test_identical_findings_in_different_scopes_distinct(self, project):
+        # Two byte-identical violations in different functions must get
+        # different fingerprints (scope context is part of the hash) so
+        # the baseline can track them independently.
+        write_module(
+            project,
+            "dirty.py",
+            "import random\n\n\n"
+            "def one():\n"
+            "    return random.random()\n\n\n"
+            "def two():\n"
+            "    return random.random()\n",
+        )
+        main(["lint", "--write-baseline", "--root", str(project), str(project / "src")])
+        baseline = json.loads((project / "lint-baseline.json").read_text())
+        prints = [e["fingerprint"] for e in baseline["entries"]]
+        assert len(prints) == 2 and len(set(prints)) == 2
+        contexts = sorted(e["context"] for e in baseline["entries"])
+        assert contexts == ["one", "two"]
+
+    def test_fingerprint_survives_line_moves(self, project):
+        source = "import random\n\n\ndef one():\n    return random.random()\n"
+        write_module(project, "dirty.py", source)
+        main(["lint", "--write-baseline", "--root", str(project), str(project / "src")])
+        first = json.loads((project / "lint-baseline.json").read_text())
+        write_module(project, "dirty.py", "# a comment pushing lines down\n" + source)
+        rc = main(["lint", "--baseline", "--root", str(project), str(project / "src")])
+        assert rc == 0  # same fingerprint despite the new line number
+        entry = first["entries"][0]
+        assert entry["context"] == "one"
+        assert "col" in entry
+
+
+class TestStats:
+    def test_stats_text_output(self, project, capsys):
+        write_module(project, "dirty.py", DIRTY_SOURCE)
+        rc = main(["lint", "--stats", "--root", str(project), str(project / "src")])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "-- stats --" in out
+        assert "RL001: 1" in out
+        assert "files analyzed: 1" in out
+        assert "wall time:" in out
+
+    def test_stats_json_section(self, project, capsys):
+        write_module(project, "dirty.py", DIRTY_SOURCE)
+        rc = main(
+            ["lint", "--json", "--stats", "--root", str(project), str(project / "src")]
+        )
+        assert rc == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["stats"]["by_rule"] == {"RL001": 1}
+        assert doc["stats"]["files_analyzed"] == 1
+        assert doc["stats"]["wall_time_s"] >= 0
+
+
+class TestFlowCli:
+    FLOW_DIRTY = "def strength(x_db):\n    return x_db + 3.0\n"
+
+    def test_flow_findings_reported(self, project, capsys):
+        write_module(project, "toy.py", self.FLOW_DIRTY)
+        rc = main(["lint", "--flow", "--root", str(project), str(project / "src")])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "RL012" in out
+
+    def test_flow_json_section(self, project, capsys):
+        write_module(project, "toy.py", self.FLOW_DIRTY)
+        rc = main(
+            ["lint", "--flow", "--json", "--root", str(project), str(project / "src")]
+        )
+        assert rc == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["flow"]["by_rule"] == {"RL012": 1}
+        assert doc["flow"]["modules"] == 1
+        assert doc["flow"]["functions"] == 1
+
+    def test_flow_findings_baselinable(self, project, capsys):
+        write_module(project, "toy.py", self.FLOW_DIRTY)
+        main(
+            ["lint", "--flow", "--write-baseline", "--root", str(project),
+             str(project / "src")]
+        )
+        rc = main(
+            ["lint", "--flow", "--baseline", "--root", str(project),
+             str(project / "src")]
+        )
+        assert rc == 0
+        assert "1 baselined" in capsys.readouterr().out
+
+    def test_without_flow_flag_flow_rules_silent(self, project):
+        write_module(project, "toy.py", self.FLOW_DIRTY)
+        rc = main(["lint", "--root", str(project), str(project / "src")])
+        assert rc == 0
 
 
 class TestSelfLint:
@@ -200,6 +299,20 @@ class TestSelfLint:
         )
         out = capsys.readouterr().out
         assert rc == 0, f"repro lint found new violations:\n{out}"
+
+    def test_src_tree_clean_under_flow(self, capsys):
+        rc = main(
+            [
+                "lint",
+                "--flow",
+                "--baseline",
+                "--root",
+                str(REPO_ROOT),
+                str(REPO_ROOT / "src"),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0, f"repro lint --flow found new violations:\n{out}"
 
     def test_committed_baseline_is_empty(self):
         # All real findings were fixed in-tree rather than grandfathered;

@@ -1,0 +1,148 @@
+"""RNG-determinism taint tracking (RL013-RL015)."""
+
+from repro.lint.config import LintConfig
+from repro.lint.flow import analyze_files
+
+
+def _run(files, config=None):
+    findings, stats = analyze_files(list(files), config or LintConfig())
+    return findings, stats
+
+
+def _codes(findings):
+    return [f.code for f in findings]
+
+
+class TestRL013:
+    def test_internal_fixed_seed_rng_flagged(self):
+        source = (
+            "import numpy as np\n\n\n"
+            "def sample():\n"
+            "    rng = np.random.default_rng(7)\n"
+            "    return rng.normal()\n"
+        )
+        findings, _ = _run([("src/repro/phy/toy.py", source)])
+        assert _codes(findings) == ["RL013"]
+
+    def test_fallback_pattern_accepted(self):
+        # A function that accepts an rng and only defaults internally is
+        # the sanctioned pattern — flagging it would force numeric churn.
+        source = (
+            "import numpy as np\n\n\n"
+            "def sample(rng=None):\n"
+            "    rng = rng if rng is not None else np.random.default_rng(0)\n"
+            "    return rng.normal()\n"
+        )
+        findings, _ = _run([("src/repro/phy/toy.py", source)])
+        assert findings == []
+
+    def test_seed_derived_from_argument_accepted(self):
+        source = (
+            "import numpy as np\n\n\n"
+            "def sample(seed):\n"
+            "    rng = np.random.default_rng(seed)\n"
+            "    return rng.normal()\n"
+        )
+        findings, _ = _run([("src/repro/phy/toy.py", source)])
+        assert findings == []
+
+    def test_out_of_scope_package_skipped(self):
+        source = (
+            "import numpy as np\n\n\n"
+            "def sample():\n"
+            "    rng = np.random.default_rng(7)\n"
+            "    return rng.normal()\n"
+        )
+        findings, _ = _run([("src/repro/analysis/toy.py", source)])
+        assert findings == []
+
+
+class TestRL014:
+    def test_module_global_rng_flagged(self):
+        source = "import numpy as np\n\nRNG = np.random.default_rng(3)\n"
+        findings, _ = _run([("src/repro/phy/toy.py", source)])
+        assert _codes(findings) == ["RL014"]
+
+    def test_flagged_even_outside_rng_packages(self):
+        # A shared module-global stream is a hazard anywhere.
+        source = "import numpy as np\n\nRNG = np.random.default_rng(3)\n"
+        findings, _ = _run([("src/repro/analysis/toy.py", source)])
+        assert _codes(findings) == ["RL014"]
+
+    def test_class_attribute_rng_flagged(self):
+        source = (
+            "import numpy as np\n\n\n"
+            "class Model:\n"
+            "    rng = np.random.default_rng(3)\n"
+        )
+        findings, _ = _run([("src/repro/phy/toy.py", source)])
+        assert _codes(findings) == ["RL014"]
+
+
+class TestRL015:
+    LEAF = (
+        "import numpy as np\n\n\n"
+        "def leaf(data, rng=None):\n"
+        "    rng = rng if rng is not None else np.random.default_rng(0)\n"
+        "    return rng.shuffle(data)\n"
+    )
+
+    def test_dropped_chain_flagged(self):
+        driver = (
+            "from repro.phy.leafmod import leaf\n\n\n"
+            "def driver(rng):\n"
+            "    return leaf([1, 2])\n"
+        )
+        findings, _ = _run(
+            [
+                ("src/repro/phy/leafmod.py", self.LEAF),
+                ("src/repro/phy/driver.py", driver),
+            ]
+        )
+        assert "RL015" in _codes(findings)
+        rl015 = next(f for f in findings if f.code == "RL015")
+        assert "leaf" in rl015.message
+
+    def test_forwarded_chain_clean(self):
+        driver = (
+            "from repro.phy.leafmod import leaf\n\n\n"
+            "def driver(rng):\n"
+            "    return leaf([1, 2], rng=rng)\n"
+        )
+        findings, _ = _run(
+            [
+                ("src/repro/phy/leafmod.py", self.LEAF),
+                ("src/repro/phy/driver.py", driver),
+            ]
+        )
+        assert "RL015" not in _codes(findings)
+
+    def test_star_call_not_flagged(self):
+        # **kwargs may forward the rng — absence is not proof.
+        driver = (
+            "from repro.phy.leafmod import leaf\n\n\n"
+            "def driver(rng, **kw):\n"
+            "    return leaf([1, 2], **kw)\n"
+        )
+        findings, _ = _run(
+            [
+                ("src/repro/phy/leafmod.py", self.LEAF),
+                ("src/repro/phy/driver.py", driver),
+            ]
+        )
+        assert "RL015" not in _codes(findings)
+
+    def test_inline_disable_suppresses(self):
+        driver = (
+            "from repro.phy.leafmod import leaf\n\n\n"
+            "def driver(rng):\n"
+            "    return leaf([1, 2])  # replint: disable=RL015\n"
+        )
+        findings, stats = _run(
+            [
+                ("src/repro/phy/leafmod.py", self.LEAF),
+                ("src/repro/phy/driver.py", driver),
+            ]
+        )
+        assert "RL015" not in _codes(findings)
+        assert stats.suppressed == 1

@@ -1,0 +1,212 @@
+"""Symbol table and call graph construction (``repro.lint.flow``).
+
+The interprocedural passes are only as good as call resolution, so the
+tricky shapes get direct coverage: decorated functions,
+``functools.partial`` references, ``self.method`` dispatch through
+base classes, ``__init__.py`` re-exports, and locals with
+statically-known constructor types.
+"""
+
+import ast
+
+from repro.lint.flow.callgraph import bind_arguments, build_call_graph
+from repro.lint.flow.symbols import build_symbol_table
+
+PKG_IMPL = """\
+def helper(x):
+    return x
+
+
+class Thing:
+    def __init__(self, size=1):
+        self.size = size
+
+    def run(self):
+        return self.size
+"""
+
+PKG_INIT = """\
+from pkg.impl import Thing, helper
+"""
+
+APP = """\
+from pkg import Thing, helper
+
+
+def use():
+    return helper(1)
+
+
+def make():
+    t = Thing(size=3)
+    return t.run()
+"""
+
+
+def _graph(files):
+    table = build_symbol_table(files)
+    return table, build_call_graph(table)
+
+
+class TestSymbolTable:
+    def test_functions_and_methods_indexed(self):
+        table = build_symbol_table([("src/pkg/impl.py", PKG_IMPL)])
+        assert "pkg.impl.helper" in table.functions
+        assert "pkg.impl.Thing.run" in table.functions
+        run = table.functions["pkg.impl.Thing.run"]
+        assert run.is_method and run.class_name == "Thing"
+        assert [p.name for p in run.call_params] == []
+
+    def test_reexport_alias_resolves_to_defining_module(self):
+        table = build_symbol_table(
+            [("src/pkg/impl.py", PKG_IMPL), ("src/pkg/__init__.py", PKG_INIT)]
+        )
+        assert table.resolve_alias("pkg.helper") == "pkg.impl.helper"
+        fn = table.function("pkg.helper")
+        assert fn is not None and fn.qualname == "pkg.impl.helper"
+
+    def test_class_name_resolves_to_init(self):
+        table = build_symbol_table([("src/pkg/impl.py", PKG_IMPL)])
+        fn = table.function("pkg.impl.Thing")
+        assert fn is not None and fn.name == "__init__"
+
+    def test_decorated_function_still_indexed(self):
+        source = (
+            "import functools\n\n\n"
+            "@functools.lru_cache(maxsize=None)\n"
+            "def cached(x):\n"
+            "    return x\n"
+        )
+        table = build_symbol_table([("src/pkg/deco.py", source)])
+        fn = table.functions["pkg.deco.cached"]
+        assert "lru_cache" in fn.decorators
+
+    def test_unit_annotation_on_def_line(self):
+        source = "def loss(d):  # replint: unit=dB\n    return d\n"
+        table = build_symbol_table([("src/pkg/m.py", source)])
+        assert table.functions["pkg.m.loss"].unit_annotation == "dB"
+
+    def test_syntax_error_file_skipped(self):
+        table = build_symbol_table(
+            [("src/pkg/bad.py", "def broken(:\n"), ("src/pkg/impl.py", PKG_IMPL)]
+        )
+        assert "pkg.bad" not in table.modules
+        assert "pkg.impl" in table.modules
+
+
+class TestCallGraph:
+    def test_reexported_call_resolves_across_modules(self):
+        _, graph = _graph(
+            [
+                ("src/pkg/impl.py", PKG_IMPL),
+                ("src/pkg/__init__.py", PKG_INIT),
+                ("src/app.py", APP),
+            ]
+        )
+        callees = [s.callee.qualname for s in graph.calls_from("app.use")]
+        assert callees == ["pkg.impl.helper"]
+
+    def test_local_constructor_type_binds_method_calls(self):
+        _, graph = _graph(
+            [
+                ("src/pkg/impl.py", PKG_IMPL),
+                ("src/pkg/__init__.py", PKG_INIT),
+                ("src/app.py", APP),
+            ]
+        )
+        callees = {s.callee.qualname for s in graph.calls_from("app.make")}
+        assert callees == {"pkg.impl.Thing.__init__", "pkg.impl.Thing.run"}
+
+    def test_self_method_resolves_through_base_class(self):
+        source = (
+            "class Base:\n"
+            "    def ping(self):\n"
+            "        return 1\n\n\n"
+            "class Child(Base):\n"
+            "    def run(self):\n"
+            "        return self.ping()\n"
+        )
+        _, graph = _graph([("src/pkg/hier.py", source)])
+        callees = [s.callee.qualname for s in graph.calls_from("pkg.hier.Child.run")]
+        assert callees == ["pkg.hier.Base.ping"]
+        assert graph.calls_from("pkg.hier.Child.run")[0].bound
+
+    def test_functools_partial_produces_partial_edge(self):
+        source = (
+            "import functools\n\n\n"
+            "def f(a, b):\n"
+            "    return a + b\n\n\n"
+            "def g():\n"
+            "    return functools.partial(f, 1)\n"
+        )
+        _, graph = _graph([("src/pkg/part.py", source)])
+        sites = graph.calls_from("pkg.part.g")
+        assert len(sites) == 1
+        assert sites[0].kind == "partial"
+        assert sites[0].callee.qualname == "pkg.part.f"
+
+    def test_decorated_function_call_resolves(self):
+        source = (
+            "import functools\n\n\n"
+            "@functools.lru_cache(maxsize=None)\n"
+            "def cached(x):\n"
+            "    return x\n\n\n"
+            "def use():\n"
+            "    return cached(2)\n"
+        )
+        _, graph = _graph([("src/pkg/deco.py", source)])
+        callees = [s.callee.qualname for s in graph.calls_from("pkg.deco.use")]
+        assert callees == ["pkg.deco.cached"]
+
+    def test_module_level_calls_tracked(self):
+        source = "def setup():\n    return 1\n\n\nVALUE = setup()\n"
+        _, graph = _graph([("src/pkg/top.py", source)])
+        callees = [s.callee.qualname for s in graph.calls_from("pkg.top:<module>")]
+        assert callees == ["pkg.top.setup"]
+
+
+class TestBindArguments:
+    def _site(self, source, caller):
+        _, graph = _graph([("src/pkg/m.py", source)])
+        return graph.calls_from(f"pkg.m.{caller}")[0]
+
+    def test_positional_and_keyword_binding(self):
+        site = self._site(
+            "def f(a, b, c=0):\n"
+            "    return a\n\n\n"
+            "def g():\n"
+            "    return f(1, c=3, b=2)\n",
+            "g",
+        )
+        bound, exhaustive = bind_arguments(site)
+        assert exhaustive
+        assert set(bound) == {"a", "b", "c"}
+        assert isinstance(bound["a"], ast.Constant) and bound["a"].value == 1
+
+    def test_star_args_mark_binding_inexhaustive(self):
+        site = self._site(
+            "def f(a, b):\n"
+            "    return a\n\n\n"
+            "def g(args):\n"
+            "    return f(*args)\n",
+            "g",
+        )
+        _, exhaustive = bind_arguments(site)
+        assert not exhaustive
+
+    def test_bound_method_skips_self(self):
+        source = (
+            "class C:\n"
+            "    def m(self, x):\n"
+            "        return x\n\n\n"
+            "def g():\n"
+            "    c = C()\n"
+            "    return c.m(5)\n"
+        )
+        _, graph = _graph([("src/pkg/m.py", source)])
+        site = next(
+            s for s in graph.calls_from("pkg.m.g") if s.callee.name == "m"
+        )
+        bound, exhaustive = bind_arguments(site)
+        assert exhaustive
+        assert set(bound) == {"x"}
