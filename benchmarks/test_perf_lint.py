@@ -1,0 +1,73 @@
+"""Lint engine performance over the full repository source tree.
+
+Times three configurations — per-file rules serially, per-file rules
+with ``--jobs 4``, and the whole-program flow passes (units + rng +
+par) — and writes the numbers to ``benchmarks/results/BENCH_lint.json``
+so CI runs leave a comparable perf trail.
+
+The assertions are deliberately loose (budget ceilings, not speedup
+floors): lint must stay cheap enough to run on every commit, but
+container scheduling jitter must not flake the suite.
+"""
+
+import json
+import pathlib
+import time
+
+from repro.lint.config import load_config
+from repro.lint.engine import iter_python_files, lint_paths
+from repro.lint.flow import analyze_paths
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+RESULTS = pathlib.Path(__file__).parent / "results" / "BENCH_lint.json"
+
+# Generous wall-clock budgets (seconds) for a CI container; the
+# measured numbers land in BENCH_lint.json for trend-watching.
+PER_FILE_BUDGET_S = 30.0
+FLOW_BUDGET_S = 60.0
+
+
+def test_perf_lint_full_repo():
+    config = load_config(REPO_ROOT)
+    files = iter_python_files([SRC], config)
+    assert len(files) >= 60, "source tree unexpectedly small"
+
+    t0 = time.perf_counter()
+    serial = lint_paths([SRC], REPO_ROOT, config, jobs=1)
+    serial_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    parallel = lint_paths([SRC], REPO_ROOT, config, jobs=4)
+    parallel_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    flow_findings, flow_stats = analyze_paths(
+        [SRC], REPO_ROOT, config, passes=("units", "rng", "par")
+    )
+    flow_s = time.perf_counter() - t0
+
+    # --jobs must not change the result, only the wall clock.
+    assert [f.sort_key() for f in serial] == [f.sort_key() for f in parallel]
+
+    doc = {
+        "files": len(files),
+        "per_file_serial_s": round(serial_s, 4),
+        "per_file_jobs4_s": round(parallel_s, 4),
+        "flow_units_rng_par_s": round(flow_s, 4),
+        "flow_modules": flow_stats.modules,
+        "flow_functions": flow_stats.functions,
+        "flow_call_edges": flow_stats.call_edges,
+        "per_file_findings": len(serial),
+        "flow_findings": len(flow_findings),
+    }
+    RESULTS.parent.mkdir(parents=True, exist_ok=True)
+    RESULTS.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+
+    print(
+        f"\nlint perf ({len(files)} files): per-file {serial_s:.2f} s "
+        f"(jobs=4 {parallel_s:.2f} s), flow {flow_s:.2f} s"
+    )
+
+    assert serial_s < PER_FILE_BUDGET_S
+    assert flow_s < FLOW_BUDGET_S

@@ -18,7 +18,9 @@ positions, distance sweeps, repeated trace captures, offline analysis
 * :mod:`repro.campaign.store` — JSONL result persistence following
   the :mod:`repro.io` conventions;
 * :mod:`repro.campaign.registry` — the experiment-cell registry and
-  the built-in campaign catalog behind ``python -m repro campaign``.
+  the built-in campaign catalog behind ``python -m repro campaign``;
+* :mod:`repro.campaign.verify` — the shard-determinism and
+  cache-purity prover behind ``python -m repro campaign verify``.
 """
 
 from repro.campaign.cache import CACHE_SALT, ResultCache, default_cache_root
@@ -43,6 +45,12 @@ from repro.campaign.telemetry import (
     RunTelemetry,
     read_manifest,
 )
+from repro.campaign.verify import (
+    VerifyReport,
+    canonical_rows,
+    rows_digest,
+    verify_campaign,
+)
 
 __all__ = [
     "CACHE_SALT",
@@ -55,8 +63,10 @@ __all__ = [
     "ScenarioOutcome",
     "ScenarioSpec",
     "ScenarioTimeout",
+    "VerifyReport",
     "builtin_campaigns",
     "campaign_names",
+    "canonical_rows",
     "canonicalize",
     "default_cache_root",
     "get_campaign",
@@ -64,7 +74,9 @@ __all__ = [
     "read_manifest",
     "register_cell",
     "resolve_cell",
+    "rows_digest",
     "run_campaign",
     "save_results",
+    "verify_campaign",
     "write_run",
 ]

@@ -25,6 +25,8 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+import numpy as np
+
 from repro.campaign.cache import ResultCache
 from repro.campaign.registry import resolve_cell
 from repro.campaign.spec import CampaignSpec, ScenarioSpec
@@ -162,6 +164,11 @@ class CampaignRunner:
         backoff_s: Base of the bounded exponential backoff between
             retry attempts (``backoff_s * 2**attempt``, capped).
         max_backoff_s: Backoff ceiling.
+        shuffle_seed: When set, parallel submission order is a seeded
+            permutation of the deterministic shard order.  Results
+            must be identical either way (outcomes are indexed by
+            expansion order); ``repro campaign verify`` uses this to
+            prove that claim rather than assume it.
     """
 
     def __init__(
@@ -173,6 +180,7 @@ class CampaignRunner:
         retries: int = 2,
         backoff_s: float = 0.05,
         max_backoff_s: float = 2.0,
+        shuffle_seed: Optional[int] = None,
     ):
         if retries < 0:
             raise ValueError("retries must be >= 0")
@@ -183,6 +191,7 @@ class CampaignRunner:
         self.retries = retries
         self.backoff_s = backoff_s
         self.max_backoff_s = max_backoff_s
+        self.shuffle_seed = shuffle_seed
 
     # -- internals -------------------------------------------------------------
 
@@ -282,6 +291,9 @@ class CampaignRunner:
         path instead of failing the campaign.
         """
         queue = sorted(pending, key=lambda p: (p.shard, p.index))
+        if self.shuffle_seed is not None:
+            rng = np.random.default_rng(self.shuffle_seed)
+            queue = [queue[i] for i in rng.permutation(len(queue))]
         in_flight: Dict[Future, _Pending] = {}
         retry_queue: List[_Pending] = []
         try:

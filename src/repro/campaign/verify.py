@@ -1,0 +1,273 @@
+"""Shard-determinism and cache-purity verification.
+
+``repro campaign verify <name>`` *proves*, rather than assumes, the
+two properties the campaign engine's results rest on:
+
+1. **Shard determinism** — the campaign is run twice without a cache,
+   once serially (``workers=1``, the reference path) and once on a
+   process pool with the submission order deterministically shuffled
+   (worst-case completion reordering).  The merged result stores must
+   be byte-for-byte identical after dropping run-volatile fields
+   (wall-clock timings, attempt counts, cached-vs-completed status).
+
+2. **Cache purity** — every cell is executed in-process under
+   :class:`repro.sanitize.PurityAudit`, which records each
+   environment/file/clock read.  Any read not derivable from the
+   scenario spec means the content-addressed cache key does not
+   capture all inputs (the dynamic counterpart of lint rule RL022).
+   A third run replays the shuffled-parallel results through a fresh
+   cache and asserts a serial re-run is served entirely from cache
+   with identical values.
+
+The comparison canonicalizes rows exactly like the JSONL store
+(sorted keys, compact separators), so "byte-identical" here is the
+same byte-identity a persisted ``results.jsonl`` would show.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import tempfile
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.campaign.cache import ResultCache
+from repro.campaign.registry import resolve_cell
+from repro.campaign.runner import CampaignResult, CampaignRunner
+from repro.campaign.spec import CampaignSpec
+
+#: Row fields that legitimately differ between runs of a deterministic
+#: campaign: wall-clock timings, retry counts, whether a result came
+#: from the cache or fresh execution, and the shard assignment (which
+#: is ``digest mod workers`` — a property of the run topology, not of
+#: the result).  Everything else must be byte-identical.
+VOLATILE_ROW_KEYS = ("elapsed_s", "attempts", "status", "shard")
+
+
+def canonical_rows(result: CampaignResult) -> str:
+    """Run-invariant canonical text of a campaign's result rows."""
+    lines = []
+    for row in result.result_rows():
+        projected = dict(row)
+        for key in VOLATILE_ROW_KEYS:
+            projected.pop(key, None)
+        lines.append(json.dumps(projected, sort_keys=True, separators=(",", ":")))
+    return "\n".join(lines)
+
+
+def rows_digest(canonical: str) -> str:
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass
+class CellAudit:
+    """Purity-audit outcome for one scenario executed in-process."""
+
+    digest: str
+    experiment: str
+    reads: List[Dict[str, str]] = field(default_factory=list)
+    reads_digest: str = ""
+    error: Optional[str] = None
+
+    @property
+    def pure(self) -> bool:
+        return not self.reads and self.error is None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "digest": self.digest,
+            "experiment": self.experiment,
+            "reads": list(self.reads),
+            "reads_digest": self.reads_digest,
+            "error": self.error,
+            "pure": self.pure,
+        }
+
+
+@dataclass
+class VerifyReport:
+    """Everything ``repro campaign verify`` measured."""
+
+    campaign: str
+    scenarios: int
+    workers: int
+    shuffle_seed: int
+    serial_digest: str = ""
+    parallel_digest: str = ""
+    determinism_ok: bool = False
+    audits: List[CellAudit] = field(default_factory=list)
+    audited: int = 0
+    impure: int = 0
+    purity_ok: bool = True
+    cache_checked: bool = False
+    cache_all_hits: bool = False
+    cache_digest: str = ""
+    cache_ok: bool = True
+    first_divergence: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.determinism_ok and self.purity_ok and self.cache_ok
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "campaign": self.campaign,
+            "scenarios": self.scenarios,
+            "workers": self.workers,
+            "shuffle_seed": self.shuffle_seed,
+            "serial_digest": self.serial_digest,
+            "parallel_digest": self.parallel_digest,
+            "determinism_ok": self.determinism_ok,
+            "audited": self.audited,
+            "impure": self.impure,
+            "purity_ok": self.purity_ok,
+            "audits": [a.to_dict() for a in self.audits if not a.pure],
+            "cache_checked": self.cache_checked,
+            "cache_all_hits": self.cache_all_hits,
+            "cache_digest": self.cache_digest,
+            "cache_ok": self.cache_ok,
+            "first_divergence": self.first_divergence,
+            "ok": self.ok,
+        }
+
+
+def _first_divergence(serial: str, parallel: str) -> str:
+    """Human-oriented pointer at the first differing canonical row."""
+    for lineno, (a, b) in enumerate(
+        zip(serial.splitlines(), parallel.splitlines()), start=1
+    ):
+        if a != b:
+            return f"row {lineno}: serial={a[:120]} parallel={b[:120]}"
+    a_count = serial.count("\n") + 1 if serial else 0
+    b_count = parallel.count("\n") + 1 if parallel else 0
+    if a_count != b_count:
+        return f"row counts differ: serial={a_count} parallel={b_count}"
+    return ""
+
+
+def _audit_cells(
+    campaign: CampaignSpec,
+    limit: int,
+    allowed_env: Tuple[str, ...],
+) -> List[CellAudit]:
+    """Run up to ``limit`` cells in-process under the purity auditor.
+
+    The cell is resolved *before* the audit window opens so import-time
+    file access (module loading) is not charged to the cell.
+    """
+    from repro.sanitize import PurityAudit
+
+    audits: List[CellAudit] = []
+    for spec in campaign.expand()[:limit]:
+        fn = resolve_cell(spec.experiment)
+        entry = CellAudit(digest=spec.digest(), experiment=spec.experiment)
+        with PurityAudit(allowed_env=allowed_env) as audit:
+            try:
+                fn(seed=spec.seed, repetition=spec.repetition, **spec.param_dict())
+            except Exception as exc:
+                entry.error = f"{type(exc).__name__}: {exc}"
+        entry.reads = [r.to_dict() for r in audit.records]
+        entry.reads_digest = audit.digest()
+        audits.append(entry)
+    return audits
+
+
+def verify_campaign(
+    campaign: CampaignSpec,
+    workers: int = 4,
+    shuffle_seed: int = 1,
+    audit: bool = True,
+    audit_limit: int = 16,
+    cache_check: bool = True,
+    allowed_env: Tuple[str, ...] = (),
+) -> VerifyReport:
+    """Prove workers=1 ≡ workers=N-with-shuffled-shards for a campaign."""
+    report = VerifyReport(
+        campaign=campaign.name,
+        scenarios=campaign.scenario_count(),
+        workers=workers,
+        shuffle_seed=shuffle_seed,
+    )
+
+    if audit:
+        report.audits = _audit_cells(campaign, audit_limit, allowed_env)
+        report.audited = len(report.audits)
+        report.impure = sum(1 for a in report.audits if not a.pure)
+        report.purity_ok = report.impure == 0
+
+    serial = CampaignRunner(campaign, cache=None, workers=1).run()
+    parallel = CampaignRunner(
+        campaign, cache=None, workers=workers, shuffle_seed=shuffle_seed
+    ).run()
+    serial_text = canonical_rows(serial)
+    parallel_text = canonical_rows(parallel)
+    report.serial_digest = rows_digest(serial_text)
+    report.parallel_digest = rows_digest(parallel_text)
+    report.determinism_ok = serial_text == parallel_text
+    if not report.determinism_ok:
+        report.first_divergence = _first_divergence(serial_text, parallel_text)
+
+    if cache_check:
+        report.cache_checked = True
+        with tempfile.TemporaryDirectory(prefix="repro-verify-") as tmp:
+            cache = ResultCache(tmp)
+            CampaignRunner(
+                campaign, cache=cache, workers=workers, shuffle_seed=shuffle_seed
+            ).run()
+            replay = CampaignRunner(campaign, cache=cache, workers=1).run()
+        report.cache_all_hits = all(
+            o.status == "cached" for o in replay.outcomes if o.ok
+        )
+        replay_text = canonical_rows(replay)
+        report.cache_digest = rows_digest(replay_text)
+        report.cache_ok = report.cache_all_hits and replay_text == serial_text
+
+    return report
+
+
+def render_report(report: VerifyReport) -> str:
+    """Terminal summary of a verification run."""
+    lines = [
+        f"campaign {report.campaign}: {report.scenarios} scenario(s), "
+        f"workers=1 vs workers={report.workers} "
+        f"(shuffle_seed={report.shuffle_seed})",
+        f"  serial digest:   {report.serial_digest}",
+        f"  parallel digest: {report.parallel_digest}"
+        + ("  [MATCH]" if report.determinism_ok else "  [DIVERGED]"),
+    ]
+    if report.first_divergence:
+        lines.append(f"  first divergence: {report.first_divergence}")
+    if report.audited:
+        lines.append(
+            f"  purity audit: {report.audited} cell(s), "
+            f"{report.impure} impure"
+        )
+        for entry in report.audits:
+            if entry.pure:
+                continue
+            reads = ", ".join(
+                f"{r['kind']}:{r['detail']}" for r in entry.reads[:5]
+            )
+            more = "" if len(entry.reads) <= 5 else f" (+{len(entry.reads) - 5} more)"
+            problem = entry.error if entry.error else f"reads {reads}{more}"
+            lines.append(f"    {entry.experiment} {entry.digest[:12]}: {problem}")
+    if report.cache_checked:
+        verdict = "OK" if report.cache_ok else "FAILED"
+        lines.append(
+            f"  cache replay: digest {report.cache_digest}, "
+            f"all-hits={report.cache_all_hits} [{verdict}]"
+        )
+    lines.append(f"verify: {'PASS' if report.ok else 'FAIL'}")
+    return "\n".join(lines)
+
+
+__all__ = [
+    "VOLATILE_ROW_KEYS",
+    "CellAudit",
+    "VerifyReport",
+    "canonical_rows",
+    "rows_digest",
+    "verify_campaign",
+    "render_report",
+]

@@ -11,7 +11,8 @@ Usage::
     python -m repro campaign list
     python -m repro campaign run beam-patterns --workers 4
     python -m repro campaign status beam-patterns
-    python -m repro lint [--flow] [--baseline] [--json] [paths...]
+    python -m repro campaign verify beam-patterns --workers 4
+    python -m repro lint [--flow] [--par] [--baseline] [--json] [paths...]
     python -m repro sanitize -- python -m repro nlos
 
 Each subcommand runs a time-scaled version of the corresponding
@@ -24,17 +25,23 @@ line; the defaults match the historical per-experiment seeds.
 (:mod:`repro.campaign`): ``run`` executes a built-in campaign across
 worker processes with content-addressed result caching and writes
 ``results.jsonl`` plus a ``manifest.json`` run manifest; ``status``
-shows how much of a campaign the cache already covers.
+shows how much of a campaign the cache already covers; ``verify``
+proves the engine's determinism claim — workers=1 and workers=N with
+shuffled shard submission must merge to byte-identical result stores
+— and audits cells for reads outside the spec-derived cache key.
 
 ``lint`` runs the domain-aware static analysis (:mod:`repro.lint`):
 AST rules RL001-RL008 covering determinism (unseeded RNG, wall-clock
 reads, frozen-spec mutation, unordered hashing) and dB-unit safety
-(inline conversions, log/linear mixing, float equality).
+(inline conversions, log/linear mixing, float equality); ``--flow``
+adds the whole-program unit/RNG passes, ``--par`` the
+parallelism-safety and cache-purity pass (RL020-RL025).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import math
 import os
 import pathlib
@@ -294,6 +301,27 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
     return 0 if any(o.ok for o in result.outcomes) else 1
 
 
+def _cmd_campaign_verify(args: argparse.Namespace) -> int:
+    from repro.campaign.cache import CACHE_DIR_ENV
+    from repro.campaign.verify import render_report, verify_campaign
+
+    spec = _campaign_spec_from_args(args)
+    report = verify_campaign(
+        spec,
+        workers=args.workers,
+        shuffle_seed=args.shuffle_seed,
+        audit=not args.no_audit,
+        audit_limit=args.audit_cells,
+        cache_check=not args.no_cache_check,
+        allowed_env=(CACHE_DIR_ENV,),
+    )
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(render_report(report))
+    return 0 if report.ok else 1
+
+
 def _cmd_campaign_status(args: argparse.Namespace) -> int:
     from repro.campaign import ResultCache
 
@@ -419,7 +447,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_table1)
 
     p = sub.add_parser(
-        "campaign", help="sharded parallel campaign engine (list/run/status)"
+        "campaign",
+        help="sharded parallel campaign engine (list/run/status/verify)",
     )
     csub = p.add_subparsers(dest="campaign_command", required=True)
 
@@ -454,6 +483,26 @@ def build_parser() -> argparse.ArgumentParser:
     c = csub.add_parser("status", help="cache coverage of a campaign")
     campaign_target_options(c)
     c.set_defaults(func=_cmd_campaign, campaign_func=_cmd_campaign_status)
+
+    c = csub.add_parser(
+        "verify",
+        help="prove workers=1 ≡ workers=N with shuffled shards and "
+        "audit cache purity",
+    )
+    campaign_target_options(c)
+    c.add_argument("--workers", type=int, default=4,
+                   help="pool size for the parallel leg (default 4)")
+    c.add_argument("--shuffle-seed", type=int, default=1,
+                   help="seed for the shuffled submission order")
+    c.add_argument("--audit-cells", type=int, default=16,
+                   help="max cells executed under the purity auditor")
+    c.add_argument("--no-audit", action="store_true",
+                   help="skip the cache-purity audit")
+    c.add_argument("--no-cache-check", action="store_true",
+                   help="skip the cache replay equivalence check")
+    c.add_argument("--json", action="store_true",
+                   help="machine-readable report")
+    c.set_defaults(func=_cmd_campaign, campaign_func=_cmd_campaign_verify)
 
     p = sub.add_parser(
         "lint",

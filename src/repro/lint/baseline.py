@@ -68,6 +68,37 @@ def write_baseline(path: pathlib.Path, findings: Iterable[Finding]) -> int:
     return len(entries)
 
 
+def load_entries(path: pathlib.Path) -> List[dict]:
+    """Raw baseline entries for display (empty if the file is missing)."""
+    if not path.is_file():
+        return []
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+        entries = data["entries"]
+    except (OSError, json.JSONDecodeError, KeyError, TypeError) as exc:
+        raise ValueError(f"unreadable baseline {path}: {exc}") from None
+    return [dict(entry) for entry in entries]
+
+
+def stale_entries(findings: Iterable[Finding], baseline: Counter) -> Counter:
+    """Baseline fingerprints no current finding matches.
+
+    A stale entry means the underlying violation was fixed (or the
+    line changed, re-fingerprinting it) but the baseline still carries
+    the debt allowance — dead weight that could mask a future
+    regression at the same site.  CI fails on these via
+    ``--check-baseline``.
+    """
+    current = Counter(f.fingerprint for f in findings)
+    stale: Counter = Counter()
+    for fingerprint, count in baseline.items():
+        extra = count - current.get(fingerprint, 0)
+        if extra > 0:
+            stale[fingerprint] = extra
+    return stale
+
+
 def apply_baseline(
     findings: Iterable[Finding], baseline: Counter
 ) -> Tuple[List[Finding], int]:

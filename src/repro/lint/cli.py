@@ -9,8 +9,19 @@ Exit codes (stable, for CI):
 ``--flow`` additionally runs the whole-program passes
 (:mod:`repro.lint.flow`): symbol table + call graph construction, then
 interprocedural dB/linear unit inference (RL010-RL012) and RNG taint
-tracking (RL013-RL015).  Flow findings merge into the same output,
-baseline, and exit-code machinery as the per-file rules.
+tracking (RL013-RL015).  ``--par`` runs the parallelism-safety and
+cache-purity pass (RL020-RL025) over the same symbol table; the flags
+combine freely.  Flow findings merge into the same output, baseline,
+and exit-code machinery as the per-file rules.
+
+``--jobs N`` lints files in N pool processes (per-file rules only —
+the flow passes need the whole program in one address space); finding
+order is byte-identical for any N.
+
+``--check-baseline`` inverts the baseline question: instead of
+subtracting known findings, it fails (exit 1) when the baseline holds
+fingerprints that no current finding matches — dead allowances that
+should be pruned with ``--write-baseline``.
 
 ``--stats`` prints a per-rule finding table, the analyzed-file count,
 and wall time — for triaging CI logs at a glance.
@@ -55,12 +66,19 @@ def run_lint(args: argparse.Namespace) -> int:
         )
         return 2
 
-    findings = lint_paths(paths, root, config)
+    findings = lint_paths(paths, root, config, jobs=max(1, args.jobs))
     flow_stats = None
+    flow_passes = ()
     if args.flow:
+        flow_passes += ("units", "rng")
+    if args.par:
+        flow_passes += ("par",)
+    if flow_passes:
         from repro.lint.flow import analyze_paths
 
-        flow_findings, flow_stats = analyze_paths(paths, root, config)
+        flow_findings, flow_stats = analyze_paths(
+            paths, root, config, passes=flow_passes
+        )
         findings = sorted([*findings, *flow_findings], key=Finding.sort_key)
     baseline_path = root / config.baseline
 
@@ -68,6 +86,9 @@ def run_lint(args: argparse.Namespace) -> int:
         count = baseline_mod.write_baseline(baseline_path, findings)
         print(f"wrote {count} finding(s) to {baseline_path}")
         return 0
+
+    if args.check_baseline:
+        return _check_baseline(findings, baseline_path)
 
     baselined = 0
     if args.baseline:
@@ -84,6 +105,7 @@ def run_lint(args: argparse.Namespace) -> int:
             "findings": [f.to_dict() for f in findings],
             "count": len(findings),
             "baselined": baselined,
+            "fingerprint_version": baseline_mod.BASELINE_VERSION,
         }
         if flow_stats is not None:
             doc["flow"] = flow_stats.to_dict()
@@ -100,6 +122,37 @@ def run_lint(args: argparse.Namespace) -> int:
         if args.stats:
             _print_stats(findings, paths, config, duration_s, flow_stats)
     return 1 if findings else 0
+
+
+def _check_baseline(findings, baseline_path: pathlib.Path) -> int:
+    """Fail when the baseline carries fingerprints nothing matches."""
+    try:
+        known = baseline_mod.load_baseline(baseline_path)
+        entries = baseline_mod.load_entries(baseline_path)
+    except ValueError as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+    stale = baseline_mod.stale_entries(findings, known)
+    by_fingerprint = {}
+    for entry in entries:
+        by_fingerprint.setdefault(str(entry.get("fingerprint", "")), entry)
+    for fingerprint, count in sorted(stale.items()):
+        entry = by_fingerprint.get(fingerprint, {})
+        location = f"{entry.get('path', '?')}:{entry.get('line', '?')}"
+        suffix = f" (x{count})" if count > 1 else ""
+        print(
+            f"stale baseline entry {fingerprint} "
+            f"[{entry.get('code', '?')}] at {location}{suffix}"
+        )
+    total = sum(stale.values())
+    if total:
+        print(
+            f"{total} stale baseline entr{'y' if total == 1 else 'ies'} in "
+            f"{baseline_path} — regenerate with --write-baseline"
+        )
+        return 1
+    print(f"baseline {baseline_path} is current ({len(entries)} entries)")
+    return 0
 
 
 def _stats_dict(findings, paths, config, duration_s) -> dict:
@@ -139,6 +192,20 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         "RNG taint RL013-015)",
     )
     parser.add_argument(
+        "--par",
+        action="store_true",
+        help="also run the parallelism-safety/cache-purity pass "
+        "(RL020-025); combines with --flow",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="lint files in N pool processes (per-file rules only; "
+        "deterministic output for any N)",
+    )
+    parser.add_argument(
         "--baseline",
         action="store_true",
         help="subtract findings recorded in the committed baseline file",
@@ -147,6 +214,12 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         "--write-baseline",
         action="store_true",
         help="record the current findings as the new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--check-baseline",
+        action="store_true",
+        help="exit 1 if the baseline holds fingerprints no current "
+        "finding matches (stale debt allowances)",
     )
     parser.add_argument(
         "--json",
@@ -171,10 +244,11 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
 
 
 def list_rules() -> int:
-    from repro.lint.flow import FLOW_RULES
+    from repro.lint.flow import FLOW_RULES, PAR_RULES
 
     catalog = {code: (cls.name, cls.summary) for code, cls in RULES.items()}
     catalog.update(FLOW_RULES)
+    catalog.update(PAR_RULES)
     for code in sorted(catalog):
         name, summary = catalog[code]
         print(f"{code}  {name:<26} {summary}")

@@ -12,6 +12,7 @@ Settings live in ``pyproject.toml`` under ``[tool.repro-lint]``::
     dbmath-modules = ["repro.analysis.dbmath"]  # RL003's own home
     flow-unit-packages = ["repro.phy", "repro.mac"]  # RL012 scope
     flow-rng-packages = ["repro.phy", "repro.mac"]   # RL013/RL015 scope
+    par-packages = ["repro.campaign"]  # RL023-RL025 scope (--par)
 
     [tool.repro-lint.per-file-ignores]
     "src/repro/campaign/telemetry.py" = ["RL002"]
@@ -76,6 +77,11 @@ DEFAULT_FLOW_RNG_PACKAGES = (
     "repro.campaign",
 )
 
+#: Packages that orchestrate process pools and define campaign cells;
+#: RL023-RL025 (ordered reduction, Future handling, post-handoff
+#: mutation) apply here.  RL020-RL022 follow cells project-wide.
+DEFAULT_PAR_PACKAGES = ("repro.campaign", "repro.experiments")
+
 
 @dataclass(frozen=True)
 class LintConfig:
@@ -91,6 +97,7 @@ class LintConfig:
     dbmath_modules: Tuple[str, ...] = DEFAULT_DBMATH_MODULES
     flow_unit_packages: Tuple[str, ...] = DEFAULT_FLOW_UNIT_PACKAGES
     flow_rng_packages: Tuple[str, ...] = DEFAULT_FLOW_RNG_PACKAGES
+    par_packages: Tuple[str, ...] = DEFAULT_PAR_PACKAGES
 
     def is_ignored(self, rel_path: str, code: str) -> bool:
         """True if ``code`` is switched off for ``rel_path`` by config."""
@@ -176,4 +183,5 @@ def load_config(root: pathlib.Path) -> LintConfig:
         flow_rng_packages=_strings(
             section.get("flow-rng-packages"), DEFAULT_FLOW_RNG_PACKAGES
         ),
+        par_packages=_strings(section.get("par-packages"), DEFAULT_PAR_PACKAGES),
     )

@@ -72,12 +72,16 @@ class Finding:
         return (self.path, self.line, self.col, self.code)
 
     def to_dict(self) -> Dict[str, object]:
+        # "scope" duplicates "context" under the name the v2 baseline
+        # format uses, so external tooling can correlate JSON findings
+        # with baseline entries without knowing the historical alias.
         return {
             "path": self.path,
             "line": self.line,
             "col": self.col,
             "code": self.code,
             "context": self.context,
+            "scope": self.context,
             "message": self.message,
             "fingerprint": self.fingerprint,
         }
@@ -360,12 +364,46 @@ def lint_path(
     return lint_source(source, module_name_for(rel), rel_posix, config)
 
 
+def _lint_file_job(item: Tuple[str, str, LintConfig]) -> List[Finding]:
+    """Worker for ``--jobs``: lint one file in a pool process."""
+    # The rule registry is populated by importing the package; a
+    # spawn-started worker unpickles this module without that side
+    # effect, so trigger it explicitly.
+    import repro.lint  # noqa: F401
+
+    path_str, root_str, config = item
+    return lint_path(pathlib.Path(path_str), pathlib.Path(root_str), config)
+
+
 def lint_paths(
-    paths: Iterable[pathlib.Path], root: pathlib.Path, config: LintConfig
+    paths: Iterable[pathlib.Path],
+    root: pathlib.Path,
+    config: LintConfig,
+    jobs: int = 1,
 ) -> List[Finding]:
-    """Lint every python file under ``paths``; deterministic order."""
+    """Lint every python file under ``paths``; deterministic order.
+
+    ``jobs > 1`` fans files out to a process pool.  Findings are
+    re-sorted after the merge, so the output is byte-identical for any
+    worker count; a broken pool degrades to the serial path.
+    """
+    files = iter_python_files(list(paths), config)
     findings: List[Finding] = []
-    for path in iter_python_files(list(paths), config):
-        findings.extend(lint_path(path, root, config))
+    if jobs > 1 and len(files) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+        from concurrent.futures.process import BrokenProcessPool
+
+        items = [(str(path), str(root), config) for path in files]
+        try:
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                for chunk in pool.map(_lint_file_job, items):
+                    findings.extend(chunk)
+        except BrokenProcessPool:
+            findings = []
+            for item in items:
+                findings.extend(_lint_file_job(item))
+    else:
+        for path in files:
+            findings.extend(lint_path(path, root, config))
     findings.sort(key=Finding.sort_key)
     return findings

@@ -1,12 +1,14 @@
 """Whole-program flow analysis layer (``repro lint --flow``).
 
 Builds a project symbol table and call graph over the analyzed files,
-then runs two interprocedural passes on top of them:
+then runs interprocedural passes on top of them:
 
 * :mod:`repro.lint.flow.units` — dB/linear unit inference
   (RL010-RL012);
 * :mod:`repro.lint.flow.rngflow` — RNG-determinism taint tracking
-  (RL013-RL015).
+  (RL013-RL015);
+* :mod:`repro.lint.flow.par` — parallelism-safety and cache-purity
+  analysis for the campaign engine (RL020-RL025, ``--par``).
 
 Findings use the same :class:`repro.lint.engine.Finding` type as the
 per-file rules, honor the same inline ``# replint: disable=...``
@@ -24,6 +26,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 from repro.lint.config import LintConfig
 from repro.lint.engine import _SUPPRESS_RE, Finding, iter_python_files
 from repro.lint.flow.callgraph import build_call_graph
+from repro.lint.flow.par import ParPass
 from repro.lint.flow.rngflow import RngPass
 from repro.lint.flow.symbols import ModuleInfo, SymbolTable, build_symbol_table
 from repro.lint.flow.units import UnitPass
@@ -57,6 +60,37 @@ FLOW_RULES: Dict[str, Tuple[str, str]] = {
     ),
 }
 
+#: Rule catalog for the parallelism-safety pass (``--par``).
+PAR_RULES: Dict[str, Tuple[str, str]] = {
+    "RL020": (
+        "unpicklable-pool-callable",
+        "lambda/closure/bound method submitted to a process pool",
+    ),
+    "RL021": (
+        "shared-mutable-state-in-cell",
+        "campaign cell reads module-level mutable state mutated elsewhere",
+    ),
+    "RL022": (
+        "cache-key-impurity",
+        "cell reads env/file/clock input not captured by the spec hash",
+    ),
+    "RL023": (
+        "order-dependent-reduction",
+        "shard results merged in completion or unordered-set order",
+    ),
+    "RL024": (
+        "unhandled-broken-pool",
+        "Future.result() without a BrokenProcessPool/Exception handler",
+    ),
+    "RL025": (
+        "post-handoff-mutation",
+        "result object mutated after handoff to the cache/store layer",
+    ),
+}
+
+#: Pass names accepted by :func:`analyze_files`, in execution order.
+PASS_NAMES = ("units", "rng", "par")
+
 
 @dataclass
 class FlowStats:
@@ -69,6 +103,7 @@ class FlowStats:
     findings: int = 0
     suppressed: int = 0
     by_rule: Dict[str, int] = field(default_factory=dict)
+    passes: Tuple[str, ...] = ("units", "rng")
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -79,6 +114,7 @@ class FlowStats:
             "findings": self.findings,
             "suppressed": self.suppressed,
             "by_rule": dict(sorted(self.by_rule.items())),
+            "passes": list(self.passes),
         }
 
 
@@ -141,15 +177,24 @@ class Reporter:
 
 
 def analyze_files(
-    files: List[Tuple[str, str]], config: Optional[LintConfig] = None
+    files: List[Tuple[str, str]],
+    config: Optional[LintConfig] = None,
+    passes: Tuple[str, ...] = ("units", "rng"),
 ) -> Tuple[List[Finding], FlowStats]:
-    """Run the flow passes over ``(rel_path, source)`` pairs."""
+    """Run the selected flow passes over ``(rel_path, source)`` pairs."""
     config = config if config is not None else LintConfig()
+    unknown = set(passes) - set(PASS_NAMES)
+    if unknown:
+        raise ValueError(f"unknown flow pass(es): {sorted(unknown)}")
     table: SymbolTable = build_symbol_table(files)
     graph = build_call_graph(table)
     reporter = Reporter(config)
-    UnitPass(table, graph, config, reporter).run()
-    RngPass(table, graph, config, reporter).run()
+    if "units" in passes:
+        UnitPass(table, graph, config, reporter).run()
+    if "rng" in passes:
+        RngPass(table, graph, config, reporter).run()
+    if "par" in passes:
+        ParPass(table, graph, config, reporter).run()
     findings = sorted(reporter.findings, key=Finding.sort_key)
     stats = FlowStats(
         files=len(files),
@@ -158,6 +203,7 @@ def analyze_files(
         call_edges=graph.edge_count,
         findings=len(findings),
         suppressed=reporter.suppressed_count,
+        passes=tuple(name for name in PASS_NAMES if name in passes),
     )
     for finding in findings:
         stats.by_rule[finding.code] = stats.by_rule.get(finding.code, 0) + 1
@@ -165,9 +211,12 @@ def analyze_files(
 
 
 def analyze_paths(
-    paths: Iterable[pathlib.Path], root: pathlib.Path, config: LintConfig
+    paths: Iterable[pathlib.Path],
+    root: pathlib.Path,
+    config: LintConfig,
+    passes: Tuple[str, ...] = ("units", "rng"),
 ) -> Tuple[List[Finding], FlowStats]:
-    """Run the flow passes over every python file under ``paths``."""
+    """Run the selected flow passes over python files under ``paths``."""
     files: List[Tuple[str, str]] = []
     for path in iter_python_files(list(paths), config):
         try:
@@ -179,11 +228,13 @@ def analyze_paths(
         except (OSError, UnicodeDecodeError):
             continue  # the per-file engine reports unreadable files
         files.append((rel.as_posix(), source))
-    return analyze_files(files, config)
+    return analyze_files(files, config, passes=passes)
 
 
 __all__ = [
     "FLOW_RULES",
+    "PAR_RULES",
+    "PASS_NAMES",
     "FlowStats",
     "Reporter",
     "analyze_files",

@@ -1,0 +1,742 @@
+"""Parallelism-safety and cache-purity analysis (rules RL020-RL025).
+
+The campaign engine (:mod:`repro.campaign`) promises that a sharded
+run is bit-identical regardless of worker count, shard completion
+order, and cache hits.  That promise rests on properties no per-file
+rule can see:
+
+* **RL020** — a callable handed to a process pool must be a
+  module-level function: lambdas, closures, and bound methods either
+  fail to pickle outright or smuggle parent-process state into the
+  workers.
+* **RL021** — a campaign cell whose transitive closure *reads* a
+  module-level mutable container that is *mutated* anywhere in the
+  project races forked workers against each other (each worker sees
+  its own copy; updates are lost, results depend on fork timing).
+* **RL022** — a cell whose transitive closure reads inputs outside
+  the scenario spec (``os.environ``, files, the wall clock) poisons
+  the content-addressed cache: the key no longer captures everything
+  the result depends on.
+* **RL023** — merging shard results in completion order (iterating
+  ``as_completed``/unordered sets while accumulating) makes the merged
+  output depend on scheduling, not on the spec.
+* **RL024** — consuming a ``Future`` result without handling the
+  ``BrokenProcessPool`` path turns a dead worker into a crashed
+  campaign instead of a recorded failure.
+* **RL025** — mutating a result object *after* handing it to the
+  cache/store layer makes the persisted entry diverge from the
+  in-memory object (the cache serializes at put time; later mutation
+  silently forks the two).
+
+Cells are discovered from the registry (``CELLS = {...}`` dict
+literals and ``register_cell(name, "module:function")`` calls) plus
+any ``*_cell`` function defined inside the configured
+``par-packages``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.config import module_in
+from repro.lint.flow.callgraph import CallGraph, CallResolver
+from repro.lint.flow.symbols import FunctionInfo, ModuleInfo, SymbolTable
+
+#: Canonical dotted names of process-pool constructors.
+POOL_CONSTRUCTORS = {
+    "concurrent.futures.ProcessPoolExecutor",
+    "concurrent.futures.process.ProcessPoolExecutor",
+    "multiprocessing.Pool",
+    "multiprocessing.pool.Pool",
+}
+
+#: Pool methods whose first argument is shipped to worker processes.
+POOL_SUBMIT_METHODS = {"submit", "map", "apply", "apply_async", "imap", "imap_unordered"}
+
+#: Canonical dotted names that yield futures in completion order.
+AS_COMPLETED_NAMES = {"concurrent.futures.as_completed"}
+
+#: Exception names that cover the dead-worker path for RL024.
+BROKEN_POOL_HANDLERS = {"BrokenProcessPool", "BrokenExecutor", "Exception", "BaseException"}
+
+#: Method names that mutate a container in place (RL021/RL025).
+MUTATOR_METHODS = {
+    "append",
+    "appendleft",
+    "add",
+    "clear",
+    "discard",
+    "extend",
+    "insert",
+    "pop",
+    "popitem",
+    "remove",
+    "setdefault",
+    "update",
+    "__setitem__",
+}
+
+#: Constructors whose result is a mutable container (RL021).
+MUTABLE_CONTAINER_CTORS = {
+    "dict",
+    "list",
+    "set",
+    "defaultdict",
+    "OrderedDict",
+    "Counter",
+    "deque",
+}
+
+#: Wall-clock reads that leak real time into a cached result (RL022).
+CLOCK_READS = {
+    "time.time",
+    "time.time_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.date.today",
+}
+
+#: Attribute calls that read file contents regardless of receiver type.
+FILE_READ_ATTRS = {"read_text", "read_bytes"}
+
+
+def _assigned_names(fn_node: ast.AST) -> Set[str]:
+    """Every name bound inside a function (params, assignments, loops)."""
+    names: Set[str] = set()
+    args = fn_node.args
+    for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+        names.add(arg.arg)
+    if args.vararg:
+        names.add(args.vararg.arg)
+    if args.kwarg:
+        names.add(args.kwarg.arg)
+    for node in ast.walk(fn_node):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, (ast.Store, ast.Del)):
+            names.add(node.id)
+        elif isinstance(node, (ast.For, ast.comprehension)):
+            target = node.target
+            for sub in ast.walk(target):
+                if isinstance(sub, ast.Name):
+                    names.add(sub.id)
+        elif isinstance(node, ast.ExceptHandler) and node.name:
+            names.add(node.name)
+        elif isinstance(node, ast.With):
+            for item in node.items:
+                if item.optional_vars is not None:
+                    for sub in ast.walk(item.optional_vars):
+                        if isinstance(sub, ast.Name):
+                            names.add(sub.id)
+    return names
+
+
+def _nested_function_names(fn_node: ast.AST) -> Set[str]:
+    """Names of defs nested inside a function (closures for RL020)."""
+    out: Set[str] = set()
+    for node in ast.walk(fn_node):
+        if node is fn_node:
+            continue
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            out.add(node.name)
+    return out
+
+
+def _walk_with_parents(
+    node: ast.AST, parents: Optional[List[ast.AST]] = None
+) -> Iterator[Tuple[ast.AST, List[ast.AST]]]:
+    """Yield ``(node, ancestors)`` pairs, outermost ancestor first."""
+    parents = parents if parents is not None else []
+    yield node, parents
+    parents.append(node)
+    for child in ast.iter_child_nodes(node):
+        yield from _walk_with_parents(child, parents)
+    parents.pop()
+
+
+class ParPass:
+    """Runs the six parallelism-safety checks over the symbol table."""
+
+    def __init__(self, table: SymbolTable, graph: CallGraph, config, reporter):
+        self.table = table
+        self.graph = graph
+        self.config = config
+        self.reporter = reporter
+        self.resolver = CallResolver(table)
+        self._mutated_globals: Set[str] = set()
+        self._mutable_globals: Dict[str, Set[str]] = {}
+
+    def run(self) -> None:
+        self._index_globals()
+        cells = self._discover_cells()
+        closures = {cell.qualname: self._closure(cell) for cell in cells}
+        for module in sorted(self.table.modules.values(), key=lambda m: m.name):
+            for fn in self._functions_of(module):
+                self._check_pool_submissions(fn, module)
+            if module_in(module.name, self.config.par_packages):
+                for fn in self._functions_of(module):
+                    self._check_ordered_reduction(fn, module)
+                    self._check_future_result_handling(fn, module)
+                    self._check_post_handoff_mutation(fn, module)
+        reported: Set[Tuple[str, int, int]] = set()
+        for cell in sorted(cells, key=lambda c: c.qualname):
+            for fn in closures[cell.qualname]:
+                fn_module = self.table.modules.get(fn.module)
+                if fn_module is None:
+                    continue
+                self._check_shared_state_reads(cell, fn, fn_module, reported)
+                self._check_cache_purity(cell, fn, fn_module, reported)
+
+    # -- shared infrastructure --------------------------------------
+
+    def _functions_of(self, module: ModuleInfo) -> List[FunctionInfo]:
+        out = list(module.functions.values())
+        for cls in module.classes.values():
+            out.extend(cls.methods.values())
+        return out
+
+    def _dotted(self, node: ast.AST, module: ModuleInfo) -> str:
+        dotted = self.resolver.dotted_callee(node, module)
+        return self.table.resolve_alias(dotted) if dotted else ""
+
+    def _module_ref(self, local: str, module: ModuleInfo) -> Optional[str]:
+        """Module a local name is bound to, covering both import forms.
+
+        ``import repro.campaign.shared as shared`` resolves via the
+        module map; ``from repro.campaign import shared`` lands in the
+        from-import map, so also accept origins that name an analyzed
+        module.
+        """
+        origin = module.imports.module_of(local)
+        if origin:
+            return origin
+        origin = module.imports.origin_of(local)
+        if origin and origin in self._mutable_globals:
+            return origin
+        return None
+
+    def _discover_cells(self) -> List[FunctionInfo]:
+        """Campaign cells: registry entries plus ``*_cell`` functions."""
+        qualnames: Set[str] = set()
+        for module in self.table.modules.values():
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.Assign):
+                    targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
+                    if "CELLS" in targets and isinstance(node.value, ast.Dict):
+                        for value in node.value.values:
+                            qualnames.update(_cell_path_to_qualname(value))
+                elif isinstance(node, ast.Call):
+                    dotted = self._dotted(node.func, module)
+                    if dotted.endswith(".register_cell") or dotted == "register_cell":
+                        if len(node.args) >= 2:
+                            qualnames.update(_cell_path_to_qualname(node.args[1]))
+            if module_in(module.name, self.config.par_packages):
+                for fn in module.functions.values():
+                    if fn.name.endswith("_cell") and _has_cell_signature(fn):
+                        qualnames.add(fn.qualname)
+        cells = []
+        for qualname in sorted(qualnames):
+            fn = self.table.function(qualname)
+            if fn is not None:
+                cells.append(fn)
+        return cells
+
+    def _closure(self, cell: FunctionInfo) -> List[FunctionInfo]:
+        """The cell plus everything reachable from it in the call graph."""
+        seen: Dict[str, FunctionInfo] = {cell.qualname: cell}
+        frontier = [cell.qualname]
+        while frontier:
+            qualname = frontier.pop()
+            for site in self.graph.calls_from(qualname):
+                callee = site.callee
+                if callee.qualname not in seen:
+                    seen[callee.qualname] = callee
+                    frontier.append(callee.qualname)
+        return sorted(seen.values(), key=lambda f: f.qualname)
+
+    # -- RL020 ------------------------------------------------------
+
+    def _pool_names(self, fn: FunctionInfo, module: ModuleInfo) -> Set[str]:
+        """Local names bound to a process pool inside ``fn``."""
+        names: Set[str] = set()
+        for param in fn.params:
+            if "ProcessPoolExecutor" in param.annotation or param.annotation == "Pool":
+                names.add(param.name)
+        for node in ast.walk(fn.node):
+            value = None
+            target = None
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                value, target = node.value, node.targets[0]
+            elif isinstance(node, ast.With):
+                for item in node.items:
+                    if (
+                        isinstance(item.context_expr, ast.Call)
+                        and isinstance(item.optional_vars, ast.Name)
+                        and self._dotted(item.context_expr.func, module)
+                        in POOL_CONSTRUCTORS
+                    ):
+                        names.add(item.optional_vars.id)
+                continue
+            if (
+                isinstance(target, ast.Name)
+                and isinstance(value, ast.Call)
+                and self._dotted(value.func, module) in POOL_CONSTRUCTORS
+            ):
+                names.add(target.id)
+        return names
+
+    def _unpicklable_reason(
+        self, target: ast.AST, fn: FunctionInfo, module: ModuleInfo
+    ) -> Optional[str]:
+        """Why ``target`` cannot safely cross a process boundary."""
+        if isinstance(target, ast.Lambda):
+            return "a lambda is not picklable"
+        if isinstance(target, ast.Call):
+            dotted = self._dotted(target.func, module)
+            if dotted in ("functools.partial", "partial") and target.args:
+                return self._unpicklable_reason(target.args[0], fn, module)
+            return None
+        if isinstance(target, ast.Name):
+            if target.id in _nested_function_names(fn.node):
+                return (
+                    f"'{target.id}' is a closure defined inside "
+                    f"{fn.qualname} — workers cannot import it"
+                )
+            return None
+        if isinstance(target, ast.Attribute) and isinstance(target.value, ast.Name):
+            base = target.value.id
+            if module.imports.module_of(base):
+                return None  # module.function reference — importable
+            if base in module.classes or self.table.class_info(
+                self._dotted(target.value, module)
+            ):
+                return None  # Class.method — resolves by qualname
+            return (
+                f"'{base}.{target.attr}' is a bound method — pickling it "
+                "drags the whole instance into every worker"
+            )
+        return None
+
+    def _check_pool_submissions(self, fn: FunctionInfo, module: ModuleInfo) -> None:
+        pools = self._pool_names(fn, module)
+        if not pools:
+            return
+        for node in ast.walk(fn.node):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in POOL_SUBMIT_METHODS
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id in pools
+                and node.args
+            ):
+                continue
+            reason = self._unpicklable_reason(node.args[0], fn, module)
+            if reason is not None:
+                self.reporter.report(
+                    module,
+                    node,
+                    "RL020",
+                    f"callable submitted to the process pool is not a "
+                    f"module-level function: {reason} — submit a module-level "
+                    "callable (or functools.partial of one) so workers can "
+                    "resolve it by import",
+                    context=fn.qualname,
+                )
+
+    # -- RL021 ------------------------------------------------------
+
+    def _index_globals(self) -> None:
+        """Index mutable module globals and every mutation site."""
+        for module in self.table.modules.values():
+            mutable: Set[str] = set()
+            for stmt in module.tree.body:
+                value = None
+                name = None
+                if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                    if isinstance(stmt.targets[0], ast.Name):
+                        name, value = stmt.targets[0].id, stmt.value
+                elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+                    name, value = stmt.target.id, stmt.value
+                if name is None or value is None:
+                    continue
+                if _is_mutable_container(value):
+                    mutable.add(name)
+            self._mutable_globals[module.name] = mutable
+        for module in self.table.modules.values():
+            for target_module, name in self._mutation_sites(module):
+                self._mutated_globals.add(f"{target_module}.{name}")
+
+    def _mutation_sites(self, module: ModuleInfo) -> Iterator[Tuple[str, str]]:
+        """(module, global) pairs mutated anywhere in ``module``."""
+        globals_here = self._mutable_globals.get(module.name, set())
+
+        def resolve_base(expr: ast.AST) -> Optional[Tuple[str, str]]:
+            # X.method(...) / X[k] = v where X is a module global here.
+            if isinstance(expr, ast.Name) and expr.id in globals_here:
+                return module.name, expr.id
+            # mod.X.method(...) / mod.X[k] = v through an imported module.
+            if isinstance(expr, ast.Attribute) and isinstance(expr.value, ast.Name):
+                origin = self._module_ref(expr.value.id, module)
+                if origin and expr.attr in self._mutable_globals.get(origin, set()):
+                    return origin, expr.attr
+            return None
+
+        declared_global: Set[str] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Global):
+                declared_global.update(node.names)
+            elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                if node.func.attr in MUTATOR_METHODS:
+                    found = resolve_base(node.func.value)
+                    if found is not None:
+                        yield found
+            elif isinstance(node, (ast.Assign, ast.AugAssign, ast.Delete)):
+                targets = (
+                    node.targets
+                    if isinstance(node, (ast.Assign, ast.Delete))
+                    else [node.target]
+                )
+                for target in targets:
+                    if isinstance(target, ast.Subscript):
+                        found = resolve_base(target.value)
+                        if found is not None:
+                            yield found
+        for name in declared_global:
+            if name in globals_here:
+                yield module.name, name
+
+    def _check_shared_state_reads(
+        self,
+        cell: FunctionInfo,
+        fn: FunctionInfo,
+        module: ModuleInfo,
+        reported: Set[Tuple[str, int, int]],
+    ) -> None:
+        locals_here = _assigned_names(fn.node)
+        mutable_here = self._mutable_globals.get(module.name, set())
+        for node in ast.walk(fn.node):
+            qualified = None
+            display = None
+            if (
+                isinstance(node, ast.Name)
+                and isinstance(node.ctx, ast.Load)
+                and node.id in mutable_here
+                and node.id not in locals_here
+            ):
+                qualified = f"{module.name}.{node.id}"
+                display = node.id
+            elif isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+                origin = self._module_ref(node.value.id, module)
+                if origin and node.attr in self._mutable_globals.get(origin, set()):
+                    qualified = f"{origin}.{node.attr}"
+                    display = f"{node.value.id}.{node.attr}"
+            if qualified is None or qualified not in self._mutated_globals:
+                continue
+            key = ("RL021", id(node), 0)
+            if key in reported:
+                continue
+            reported.add(key)
+            self.reporter.report(
+                module,
+                node,
+                "RL021",
+                f"campaign cell {cell.qualname} transitively reads "
+                f"module-level mutable state '{display}' ({qualified}), "
+                "which is mutated elsewhere in the project — forked workers "
+                "each see a private copy, so updates are lost and results "
+                "depend on fork timing; pass the data through the scenario "
+                "spec instead",
+                context=fn.qualname,
+            )
+
+    # -- RL022 ------------------------------------------------------
+
+    def _impure_read(self, node: ast.AST, module: ModuleInfo) -> Optional[str]:
+        """Describe a read outside the spec hash, or None."""
+        if isinstance(node, ast.Call):
+            func = node.func
+            dotted = self._dotted(func, module)
+            if dotted in ("os.getenv", "os.environ.get"):
+                return "environment variable (os.getenv)"
+            if dotted in CLOCK_READS:
+                return f"wall clock ({dotted})"
+            if isinstance(func, ast.Name) and func.id == "open":
+                if not module.imports.origin_of("open"):
+                    return "file contents (open())"
+            if isinstance(func, ast.Attribute) and func.attr in FILE_READ_ATTRS:
+                return f"file contents (.{func.attr}())"
+            return None
+        if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+            if (
+                node.attr == "environ"
+                and module.imports.module_of(node.value.id) == "os"
+            ):
+                return "environment (os.environ)"
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+            if module.imports.origin_of(node.id) == "os.environ":
+                return "environment (os.environ)"
+        return None
+
+    def _check_cache_purity(
+        self,
+        cell: FunctionInfo,
+        fn: FunctionInfo,
+        module: ModuleInfo,
+        reported: Set[Tuple[str, int, int]],
+    ) -> None:
+        environ_call_values: Set[int] = {
+            id(node.func.value)
+            for node in ast.walk(fn.node)
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)
+        }
+        for node in ast.walk(fn.node):
+            what = self._impure_read(node, module)
+            if what is None:
+                continue
+            # ``os.environ.get(...)`` already reports as a call; skip the
+            # bare ``os.environ`` attribute nested inside it.
+            if isinstance(node, ast.Attribute) and id(node) in environ_call_values:
+                continue
+            key = ("RL022", id(node), 0)
+            if key in reported:
+                continue
+            reported.add(key)
+            self.reporter.report(
+                module,
+                node,
+                "RL022",
+                f"campaign cell {cell.qualname} transitively reads "
+                f"{what}, which the scenario spec hash does not capture — "
+                "two runs with identical specs can cache different results "
+                "(cache poisoning); pass the value through the spec params "
+                "instead",
+                context=fn.qualname,
+            )
+
+    # -- RL023 ------------------------------------------------------
+
+    def _check_ordered_reduction(self, fn: FunctionInfo, module: ModuleInfo) -> None:
+        for node in ast.walk(fn.node):
+            if not isinstance(node, ast.For):
+                continue
+            iter_expr = node.iter
+            over = None
+            if (
+                isinstance(iter_expr, ast.Call)
+                and self._dotted(iter_expr.func, module) in AS_COMPLETED_NAMES
+            ):
+                over = "as_completed(...) (completion order)"
+            elif _is_unordered_iterable(iter_expr):
+                over = _describe_unordered(iter_expr)
+            if over is None:
+                continue
+            accumulates = any(
+                isinstance(sub, ast.AugAssign)
+                or (
+                    isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Attribute)
+                    and sub.func.attr in ("append", "extend", "add", "update")
+                )
+                for stmt in node.body
+                for sub in ast.walk(stmt)
+            )
+            if not accumulates:
+                continue
+            self.reporter.report(
+                module,
+                node,
+                "RL023",
+                f"shard results merged by accumulating over {over} — "
+                "float accumulation is not commutative and the merged "
+                "output depends on completion/iteration order, not the "
+                "spec; collect into a list keyed by scenario index and "
+                "reduce in expansion order",
+                context=fn.qualname,
+            )
+
+    # -- RL024 ------------------------------------------------------
+
+    def _uses_pool_futures(self, fn: FunctionInfo, module: ModuleInfo) -> bool:
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Call):
+                if (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "submit"
+                ):
+                    return True
+                dotted = self._dotted(node.func, module)
+                if dotted in AS_COMPLETED_NAMES or dotted == "concurrent.futures.wait":
+                    return True
+        return False
+
+    def _check_future_result_handling(
+        self, fn: FunctionInfo, module: ModuleInfo
+    ) -> None:
+        if not self._uses_pool_futures(fn, module):
+            return
+        for node, parents in _walk_with_parents(fn.node):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "result"
+                and not node.args
+            ):
+                continue
+            if any(
+                isinstance(parent, ast.Try)
+                and any(_handles_broken_pool(h) for h in parent.handlers)
+                for parent in parents
+            ):
+                continue
+            self.reporter.report(
+                module,
+                node,
+                "RL024",
+                "Future.result() consumed without handling the "
+                "BrokenProcessPool path — a worker killed by the OS turns "
+                "into an unhandled crash instead of a recorded cell "
+                "failure; wrap in try/except BrokenProcessPool (or "
+                "Exception) and record the outcome",
+                context=fn.qualname,
+            )
+
+    # -- RL025 ------------------------------------------------------
+
+    def _check_post_handoff_mutation(self, fn: FunctionInfo, module: ModuleInfo) -> None:
+        handoffs: Dict[str, int] = {}
+        for node in ast.walk(fn.node):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = self._dotted(node.func, module)
+            is_handoff = (
+                isinstance(node.func, ast.Attribute) and node.func.attr == "put"
+            ) or dotted.rsplit(".", 1)[-1] in ("save_results", "write_run")
+            if not is_handoff:
+                continue
+            for arg in node.args:
+                if isinstance(arg, ast.Name):
+                    lineno = getattr(node, "lineno", 0)
+                    prior = handoffs.get(arg.id)
+                    handoffs[arg.id] = min(prior, lineno) if prior else lineno
+        if not handoffs:
+            return
+        for node in ast.walk(fn.node):
+            name, verb = _mutation_of(node)
+            if name is None or name not in handoffs:
+                continue
+            if getattr(node, "lineno", 0) <= handoffs[name]:
+                continue
+            self.reporter.report(
+                module,
+                node,
+                "RL025",
+                f"'{name}' is mutated ({verb}) after being handed to the "
+                "cache/store layer — the persisted entry was serialized at "
+                "put time and now silently diverges from the in-memory "
+                "object; finish building the result before storing it",
+                context=fn.qualname,
+            )
+
+
+def _has_cell_signature(fn: FunctionInfo) -> bool:
+    """True for the cell calling convention: keyword-only parameters.
+
+    The runner invokes cells as ``fn(seed=..., repetition=...,
+    **params)``, so real cells declare ``def cell(*, ...)``.  This
+    keeps registry/dispatch helpers that merely *end* in ``_cell``
+    (``register_cell``, ``execute_cell``) out of the cell set.
+    """
+    args = fn.node.args
+    return not args.args and not args.posonlyargs and bool(args.kwonlyargs)
+
+
+def _cell_path_to_qualname(node: ast.AST) -> Set[str]:
+    """``"pkg.mod:function"`` string constants to dotted qualnames."""
+    if (
+        isinstance(node, ast.Constant)
+        and isinstance(node.value, str)
+        and ":" in node.value
+    ):
+        module, _, attr = node.value.partition(":")
+        if module and attr:
+            return {f"{module}.{attr}"}
+    return set()
+
+
+def _is_mutable_container(value: ast.AST) -> bool:
+    if isinstance(value, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(value, ast.Call):
+        func = value.func
+        name = (
+            func.id
+            if isinstance(func, ast.Name)
+            else (func.attr if isinstance(func, ast.Attribute) else "")
+        )
+        return name in MUTABLE_CONTAINER_CTORS
+    return False
+
+
+def _is_unordered_iterable(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+            return True
+    return False
+
+
+def _describe_unordered(node: ast.AST) -> str:
+    return "a set (unordered iteration)"
+
+
+def _mutation_of(node: ast.AST) -> Tuple[Optional[str], str]:
+    """``(name, verb)`` when ``node`` mutates the object bound to a name.
+
+    Rebinding (``x = ...``, ``x += 1`` on a plain name) is not a
+    mutation of the previously stored object, so only subscript and
+    attribute stores and in-place mutator methods count.
+    """
+    if isinstance(node, ast.Assign):
+        for target in node.targets:
+            if isinstance(target, (ast.Subscript, ast.Attribute)) and isinstance(
+                target.value, ast.Name
+            ):
+                verb = (
+                    "item assignment"
+                    if isinstance(target, ast.Subscript)
+                    else "attribute assignment"
+                )
+                return target.value.id, verb
+    elif isinstance(node, ast.AugAssign):
+        target = node.target
+        if isinstance(target, (ast.Subscript, ast.Attribute)) and isinstance(
+            target.value, ast.Name
+        ):
+            return target.value.id, "augmented assignment"
+    elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+        if node.func.attr in MUTATOR_METHODS and isinstance(
+            node.func.value, ast.Name
+        ):
+            return node.func.value.id, f".{node.func.attr}()"
+    return None, ""
+
+
+def _handles_broken_pool(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+
+    def names(node: ast.AST) -> Iterator[str]:
+        if isinstance(node, ast.Tuple):
+            for el in node.elts:
+                yield from names(el)
+        elif isinstance(node, ast.Name):
+            yield node.id
+        elif isinstance(node, ast.Attribute):
+            yield node.attr
+
+    return any(name in BROKEN_POOL_HANDLERS for name in names(handler.type))
+
+
+__all__ = ["ParPass", "POOL_CONSTRUCTORS", "MUTATOR_METHODS"]

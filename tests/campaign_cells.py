@@ -45,6 +45,29 @@ def slow_cell(*, sleep_s: float = 5.0, seed: int = 0, repetition: int = 0):
     return {"slept_s": sleep_s}
 
 
+def env_reading_cell(*, seed: int = 0, repetition: int = 0):
+    """Impure on purpose: result depends on an environment variable.
+
+    The purity auditor (``repro campaign verify``) must catch this —
+    the scenario spec hash does not capture ``REPRO_TEST_SCALE``, so
+    caching this cell would be unsound.
+    """
+    scale = int(os.getenv("REPRO_TEST_SCALE", "1"))
+    return {"value": seed * scale, "repetition": repetition}
+
+
+def clock_reading_cell(*, seed: int = 0, repetition: int = 0):
+    """Impure on purpose: folds the wall clock into the result."""
+    return {"value": seed, "stamp": time.time(), "repetition": repetition}
+
+
+def file_reading_cell(*, calib_path: str, seed: int = 0, repetition: int = 0):
+    """Impure on purpose: reads a file outside the spec hash."""
+    with open(calib_path, "r", encoding="utf-8") as fh:
+        offset = float(fh.read().strip() or "0")
+    return {"value": seed + offset, "repetition": repetition}
+
+
 def des_cell(*, ticks: int = 50, seed: int = 0, repetition: int = 0):
     """Drives the discrete-event simulator and reports its event count."""
     from repro.mac.simulator import Simulator

@@ -89,7 +89,35 @@ class TestJsonOutput:
         rc = main(["lint", "--json", "--root", str(project), str(project / "src")])
         assert rc == 0
         doc = json.loads(capsys.readouterr().out)
-        assert doc == {"findings": [], "count": 0, "baselined": 0}
+        assert doc == {
+            "findings": [],
+            "count": 0,
+            "baselined": 0,
+            "fingerprint_version": 2,
+        }
+
+    def test_json_schema_locked(self, project, capsys):
+        # External tooling correlates --json findings with baseline
+        # entries; the v2 fields (scope, col, fingerprint_version) are
+        # part of that contract.  Lock the exact key set.
+        write_module(project, "dirty.py", DIRTY_SOURCE)
+        main(["lint", "--json", "--root", str(project), str(project / "src")])
+        doc = json.loads(capsys.readouterr().out)
+        assert sorted(doc) == ["baselined", "count", "findings", "fingerprint_version"]
+        assert doc["fingerprint_version"] == 2
+        (finding,) = doc["findings"]
+        assert sorted(finding) == [
+            "code",
+            "col",
+            "context",
+            "fingerprint",
+            "line",
+            "message",
+            "path",
+            "scope",
+        ]
+        assert finding["scope"] == finding["context"] == "draw"
+        assert finding["col"] >= 1
 
 
 class TestBaseline:
@@ -184,6 +212,8 @@ class TestConfig:
         for i in range(1, 9):
             assert f"RL00{i}" in out
         for i in range(10, 16):  # flow rules share the catalog
+            assert f"RL0{i}" in out
+        for i in range(20, 26):  # par rules too
             assert f"RL0{i}" in out
 
 
@@ -284,6 +314,120 @@ class TestFlowCli:
         assert rc == 0
 
 
+class TestJobs:
+    """--jobs N parallel linting: identical output for any N."""
+
+    def test_jobs_output_matches_serial(self, project, capsys):
+        write_module(project, "dirty.py", DIRTY_SOURCE)
+        write_module(
+            project,
+            "worse.py",
+            "import random\na = random.random()\nb = random.random()\n",
+        )
+        main(["lint", "--json", "--root", str(project), str(project / "src")])
+        serial = capsys.readouterr().out
+        rc = main(
+            ["lint", "--json", "--jobs", "4", "--root", str(project),
+             str(project / "src")]
+        )
+        assert rc == 1
+        assert capsys.readouterr().out == serial
+
+    def test_jobs_one_is_serial_path(self, project):
+        write_module(project, "dirty.py", DIRTY_SOURCE)
+        rc = main(
+            ["lint", "--jobs", "1", "--root", str(project), str(project / "src")]
+        )
+        assert rc == 1
+
+
+class TestParCli:
+    PAR_DIRTY = (
+        "from concurrent.futures import ProcessPoolExecutor\n\n\n"
+        "def fan_out(items):\n"
+        "    with ProcessPoolExecutor() as pool:\n"
+        "        return [pool.submit(lambda x: x + 1, i) for i in items]\n"
+    )
+
+    def test_par_findings_reported(self, project, capsys):
+        write_module(project, "pooluse.py", self.PAR_DIRTY)
+        rc = main(["lint", "--par", "--root", str(project), str(project / "src")])
+        assert rc == 1
+        assert "RL020" in capsys.readouterr().out
+
+    def test_without_par_flag_silent(self, project):
+        write_module(project, "pooluse.py", self.PAR_DIRTY)
+        rc = main(["lint", "--root", str(project), str(project / "src")])
+        assert rc == 0
+        rc = main(["lint", "--flow", "--root", str(project), str(project / "src")])
+        assert rc == 0
+
+    def test_par_combines_with_flow(self, project, capsys):
+        write_module(project, "pooluse.py", self.PAR_DIRTY)
+        write_module(project, "toy.py", TestFlowCli.FLOW_DIRTY)
+        rc = main(
+            ["lint", "--flow", "--par", "--json", "--root", str(project),
+             str(project / "src")]
+        )
+        assert rc == 1
+        doc = json.loads(capsys.readouterr().out)
+        codes = {f["code"] for f in doc["findings"]}
+        assert "RL020" in codes and "RL012" in codes
+        assert doc["flow"]["passes"] == ["units", "rng", "par"]
+
+    def test_par_findings_baselinable(self, project, capsys):
+        write_module(project, "pooluse.py", self.PAR_DIRTY)
+        main(
+            ["lint", "--par", "--write-baseline", "--root", str(project),
+             str(project / "src")]
+        )
+        rc = main(
+            ["lint", "--par", "--baseline", "--root", str(project),
+             str(project / "src")]
+        )
+        assert rc == 0
+        assert "1 baselined" in capsys.readouterr().out
+
+
+class TestCheckBaseline:
+    def test_current_baseline_passes(self, project, capsys):
+        write_module(project, "dirty.py", DIRTY_SOURCE)
+        main(["lint", "--write-baseline", "--root", str(project), str(project / "src")])
+        rc = main(
+            ["lint", "--check-baseline", "--root", str(project), str(project / "src")]
+        )
+        assert rc == 0
+        assert "is current" in capsys.readouterr().out
+
+    def test_stale_entry_fails(self, project, capsys):
+        write_module(project, "dirty.py", DIRTY_SOURCE)
+        main(["lint", "--write-baseline", "--root", str(project), str(project / "src")])
+        write_module(project, "dirty.py", CLEAN_SOURCE)  # violation fixed
+        rc = main(
+            ["lint", "--check-baseline", "--root", str(project), str(project / "src")]
+        )
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "stale baseline entry" in out
+        assert "RL001" in out
+        assert "dirty.py" in out
+
+    def test_missing_baseline_is_current(self, project, capsys):
+        write_module(project, "clean.py", CLEAN_SOURCE)
+        rc = main(
+            ["lint", "--check-baseline", "--root", str(project), str(project / "src")]
+        )
+        assert rc == 0
+
+    def test_corrupt_baseline_exits_two(self, project):
+        write_module(project, "clean.py", CLEAN_SOURCE)
+        (project / "lint-baseline.json").write_text("{not json")
+        rc = main(
+            ["lint", "--check-baseline", "--root", str(project), str(project / "src")]
+        )
+        assert rc == 2
+
+
 class TestSelfLint:
     """The repository's own source must be clean modulo the baseline."""
 
@@ -313,6 +457,35 @@ class TestSelfLint:
         )
         out = capsys.readouterr().out
         assert rc == 0, f"repro lint --flow found new violations:\n{out}"
+
+    def test_src_tree_clean_under_par(self, capsys):
+        rc = main(
+            [
+                "lint",
+                "--par",
+                "--baseline",
+                "--root",
+                str(REPO_ROOT),
+                str(REPO_ROOT / "src"),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0, f"repro lint --par found new violations:\n{out}"
+
+    def test_committed_baseline_not_stale(self, capsys):
+        rc = main(
+            [
+                "lint",
+                "--flow",
+                "--par",
+                "--check-baseline",
+                "--root",
+                str(REPO_ROOT),
+                str(REPO_ROOT / "src"),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0, f"stale baseline entries:\n{out}"
 
     def test_committed_baseline_is_empty(self):
         # All real findings were fixed in-tree rather than grandfathered;

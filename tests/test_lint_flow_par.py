@@ -1,0 +1,457 @@
+"""Parallelism-safety pass (RL020-RL025) against synthetic projects."""
+
+from repro.lint.config import LintConfig
+from repro.lint.flow import PAR_RULES, analyze_files
+
+PAR = ("par",)
+
+
+def codes(findings):
+    return [f.code for f in findings]
+
+
+def analyze(*files, config=None):
+    findings, _ = analyze_files(list(files), config or LintConfig(), passes=PAR)
+    return findings
+
+
+class TestRuleCatalog:
+    def test_catalog_covers_rl020_to_rl025(self):
+        assert sorted(PAR_RULES) == [f"RL02{i}" for i in range(6)]
+
+    def test_unknown_pass_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            analyze_files([], LintConfig(), passes=("nope",))
+
+
+class TestRL020PoolSubmission:
+    def test_lambda_flagged(self):
+        src = (
+            "from concurrent.futures import ProcessPoolExecutor\n\n\n"
+            "def fan_out(items):\n"
+            "    with ProcessPoolExecutor() as pool:\n"
+            "        return [pool.submit(lambda x: x + 1, i) for i in items]\n"
+        )
+        findings = analyze(("src/repro/phy/toy.py", src))
+        assert codes(findings) == ["RL020"]
+        assert "lambda" in findings[0].message
+
+    def test_closure_flagged(self):
+        src = (
+            "from concurrent.futures import ProcessPoolExecutor\n\n\n"
+            "def fan_out(items, scale):\n"
+            "    def work(x):\n"
+            "        return x * scale\n"
+            "    with ProcessPoolExecutor() as pool:\n"
+            "        return [pool.submit(work, i) for i in items]\n"
+        )
+        findings = analyze(("src/repro/phy/toy.py", src))
+        assert codes(findings) == ["RL020"]
+        assert "closure" in findings[0].message
+
+    def test_bound_method_flagged(self):
+        src = (
+            "from concurrent.futures import ProcessPoolExecutor\n\n\n"
+            "def fan_out(runner, items):\n"
+            "    with ProcessPoolExecutor() as pool:\n"
+            "        return [pool.submit(runner.step, i) for i in items]\n"
+        )
+        findings = analyze(("src/repro/phy/toy.py", src))
+        assert codes(findings) == ["RL020"]
+        assert "bound method" in findings[0].message
+
+    def test_module_level_function_clean(self):
+        src = (
+            "from concurrent.futures import ProcessPoolExecutor\n\n\n"
+            "def work(x):\n"
+            "    return x + 1\n\n\n"
+            "def fan_out(items):\n"
+            "    with ProcessPoolExecutor() as pool:\n"
+            "        return [pool.submit(work, i) for i in items]\n"
+        )
+        assert analyze(("src/repro/phy/toy.py", src)) == []
+
+    def test_partial_of_lambda_flagged_of_function_clean(self):
+        src = (
+            "import functools\n"
+            "from concurrent.futures import ProcessPoolExecutor\n\n\n"
+            "def work(x, scale):\n"
+            "    return x * scale\n\n\n"
+            "def fan_out(items):\n"
+            "    with ProcessPoolExecutor() as pool:\n"
+            "        good = [pool.submit(functools.partial(work, scale=2), i)"
+            " for i in items]\n"
+            "        bad = [pool.submit(functools.partial(lambda x: x), i)"
+            " for i in items]\n"
+            "    return good, bad\n"
+        )
+        findings = analyze(("src/repro/phy/toy.py", src))
+        assert codes(findings) == ["RL020"]
+
+    def test_assigned_pool_and_map_covered(self):
+        src = (
+            "from concurrent.futures import ProcessPoolExecutor\n\n\n"
+            "def fan_out(items):\n"
+            "    pool = ProcessPoolExecutor(max_workers=2)\n"
+            "    return list(pool.map(lambda x: x, items))\n"
+        )
+        assert codes(analyze(("src/repro/phy/toy.py", src))) == ["RL020"]
+
+    def test_non_pool_receiver_ignored(self):
+        src = (
+            "def fan_out(executor, items):\n"
+            "    return [executor.submit(lambda x: x, i) for i in items]\n"
+        )
+        # ``executor`` is untyped — could be anything; stay conservative.
+        assert analyze(("src/repro/phy/toy.py", src)) == []
+
+    def test_annotated_pool_param_covered(self):
+        src = (
+            "from concurrent.futures import ProcessPoolExecutor\n\n\n"
+            "def fan_out(pool: ProcessPoolExecutor, items):\n"
+            "    return [pool.submit(lambda x: x, i) for i in items]\n"
+        )
+        assert codes(analyze(("src/repro/phy/toy.py", src))) == ["RL020"]
+
+
+CELL_WITH_HELPER = (
+    "CACHE = {}\n\n\n"
+    "def register(key, value):\n"
+    "    CACHE[key] = value\n\n\n"
+    "def lookup(key):\n"
+    "    return CACHE.get(key)\n\n\n"
+    "def my_cell(*, seed=0, repetition=0):\n"
+    "    return {'v': lookup(seed)}\n"
+)
+
+
+class TestRL021SharedState:
+    def test_transitive_read_of_mutated_global_flagged(self):
+        findings = analyze(("src/repro/campaign/toy.py", CELL_WITH_HELPER))
+        assert codes(findings) == ["RL021"]
+        f = findings[0]
+        assert "CACHE" in f.message
+        assert "my_cell" in f.message
+        assert f.context == "repro.campaign.toy.lookup"
+
+    def test_unmutated_global_clean(self):
+        src = (
+            "LIMITS = {'max': 10}\n\n\n"
+            "def my_cell(*, seed=0, repetition=0):\n"
+            "    return {'v': LIMITS['max'] + seed}\n"
+        )
+        assert analyze(("src/repro/campaign/toy.py", src)) == []
+
+    def test_local_shadow_clean(self):
+        src = (
+            "STATE = []\n\n\n"
+            "def poke():\n"
+            "    STATE.append(1)\n\n\n"
+            "def my_cell(*, seed=0, repetition=0):\n"
+            "    STATE = [seed]\n"
+            "    return {'v': STATE[0]}\n"
+        )
+        assert analyze(("src/repro/campaign/toy.py", src)) == []
+
+    def test_cross_module_mutation_detected(self):
+        shared = "TALLY = {}\n"
+        mutator = (
+            "from repro.campaign import shared\n\n\n"
+            "def bump(key):\n"
+            "    shared.TALLY.update({key: 1})\n"
+        )
+        cell = (
+            "from repro.campaign import shared\n\n\n"
+            "def my_cell(*, seed=0, repetition=0):\n"
+            "    return {'v': shared.TALLY}\n"
+        )
+        findings = analyze(
+            ("src/repro/campaign/shared.py", shared),
+            ("src/repro/campaign/mutator.py", mutator),
+            ("src/repro/campaign/cellmod.py", cell),
+        )
+        assert codes(findings) == ["RL021"]
+
+    def test_reads_outside_cell_closure_clean(self):
+        src = (
+            "CACHE = {}\n\n\n"
+            "def register(key, value):\n"
+            "    CACHE[key] = value\n\n\n"
+            "def lookup(key):\n"
+            "    return CACHE.get(key)\n\n\n"
+            "def my_cell(*, seed=0, repetition=0):\n"
+            "    return {'v': seed}\n"
+        )
+        # lookup reads mutated state but no cell reaches it.
+        assert analyze(("src/repro/campaign/toy.py", src)) == []
+
+
+class TestRL022CachePurity:
+    def test_env_read_flagged(self):
+        src = (
+            "import os\n\n\n"
+            "def env_cell(*, seed=0, repetition=0):\n"
+            "    return {'v': os.getenv('SCALE', '1')}\n"
+        )
+        findings = analyze(("src/repro/campaign/toy.py", src))
+        assert codes(findings) == ["RL022"]
+        assert "environment" in findings[0].message
+
+    def test_open_read_flagged(self):
+        src = (
+            "def file_cell(*, seed=0, repetition=0):\n"
+            "    with open('calib.txt') as fh:\n"
+            "        return {'v': fh.read()}\n"
+        )
+        findings = analyze(("src/repro/campaign/toy.py", src))
+        assert codes(findings) == ["RL022"]
+
+    def test_path_read_text_flagged(self):
+        src = (
+            "import pathlib\n\n\n"
+            "def file_cell(*, seed=0, repetition=0):\n"
+            "    return {'v': pathlib.Path('c.json').read_text()}\n"
+        )
+        assert codes(analyze(("src/repro/campaign/toy.py", src))) == ["RL022"]
+
+    def test_clock_read_flagged_transitively(self):
+        src = (
+            "import time\n\n\n"
+            "def stamp():\n"
+            "    return time.time()\n\n\n"
+            "def clock_cell(*, seed=0, repetition=0):\n"
+            "    return {'t': stamp()}\n"
+        )
+        findings = analyze(("src/repro/campaign/toy.py", src))
+        assert codes(findings) == ["RL022"]
+        assert "wall clock" in findings[0].message
+
+    def test_pure_cell_clean(self):
+        src = (
+            "def pure_cell(*, scale=2, seed=0, repetition=0):\n"
+            "    return {'v': scale * seed + repetition}\n"
+        )
+        assert analyze(("src/repro/campaign/toy.py", src)) == []
+
+    def test_impure_read_outside_cells_not_flagged(self):
+        src = (
+            "import os\n\n\n"
+            "def helper():\n"
+            "    return os.getenv('DEBUG')\n"
+        )
+        assert analyze(("src/repro/campaign/toy.py", src)) == []
+
+    def test_registry_string_discovers_cell(self):
+        registry = (
+            'CELLS = {"toy": "repro.experiments.toymod:toy_cell"}\n'
+        )
+        cellmod = (
+            "import os\n\n\n"
+            "def toy_cell(*, seed=0, repetition=0):\n"
+            "    return {'v': os.getenv('X')}\n"
+        )
+        findings = analyze(
+            ("src/repro/campaign/registry.py", registry),
+            ("src/repro/experiments/toymod.py", cellmod),
+        )
+        assert codes(findings) == ["RL022"]
+
+
+class TestRL023OrderedReduction:
+    def test_as_completed_accumulation_flagged(self):
+        src = (
+            "from concurrent.futures import as_completed\n\n\n"
+            "def merge(futures):\n"
+            "    total = 0.0\n"
+            "    for fut in as_completed(futures):\n"
+            "        total += fut.result()\n"
+            "    return total\n"
+        )
+        findings = analyze(("src/repro/campaign/toy.py", src))
+        assert "RL023" in codes(findings)
+
+    def test_set_iteration_accumulation_flagged(self):
+        src = (
+            "def reduce_shards(shards):\n"
+            "    total = 0.0\n"
+            "    for s in set(shards):\n"
+            "        total += s\n"
+            "    return total\n"
+        )
+        assert codes(analyze(("src/repro/campaign/toy.py", src))) == ["RL023"]
+
+    def test_sorted_iteration_clean(self):
+        src = (
+            "def reduce_shards(shards):\n"
+            "    total = 0.0\n"
+            "    for s in sorted(set(shards)):\n"
+            "        total += s\n"
+            "    return total\n"
+        )
+        assert analyze(("src/repro/campaign/toy.py", src)) == []
+
+    def test_non_accumulating_loop_clean(self):
+        src = (
+            "def check(shards):\n"
+            "    for s in set(shards):\n"
+            "        print(s)\n"
+        )
+        assert analyze(("src/repro/campaign/toy.py", src)) == []
+
+    def test_out_of_scope_package_clean(self):
+        src = (
+            "def reduce_all(values):\n"
+            "    total = 0.0\n"
+            "    for v in set(values):\n"
+            "        total += v\n"
+            "    return total\n"
+        )
+        # RL023 is scoped to par-packages; repro.analysis is outside.
+        assert analyze(("src/repro/analysis/toy.py", src)) == []
+
+
+class TestRL024BrokenPool:
+    UNSAFE = (
+        "from concurrent.futures import ProcessPoolExecutor\n\n\n"
+        "def work(x):\n"
+        "    return x\n\n\n"
+        "def run(items):\n"
+        "    with ProcessPoolExecutor() as pool:\n"
+        "        futures = [pool.submit(work, i) for i in items]\n"
+        "    return [f.result() for f in futures]\n"
+    )
+
+    def test_unprotected_result_flagged(self):
+        findings = analyze(("src/repro/campaign/toy.py", self.UNSAFE))
+        assert codes(findings) == ["RL024"]
+
+    def test_broad_handler_clean(self):
+        src = (
+            "from concurrent.futures import ProcessPoolExecutor\n\n\n"
+            "def work(x):\n"
+            "    return x\n\n\n"
+            "def run(items):\n"
+            "    with ProcessPoolExecutor() as pool:\n"
+            "        futures = [pool.submit(work, i) for i in items]\n"
+            "    out = []\n"
+            "    for f in futures:\n"
+            "        try:\n"
+            "            out.append(f.result())\n"
+            "        except Exception:\n"
+            "            out.append(None)\n"
+            "    return out\n"
+        )
+        assert analyze(("src/repro/campaign/toy.py", src)) == []
+
+    def test_broken_pool_handler_clean(self):
+        src = (
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "from concurrent.futures.process import BrokenProcessPool\n\n\n"
+            "def work(x):\n"
+            "    return x\n\n\n"
+            "def run(items):\n"
+            "    with ProcessPoolExecutor() as pool:\n"
+            "        futures = [pool.submit(work, i) for i in items]\n"
+            "    out = []\n"
+            "    for f in futures:\n"
+            "        try:\n"
+            "            out.append(f.result())\n"
+            "        except (BrokenProcessPool, ValueError):\n"
+            "            out.append(None)\n"
+            "    return out\n"
+        )
+        assert analyze(("src/repro/campaign/toy.py", src)) == []
+
+    def test_result_without_pool_usage_clean(self):
+        src = (
+            "def total(rows):\n"
+            "    return sum(r.result() for r in rows)\n"
+        )
+        # No submit/as_completed/wait in sight — not a Future.
+        assert analyze(("src/repro/campaign/toy.py", src)) == []
+
+    def test_out_of_scope_package_clean(self):
+        assert analyze(("src/repro/phy/toy.py", self.UNSAFE)) == []
+
+
+class TestRL025PostHandoffMutation:
+    def test_mutation_after_put_flagged(self):
+        src = (
+            "def persist(cache, result):\n"
+            "    cache.put('key', result)\n"
+            "    result['extra'] = 1\n"
+            "    return result\n"
+        )
+        findings = analyze(("src/repro/campaign/toy.py", src))
+        assert codes(findings) == ["RL025"]
+        assert "result" in findings[0].message
+
+    def test_mutation_before_put_clean(self):
+        src = (
+            "def persist(cache, result):\n"
+            "    result['extra'] = 1\n"
+            "    cache.put('key', result)\n"
+            "    return result\n"
+        )
+        assert analyze(("src/repro/campaign/toy.py", src)) == []
+
+    def test_mutator_method_after_save_flagged(self):
+        src = (
+            "from repro.campaign.store import save_results\n\n\n"
+            "def persist(rows, path):\n"
+            "    save_results(rows, path)\n"
+            "    rows.append({'late': True})\n"
+        )
+        store_stub = "def save_results(rows, path):\n    return path\n"
+        findings = analyze(
+            ("src/repro/campaign/store.py", store_stub),
+            ("src/repro/campaign/toy.py", src),
+        )
+        assert codes(findings) == ["RL025"]
+
+    def test_rebinding_clean(self):
+        src = (
+            "def persist(cache, result):\n"
+            "    cache.put('key', result)\n"
+            "    result = {'fresh': True}\n"
+            "    return result\n"
+        )
+        # Rebinding the name does not mutate the stored object.
+        assert analyze(("src/repro/campaign/toy.py", src)) == []
+
+
+class TestSuppressionAndConfig:
+    def test_inline_suppression_honored(self):
+        src = (
+            "import os\n\n\n"
+            "def env_cell(*, seed=0, repetition=0):\n"
+            "    return {'v': os.getenv('SCALE')}  # replint: disable=RL022\n"
+        )
+        findings, stats = analyze_files(
+            [("src/repro/campaign/toy.py", src)], LintConfig(), passes=PAR
+        )
+        assert findings == []
+        assert stats.suppressed == 1
+
+    def test_par_packages_config_scopes_cells(self):
+        src = (
+            "import os\n\n\n"
+            "def env_cell(*, seed=0, repetition=0):\n"
+            "    return {'v': os.getenv('SCALE')}\n"
+        )
+        narrow = LintConfig(par_packages=("repro.other",))
+        findings, _ = analyze_files(
+            [("src/repro/campaign/toy.py", src)], narrow, passes=PAR
+        )
+        assert findings == []
+
+    def test_stats_report_par_pass(self):
+        findings, stats = analyze_files(
+            [("src/repro/campaign/toy.py", CELL_WITH_HELPER)],
+            LintConfig(),
+            passes=PAR,
+        )
+        assert stats.passes == ("par",)
+        assert stats.by_rule == {"RL021": 1}
