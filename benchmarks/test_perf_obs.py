@@ -1,0 +1,142 @@
+"""Observability overhead on the core MAC scenario.
+
+The obs subsystem's contract is "zero overhead when disabled": an
+instrumented hot site costs one attribute load and a falsy check.  This
+benchmark holds that contract numerically on the same saturated WiGig
+scenario as ``test_perf_core.py``:
+
+* **disabled** — the estimated cost of every instrumented site that the
+  scenario crosses (guarded counter updates + no-op spans, measured by
+  micro-timing the disabled-path primitives and counting how often an
+  enabled run fires them) must stay under 2% of the scenario runtime;
+* **enabled** — actually recording metrics must stay under 10%.
+
+The disabled bound is computed analytically (per-call cost x call
+count) rather than by differencing two wall-clock runs, because a
+sub-2% delta on a ~100 ms scenario is far below container scheduling
+jitter; the enabled bound is a direct min-of-N ratio.
+
+Numbers land in ``benchmarks/results/BENCH_obs.json`` (same pattern as
+``BENCH_lint.json``) so CI runs leave a comparable perf trail.
+"""
+
+import json
+import pathlib
+import time
+
+from repro import obs
+from repro.geometry.vec import Vec2
+
+RESULTS = pathlib.Path(__file__).parent / "results" / "BENCH_obs.json"
+
+#: Contract ceilings: disabled instrumentation < 2% of scenario time,
+#: metrics recording < 10% (with headroom for CI jitter on the ratio).
+DISABLED_OVERHEAD_CEILING = 0.02
+ENABLED_OVERHEAD_CEILING = 0.10
+
+ROUNDS = 5
+MICRO_ITERS = 200_000
+
+
+def run_50ms():
+    """The test_perf_core saturated-link scenario (50 ms of DES time)."""
+    from repro.mac.simulator import Medium, Simulator, Station, StaticCoupling
+    from repro.mac.tcp import IperfFlow, TcpParameters
+    from repro.mac.wigig import WiGigLink
+
+    sim = Simulator(seed=1)
+    medium = Medium(
+        sim,
+        StaticCoupling({("tx", "rx"): -40.0, ("rx", "tx"): -40.0}),
+        capture_history=False,
+    )
+    tx = Station("tx", Vec2(0, 0))
+    rx = Station("rx", Vec2(2, 0))
+    medium.register(tx)
+    medium.register(rx)
+    link = WiGigLink(sim, medium, transmitter=tx, receiver=rx,
+                     snr_hint_db=35.0, send_beacons=False)
+    flow = IperfFlow(sim, link, TcpParameters(window_bytes=256 * 1024))
+    sim.run_until(0.05)
+    return flow
+
+
+def best_of(fn, rounds=ROUNDS):
+    times = []
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return min(times)
+
+
+def guarded_site():
+    # The exact disabled-path shape of an instrumented counter site.
+    if obs.STATE.metrics:
+        obs.add("bench.obs.counter")
+
+
+def micro_cost(fn, iters=MICRO_ITERS):
+    t0 = time.perf_counter()
+    for _ in range(iters):
+        fn()
+    return (time.perf_counter() - t0) / iters
+
+
+def test_perf_obs_overhead():
+    try:
+        obs.disable()
+        obs.reset()
+        run_50ms()  # warm imports and allocator before timing
+
+        disabled_s = best_of(run_50ms)
+
+        # Count how many instrumented sites one run crosses.
+        obs.enable(metrics=True, trace=True)
+        obs.begin_cell()
+        flow = run_50ms()
+        metric_ops = obs.registry().ops
+        _, spans = obs.collect_cell()
+        span_count = len(spans)
+        assert metric_ops > 1000, "scenario no longer hits instrumented paths"
+        assert flow.throughput_bps() > 0.8e9
+
+        obs.disable()
+        guard_s = micro_cost(guarded_site)
+        noop_span_s = micro_cost(lambda: obs.span("bench.obs.span"))
+        estimated_disabled_s = metric_ops * guard_s + span_count * noop_span_s
+        disabled_fraction = estimated_disabled_s / disabled_s
+
+        obs.enable(metrics=True)
+        obs.reset()
+        enabled_s = best_of(run_50ms)
+        enabled_fraction = max(0.0, enabled_s / disabled_s - 1.0)
+    finally:
+        obs.disable()
+        obs.reset()
+
+    doc = {
+        "scenario_disabled_s": round(disabled_s, 5),
+        "scenario_metrics_s": round(enabled_s, 5),
+        "metric_ops_per_run": metric_ops,
+        "spans_per_run": span_count,
+        "disabled_site_cost_ns": round(guard_s * 1e9, 1),
+        "noop_span_cost_ns": round(noop_span_s * 1e9, 1),
+        "disabled_overhead_fraction": round(disabled_fraction, 5),
+        "enabled_overhead_fraction": round(enabled_fraction, 5),
+        "disabled_ceiling": DISABLED_OVERHEAD_CEILING,
+        "enabled_ceiling": ENABLED_OVERHEAD_CEILING,
+    }
+    RESULTS.parent.mkdir(parents=True, exist_ok=True)
+    RESULTS.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+
+    print(
+        f"\nobs perf: scenario {disabled_s * 1e3:.1f} ms, "
+        f"{metric_ops} sites -> disabled overhead "
+        f"{disabled_fraction:.3%} (< {DISABLED_OVERHEAD_CEILING:.0%}), "
+        f"metrics on {enabled_s * 1e3:.1f} ms "
+        f"(+{enabled_fraction:.1%}, < {ENABLED_OVERHEAD_CEILING:.0%})"
+    )
+
+    assert disabled_fraction < DISABLED_OVERHEAD_CEILING
+    assert enabled_fraction < ENABLED_OVERHEAD_CEILING

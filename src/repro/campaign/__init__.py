@@ -39,14 +39,16 @@ from repro.campaign.runner import (
     run_campaign,
 )
 from repro.campaign.spec import CampaignSpec, ScenarioSpec, canonicalize
-from repro.campaign.store import load_results, save_results, write_run
+from repro.campaign.store import load_manifest, load_results, save_results, write_run
 from repro.campaign.telemetry import (
     MANIFEST_SCHEMA_VERSION,
     RunTelemetry,
     read_manifest,
+    upgrade_manifest,
 )
 from repro.campaign.verify import (
     VerifyReport,
+    canonical_metrics,
     canonical_rows,
     rows_digest,
     verify_campaign,
@@ -66,12 +68,15 @@ __all__ = [
     "VerifyReport",
     "builtin_campaigns",
     "campaign_names",
+    "canonical_metrics",
     "canonical_rows",
     "canonicalize",
     "default_cache_root",
     "get_campaign",
+    "load_manifest",
     "load_results",
     "read_manifest",
+    "upgrade_manifest",
     "register_cell",
     "resolve_cell",
     "rows_digest",

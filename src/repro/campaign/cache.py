@@ -21,10 +21,10 @@ import json
 import os
 import pathlib
 import tempfile
-import time
 from typing import Dict, List, Optional, Union
 
 from repro.campaign.spec import ScenarioSpec
+from repro.obs import clock
 
 PathLike = Union[str, pathlib.Path]
 
@@ -96,7 +96,7 @@ class ResultCache:
             "digest": self.key(spec),
             "salt": self.salt,
             "spec": json.loads(spec.canonical()),
-            "stored_unix": time.time(),
+            "stored_unix": clock.wall_time(),
             "result": result,
         }
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")

@@ -18,6 +18,7 @@ regardless of completion order.
 
 from __future__ import annotations
 
+import os
 import signal
 import time
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
@@ -27,10 +28,15 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.campaign.cache import ResultCache
 from repro.campaign.registry import resolve_cell
 from repro.campaign.spec import CampaignSpec, ScenarioSpec
 from repro.campaign.telemetry import RunTelemetry
+from repro.obs import clock
+from repro.obs.export import TRACE_FILENAME
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import complete_event
 
 #: Result key cells may use to report DES event counts to telemetry.
 EVENTS_KEY = "events_simulated"
@@ -60,25 +66,33 @@ def execute_cell(
     :class:`ScenarioTimeout`) propagate to the parent via the future.
     """
     fn = resolve_cell(experiment)
+    collect = obs.STATE.enabled
+    if collect:
+        obs.begin_cell()
     use_alarm = timeout_s is not None and hasattr(signal, "SIGALRM")
     old_handler = None
     if use_alarm:
         old_handler = signal.signal(signal.SIGALRM, _alarm_handler)
         signal.setitimer(signal.ITIMER_REAL, timeout_s)
-    t0 = time.perf_counter()
+    t0 = clock.perf_counter()
     try:
         result = fn(seed=seed, repetition=repetition, **params)
     finally:
         if use_alarm:
             signal.setitimer(signal.ITIMER_REAL, 0.0)
             signal.signal(signal.SIGALRM, old_handler)
-    elapsed = time.perf_counter() - t0
+    elapsed = clock.perf_counter() - t0
     if not isinstance(result, dict):
         raise TypeError(
             f"cell {experiment!r} returned {type(result).__name__}, expected dict"
         )
     events = int(result.get(EVENTS_KEY, 0))
-    return {"result": result, "elapsed_s": elapsed, "events": events}
+    payload = {"result": result, "elapsed_s": elapsed, "events": events}
+    if collect:
+        metrics, spans = obs.collect_cell()
+        payload["metrics"] = metrics
+        payload["spans"] = spans
+    return payload
 
 
 @dataclass
@@ -93,6 +107,11 @@ class ScenarioOutcome:
     error: Optional[str] = None
     elapsed_s: float = 0.0
     attempts: int = 0
+    # Observability sidecar (populated only when the runner collects
+    # metrics/traces; deliberately NOT part of result_rows, so the
+    # canonical row text repro campaign verify compares is unchanged).
+    metrics: Optional[Dict] = None
+    spans: Optional[List[Dict]] = None
 
     @property
     def ok(self) -> bool:
@@ -106,6 +125,9 @@ class CampaignResult:
     campaign: CampaignSpec
     outcomes: List[ScenarioOutcome] = field(default_factory=list)
     telemetry: RunTelemetry = field(default_factory=RunTelemetry)
+    #: Chrome trace events (cell spans pid=shard+1, runner spans
+    #: pid=0); empty unless the runner ran with ``trace=True``.
+    trace_events: List[Dict] = field(default_factory=list)
 
     def results(self) -> Dict[str, Dict]:
         """Digest -> result for every successful cell."""
@@ -146,6 +168,7 @@ class _Pending:
     shard: int
     attempts: int = 0
     next_eligible: float = 0.0
+    submitted_ns: int = 0
 
 
 class CampaignRunner:
@@ -169,6 +192,12 @@ class CampaignRunner:
             must be identical either way (outcomes are indexed by
             expansion order); ``repro campaign verify`` uses this to
             prove that claim rather than assume it.
+        metrics: Collect per-cell :mod:`repro.obs` metrics and merge
+            them (in expansion order, so the merge is byte-stable
+            regardless of worker count) into the v2 manifest.
+        trace: Additionally record spans — per-cell timelines from
+            inside the workers plus runner-level cell/shard spans —
+            exported as Chrome trace-event JSON.  Implies ``metrics``.
     """
 
     def __init__(
@@ -181,6 +210,8 @@ class CampaignRunner:
         backoff_s: float = 0.05,
         max_backoff_s: float = 2.0,
         shuffle_seed: Optional[int] = None,
+        metrics: bool = False,
+        trace: bool = False,
     ):
         if retries < 0:
             raise ValueError("retries must be >= 0")
@@ -192,11 +223,37 @@ class CampaignRunner:
         self.backoff_s = backoff_s
         self.max_backoff_s = max_backoff_s
         self.shuffle_seed = shuffle_seed
+        self.trace = bool(trace)
+        self.metrics = bool(metrics) or self.trace
+        # Runner-level trace events (pid 0) and per-shard activity
+        # windows, rebuilt on every run() when tracing.
+        self._runner_events: List[Dict] = []
+        self._shard_windows: Dict[int, List[int]] = {}
 
     # -- internals -------------------------------------------------------------
 
     def _backoff(self, attempt: int) -> float:
         return min(self.backoff_s * (2 ** attempt), self.max_backoff_s)
+
+    def _note_cell_span(
+        self, item: _Pending, start_ns: int, end_ns: int, name: str = "campaign.cell"
+    ) -> None:
+        """Record a runner-side (pid 0) span for one cell execution."""
+        self._runner_events.append(
+            complete_event(
+                name,
+                start_ns,
+                end_ns,
+                {
+                    "experiment": item.spec.experiment,
+                    "digest": item.digest[:12],
+                    "shard": item.shard,
+                },
+            )
+        )
+        window = self._shard_windows.setdefault(item.shard, [start_ns, end_ns])
+        window[0] = min(window[0], start_ns)
+        window[1] = max(window[1], end_ns)
 
     def _record_success(
         self,
@@ -209,6 +266,8 @@ class CampaignRunner:
         outcome.result = payload["result"]
         outcome.elapsed_s = payload["elapsed_s"]
         outcome.attempts = attempts
+        outcome.metrics = payload.get("metrics")
+        outcome.spans = payload.get("spans")
         telemetry.record_completed(payload["elapsed_s"], payload["events"])
         if self.cache is not None:
             self.cache.put(outcome.spec, payload["result"])
@@ -239,6 +298,7 @@ class CampaignRunner:
         telemetry: RunTelemetry,
     ) -> None:
         for item in pending:
+            cell_start_ns = clock.perf_counter_ns() if self.trace else 0
             attempts = 0
             while True:
                 attempts += 1
@@ -265,8 +325,12 @@ class CampaignRunner:
                         telemetry, outcomes[item.index], payload, attempts
                     )
                     break
+            if self.trace:
+                self._note_cell_span(item, cell_start_ns, clock.perf_counter_ns())
 
     def _submit(self, pool: ProcessPoolExecutor, item: _Pending) -> Future:
+        if self.trace:
+            item.submitted_ns = clock.perf_counter_ns()
         return pool.submit(
             execute_cell,
             item.spec.experiment,
@@ -299,7 +363,7 @@ class CampaignRunner:
         try:
             with ProcessPoolExecutor(max_workers=self.workers) as pool:
                 while queue or in_flight or retry_queue:
-                    now = time.monotonic()
+                    now = clock.monotonic()
                     # Promote retry items whose backoff has elapsed.
                     ready = [p for p in retry_queue if p.next_eligible <= now]
                     for item in ready:
@@ -319,6 +383,13 @@ class CampaignRunner:
                     for future in done:
                         item = in_flight.pop(future)
                         item.attempts += 1
+                        if self.trace:
+                            self._note_cell_span(
+                                item,
+                                item.submitted_ns,
+                                clock.perf_counter_ns(),
+                                name="campaign.cell.await",
+                            )
                         try:
                             payload = future.result()
                         except ScenarioTimeout as exc:
@@ -334,7 +405,7 @@ class CampaignRunner:
                             if item.attempts <= self.retries:
                                 telemetry.record_retry()
                                 item.next_eligible = (
-                                    time.monotonic()
+                                    clock.monotonic()
                                     + self._backoff(item.attempts - 1)
                                 )
                                 retry_queue.append(item)
@@ -355,60 +426,151 @@ class CampaignRunner:
             ]
             self._run_serial(leftovers, outcomes, telemetry)
 
+    # -- observability ---------------------------------------------------------
+
+    def _enable_obs(self) -> tuple:
+        """Turn observability on process-wide; returns restore state.
+
+        The ``REPRO_OBS`` environment variable carries the mode into
+        pool workers (spawned workers re-read it at import; forked
+        workers also inherit the in-memory STATE directly).
+        """
+        previous = (obs.STATE.metrics, obs.STATE.tracing, os.environ.get(obs.OBS_ENV))
+        os.environ[obs.OBS_ENV] = "trace" if self.trace else "metrics"
+        obs.enable(metrics=True, trace=self.trace)
+        return previous
+
+    def _restore_obs(self, previous: tuple) -> None:
+        metrics, tracing, env = previous
+        obs.STATE.metrics = metrics
+        obs.STATE.tracing = tracing
+        if env is None:
+            os.environ.pop(obs.OBS_ENV, None)
+        else:
+            os.environ[obs.OBS_ENV] = env
+        obs.reset()
+
+    def _merged_metrics(
+        self, outcomes: List[ScenarioOutcome], telemetry: RunTelemetry
+    ) -> Optional[Dict]:
+        """Merge per-cell snapshots (expansion order) + runner counters.
+
+        Expansion order makes even the float histogram sums bit-stable
+        across worker counts; the runner-level counters are derived
+        from telemetry, which is itself worker-count-invariant for
+        deterministic campaigns.
+        """
+        registry = MetricsRegistry()
+        for outcome in outcomes:
+            registry.merge_snapshot(outcome.metrics)
+        registry.add("campaign.cells.total", telemetry.scenarios_total)
+        registry.add("campaign.cells.completed", telemetry.completed)
+        registry.add("campaign.cells.cached", telemetry.cached)
+        registry.add("campaign.cells.failed", telemetry.failed)
+        registry.add("campaign.retries", telemetry.retries)
+        registry.add("campaign.cache.hits", telemetry.cached)
+        registry.add(
+            "campaign.cache.misses", telemetry.scenarios_total - telemetry.cached
+        )
+        return registry.snapshot()
+
+    def _assemble_trace(
+        self, outcomes: List[ScenarioOutcome], run_span: Dict
+    ) -> List[Dict]:
+        """Cell spans (pid = shard+1) then runner spans (pid 0)."""
+        events: List[Dict] = []
+        for outcome in outcomes:
+            if not outcome.spans:
+                continue
+            for event in outcome.spans:
+                event = dict(event)
+                event["pid"] = outcome.shard + 1
+                events.append(event)
+        for shard in sorted(self._shard_windows):
+            start_ns, end_ns = self._shard_windows[shard]
+            self._runner_events.append(
+                complete_event("campaign.shard", start_ns, end_ns, {"shard": shard})
+            )
+        self._runner_events.append(run_span)
+        for event in self._runner_events:
+            event["pid"] = 0
+            events.append(event)
+        return events
+
     # -- public API ------------------------------------------------------------
 
     def run(self) -> CampaignResult:
         """Execute the campaign; never raises for per-cell failures."""
-        scenarios = self.campaign.expand()
-        telemetry = RunTelemetry(
-            campaign=self.campaign.name,
-            campaign_digest=self.campaign.digest(),
-            workers=self.workers,
-            scenarios_total=len(scenarios),
-        )
-        telemetry.start()
-        shards = [s.shard(self.workers) for s in scenarios]
-        telemetry.shard_sizes = [shards.count(i) for i in range(self.workers)]
+        previous_obs = self._enable_obs() if self.metrics else None
+        self._runner_events = []
+        self._shard_windows = {}
+        run_start_ns = clock.perf_counter_ns() if self.trace else 0
+        try:
+            scenarios = self.campaign.expand()
+            telemetry = RunTelemetry(
+                campaign=self.campaign.name,
+                campaign_digest=self.campaign.digest(),
+                workers=self.workers,
+                scenarios_total=len(scenarios),
+            )
+            telemetry.start()
+            shards = [s.shard(self.workers) for s in scenarios]
+            telemetry.shard_sizes = [shards.count(i) for i in range(self.workers)]
 
-        outcomes: List[ScenarioOutcome] = []
-        pending: List[_Pending] = []
-        for index, (spec, shard) in enumerate(zip(scenarios, shards)):
-            # Outcome identity is the unsalted content digest so runs
-            # compare bit-for-bit regardless of cache configuration;
-            # the cache salts its own keys internally.
-            digest = spec.digest()
-            cached = self.cache.get(spec) if self.cache is not None else None
-            if cached is not None:
-                outcomes.append(
-                    ScenarioOutcome(
-                        spec=spec,
-                        digest=digest,
-                        shard=shard,
-                        status="cached",
-                        result=cached,
+            outcomes: List[ScenarioOutcome] = []
+            pending: List[_Pending] = []
+            for index, (spec, shard) in enumerate(zip(scenarios, shards)):
+                # Outcome identity is the unsalted content digest so runs
+                # compare bit-for-bit regardless of cache configuration;
+                # the cache salts its own keys internally.
+                digest = spec.digest()
+                cached = self.cache.get(spec) if self.cache is not None else None
+                if cached is not None:
+                    outcomes.append(
+                        ScenarioOutcome(
+                            spec=spec,
+                            digest=digest,
+                            shard=shard,
+                            status="cached",
+                            result=cached,
+                        )
                     )
-                )
-                telemetry.record_cached()
-            else:
-                outcomes.append(
-                    ScenarioOutcome(
-                        spec=spec, digest=digest, shard=shard, status="pending"
+                    telemetry.record_cached()
+                else:
+                    outcomes.append(
+                        ScenarioOutcome(
+                            spec=spec, digest=digest, shard=shard, status="pending"
+                        )
                     )
-                )
-                pending.append(
-                    _Pending(index=index, spec=spec, digest=digest, shard=shard)
-                )
+                    pending.append(
+                        _Pending(index=index, spec=spec, digest=digest, shard=shard)
+                    )
 
-        if pending:
-            if self.workers <= 1:
-                self._run_serial(pending, outcomes, telemetry)
-            else:
-                self._run_parallel(pending, outcomes, telemetry)
+            if pending:
+                if self.workers <= 1:
+                    self._run_serial(pending, outcomes, telemetry)
+                else:
+                    self._run_parallel(pending, outcomes, telemetry)
 
-        telemetry.finish()
-        return CampaignResult(
-            campaign=self.campaign, outcomes=outcomes, telemetry=telemetry
-        )
+            telemetry.finish()
+            result = CampaignResult(
+                campaign=self.campaign, outcomes=outcomes, telemetry=telemetry
+            )
+            if self.metrics:
+                telemetry.metrics = self._merged_metrics(outcomes, telemetry)
+            if self.trace:
+                run_span = complete_event(
+                    "campaign.run",
+                    run_start_ns,
+                    clock.perf_counter_ns(),
+                    {"campaign": self.campaign.name, "workers": self.workers},
+                )
+                result.trace_events = self._assemble_trace(outcomes, run_span)
+                telemetry.spans_file = TRACE_FILENAME
+            return result
+        finally:
+            if previous_obs is not None:
+                self._restore_obs(previous_obs)
 
 
 def run_campaign(
@@ -418,6 +580,8 @@ def run_campaign(
     timeout_s: Optional[float] = None,
     retries: int = 2,
     backoff_s: float = 0.05,
+    metrics: bool = False,
+    trace: bool = False,
 ) -> CampaignResult:
     """Convenience wrapper around :class:`CampaignRunner`."""
     return CampaignRunner(
@@ -427,4 +591,6 @@ def run_campaign(
         timeout_s=timeout_s,
         retries=retries,
         backoff_s=backoff_s,
+        metrics=metrics,
+        trace=trace,
     ).run()

@@ -20,8 +20,9 @@ import pathlib
 from typing import Dict, List, Union
 
 from repro.campaign.runner import CampaignResult
-from repro.campaign.telemetry import MANIFEST_FILENAME
+from repro.campaign.telemetry import MANIFEST_FILENAME, read_manifest
 from repro.io import load_jsonl, save_jsonl
+from repro.obs.export import write_trace
 
 PathLike = Union[str, pathlib.Path]
 
@@ -44,15 +45,33 @@ def load_results(path: PathLike) -> List[Dict]:
 
 
 def write_run(result: CampaignResult, out_dir: PathLike) -> pathlib.Path:
-    """Persist a full run (results + manifest) into a directory.
+    """Persist a full run (results + manifest [+ trace]) into a directory.
 
     Returns the output directory.  Layout::
 
         <out_dir>/results.jsonl
         <out_dir>/manifest.json
+        <out_dir>/trace.json     (only for runs executed with trace=True)
     """
     out = pathlib.Path(out_dir)
     out.mkdir(parents=True, exist_ok=True)
     save_results(result, out / RESULTS_FILENAME)
+    if result.telemetry.spans_file:
+        write_trace(
+            out / result.telemetry.spans_file,
+            result.trace_events,
+            label=result.telemetry.campaign,
+        )
     result.telemetry.write_manifest(out / MANIFEST_FILENAME)
     return out
+
+
+def load_manifest(run_dir: PathLike) -> Dict:
+    """Read a run directory's manifest, upgrading older schemas.
+
+    This is the v1-reader shim: manifests written before the
+    observability release (schema 1) load fine and come back upgraded
+    to the current schema with ``metrics``/``spans_file`` set to
+    ``None`` (see :func:`repro.campaign.telemetry.upgrade_manifest`).
+    """
+    return read_manifest(pathlib.Path(run_dir) / MANIFEST_FILENAME)

@@ -13,16 +13,24 @@ from __future__ import annotations
 
 import json
 import pathlib
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Union
 
+from repro.obs import clock
+
 PathLike = Union[str, pathlib.Path]
 
-#: Bump when the manifest layout changes incompatibly.
-MANIFEST_SCHEMA_VERSION = 1
+#: Bump when the manifest layout changes incompatibly.  v2 adds the
+#: ``metrics`` section (deterministic merged obs counters) and the
+#: ``spans_file`` pointer to the Chrome trace-event export.
+MANIFEST_SCHEMA_VERSION = 2
 
 MANIFEST_FILENAME = "manifest.json"
+
+#: Below this many seconds a measured duration is noise, not a rate
+#: denominator — derived rates report ``None`` (JSON ``null``) instead
+#: of a nonsense/infinite value.
+_MIN_DURATION_S = 1e-9
 
 
 @dataclass
@@ -45,18 +53,20 @@ class RunTelemetry:
     failures: List[Dict] = field(default_factory=list)
     started_unix: Optional[float] = None
     finished_unix: Optional[float] = None
+    metrics: Optional[Dict] = None
+    spans_file: Optional[str] = None
     _t0: Optional[float] = field(default=None, repr=False)
 
     # -- lifecycle -------------------------------------------------------------
 
     def start(self) -> None:
-        self.started_unix = time.time()
-        self._t0 = time.perf_counter()
+        self.started_unix = clock.wall_time()
+        self._t0 = clock.perf_counter()
 
     def finish(self) -> None:
-        self.finished_unix = time.time()
+        self.finished_unix = clock.wall_time()
         if self._t0 is not None:
-            self.wall_clock_s = time.perf_counter() - self._t0
+            self.wall_clock_s = clock.perf_counter() - self._t0
 
     # -- recording -------------------------------------------------------------
 
@@ -94,10 +104,19 @@ class RunTelemetry:
 
     # -- derived ---------------------------------------------------------------
 
-    def events_per_second(self) -> float:
-        """DES events per summed worker-second (0 when nothing ran)."""
-        if self.worker_time_s <= 0:
+    def events_per_second(self) -> Optional[float]:
+        """DES events per summed worker-second.
+
+        Returns 0.0 when no events were simulated, and ``None`` (JSON
+        ``null``) when events were recorded but the measured duration
+        is too close to zero to divide by — a rate derived from a
+        sub-nanosecond denominator would be ``inf``/garbage, and a
+        manifest must never contain non-JSON values.
+        """
+        if self.events_simulated <= 0:
             return 0.0
+        if self.worker_time_s < _MIN_DURATION_S:
+            return None
         return self.events_simulated / self.worker_time_s
 
     def cache_hit_ratio(self) -> float:
@@ -105,10 +124,16 @@ class RunTelemetry:
             return 0.0
         return self.cached / self.scenarios_total
 
-    def speedup_vs_serial(self) -> float:
-        """Summed worker time over wall clock (parallel efficiency)."""
-        if self.wall_clock_s <= 0:
+    def speedup_vs_serial(self) -> Optional[float]:
+        """Summed worker time over wall clock (parallel efficiency).
+
+        ``None`` when worker time was accrued but the wall clock
+        measured (near-)zero — same guard as :meth:`events_per_second`.
+        """
+        if self.worker_time_s <= 0:
             return 0.0
+        if self.wall_clock_s < _MIN_DURATION_S:
+            return None
         return self.worker_time_s / self.wall_clock_s
 
     # -- manifest --------------------------------------------------------------
@@ -141,6 +166,8 @@ class RunTelemetry:
             "cache_hit_ratio": self.cache_hit_ratio(),
             "shard_sizes": list(self.shard_sizes),
             "failures": list(self.failures),
+            "metrics": self.metrics,
+            "spans_file": self.spans_file,
         }
 
     def write_manifest(self, path: PathLike) -> pathlib.Path:
@@ -161,19 +188,39 @@ class RunTelemetry:
             f"{self.failed} failed",
             f"wall {self.wall_clock_s:.2f} s",
         ]
-        if self.events_simulated:
-            parts.append(f"{self.events_per_second():,.0f} DES events/s")
+        eps = self.events_per_second()
+        if self.events_simulated and eps is not None:
+            parts.append(f"{eps:,.0f} DES events/s")
         return ", ".join(parts)
 
 
-def read_manifest(path: PathLike) -> Dict:
-    """Load a manifest written by :meth:`RunTelemetry.write_manifest`."""
-    with open(path, "r", encoding="utf-8") as fh:
-        manifest = json.load(fh)
+def upgrade_manifest(manifest: Dict) -> Dict:
+    """Upgrade an older manifest dict to the current schema in place.
+
+    v1 manifests predate observability: they gain ``metrics`` and
+    ``spans_file`` as ``None``.  Unknown (newer or garbage) versions
+    raise — a reader must not silently misinterpret them.
+    """
     version = manifest.get("schema_version")
+    if version == 1:
+        manifest.setdefault("metrics", None)
+        manifest.setdefault("spans_file", None)
+        manifest["schema_version"] = MANIFEST_SCHEMA_VERSION
+        return manifest
     if version != MANIFEST_SCHEMA_VERSION:
         raise ValueError(
             f"unsupported manifest schema version {version} "
-            f"(expected {MANIFEST_SCHEMA_VERSION})"
+            f"(expected <= {MANIFEST_SCHEMA_VERSION})"
         )
     return manifest
+
+
+def read_manifest(path: PathLike) -> Dict:
+    """Load a manifest written by :meth:`RunTelemetry.write_manifest`.
+
+    Accepts the current schema and v1 (upgraded on read via
+    :func:`upgrade_manifest`); anything else raises ``ValueError``.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        manifest = json.load(fh)
+    return upgrade_manifest(manifest)

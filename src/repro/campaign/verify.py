@@ -60,6 +60,14 @@ def rows_digest(canonical: str) -> str:
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
 
 
+def canonical_metrics(result: CampaignResult) -> str:
+    """Canonical text of a run's merged obs metrics (empty if none)."""
+    metrics = result.telemetry.metrics
+    if metrics is None:
+        return ""
+    return json.dumps(metrics, sort_keys=True, separators=(",", ":"))
+
+
 @dataclass
 class CellAudit:
     """Purity-audit outcome for one scenario executed in-process."""
@@ -96,6 +104,9 @@ class VerifyReport:
     serial_digest: str = ""
     parallel_digest: str = ""
     determinism_ok: bool = False
+    metrics_serial_digest: str = ""
+    metrics_parallel_digest: str = ""
+    metrics_ok: bool = True
     audits: List[CellAudit] = field(default_factory=list)
     audited: int = 0
     impure: int = 0
@@ -108,7 +119,12 @@ class VerifyReport:
 
     @property
     def ok(self) -> bool:
-        return self.determinism_ok and self.purity_ok and self.cache_ok
+        return (
+            self.determinism_ok
+            and self.metrics_ok
+            and self.purity_ok
+            and self.cache_ok
+        )
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -119,6 +135,9 @@ class VerifyReport:
             "serial_digest": self.serial_digest,
             "parallel_digest": self.parallel_digest,
             "determinism_ok": self.determinism_ok,
+            "metrics_serial_digest": self.metrics_serial_digest,
+            "metrics_parallel_digest": self.metrics_parallel_digest,
+            "metrics_ok": self.metrics_ok,
             "audited": self.audited,
             "impure": self.impure,
             "purity_ok": self.purity_ok,
@@ -196,9 +215,12 @@ def verify_campaign(
         report.impure = sum(1 for a in report.audits if not a.pure)
         report.purity_ok = report.impure == 0
 
-    serial = CampaignRunner(campaign, cache=None, workers=1).run()
+    # Both determinism legs run with obs metrics on: the merged
+    # ``metrics`` manifest section must be byte-identical between the
+    # serial reference and the shuffled parallel run, same as the rows.
+    serial = CampaignRunner(campaign, cache=None, workers=1, metrics=True).run()
     parallel = CampaignRunner(
-        campaign, cache=None, workers=workers, shuffle_seed=shuffle_seed
+        campaign, cache=None, workers=workers, shuffle_seed=shuffle_seed, metrics=True
     ).run()
     serial_text = canonical_rows(serial)
     parallel_text = canonical_rows(parallel)
@@ -207,6 +229,11 @@ def verify_campaign(
     report.determinism_ok = serial_text == parallel_text
     if not report.determinism_ok:
         report.first_divergence = _first_divergence(serial_text, parallel_text)
+    serial_metrics = canonical_metrics(serial)
+    parallel_metrics = canonical_metrics(parallel)
+    report.metrics_serial_digest = rows_digest(serial_metrics)
+    report.metrics_parallel_digest = rows_digest(parallel_metrics)
+    report.metrics_ok = serial_metrics == parallel_metrics
 
     if cache_check:
         report.cache_checked = True
@@ -235,6 +262,9 @@ def render_report(report: VerifyReport) -> str:
         f"  serial digest:   {report.serial_digest}",
         f"  parallel digest: {report.parallel_digest}"
         + ("  [MATCH]" if report.determinism_ok else "  [DIVERGED]"),
+        f"  metrics digest:  {report.metrics_serial_digest} vs "
+        f"{report.metrics_parallel_digest}"
+        + ("  [MATCH]" if report.metrics_ok else "  [DIVERGED]"),
     ]
     if report.first_divergence:
         lines.append(f"  first divergence: {report.first_divergence}")
@@ -266,6 +296,7 @@ __all__ = [
     "VOLATILE_ROW_KEYS",
     "CellAudit",
     "VerifyReport",
+    "canonical_metrics",
     "canonical_rows",
     "rows_digest",
     "verify_campaign",

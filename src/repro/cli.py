@@ -12,6 +12,9 @@ Usage::
     python -m repro campaign run beam-patterns --workers 4
     python -m repro campaign status beam-patterns
     python -m repro campaign verify beam-patterns --workers 4
+    python -m repro campaign run beam-patterns --trace
+    python -m repro obs report campaign_runs/beam-patterns
+    python -m repro obs export campaign_runs/beam-patterns --check
     python -m repro lint [--flow] [--par] [--baseline] [--json] [paths...]
     python -m repro sanitize -- python -m repro nlos
 
@@ -279,10 +282,12 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
         workers=args.workers,
         timeout_s=args.timeout,
         retries=args.retries,
+        trace=args.trace,
     )
     print(f"campaign {spec.name}: {spec.scenario_count()} cells, "
           f"{args.workers} worker(s), cache "
-          f"{'off' if cache is None else cache.root}")
+          f"{'off' if cache is None else cache.root}"
+          f"{', tracing on' if args.trace else ''}")
     result = runner.run()
     out_dir = pathlib.Path(args.output) if args.output else (
         pathlib.Path("campaign_runs") / spec.name
@@ -290,15 +295,66 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
     write_run(result, out_dir)
     t = result.telemetry
     print(f"done: {t.summary()}")
-    if t.events_simulated:
-        print(f"DES: {t.events_simulated} events, "
-              f"{t.events_per_second():,.0f} events/s")
+    eps = t.events_per_second()
+    if t.events_simulated and eps is not None:
+        print(f"DES: {t.events_simulated} events, {eps:,.0f} events/s")
     for failure in t.failures:
         print(f"FAILED {failure['digest'][:12]} {failure['experiment']}: "
               f"{failure['error']} (attempts {failure['attempts']})")
     print(f"results: {out_dir / 'results.jsonl'}")
     print(f"manifest: {out_dir / 'manifest.json'}")
+    if t.spans_file:
+        print(f"trace: {out_dir / t.spans_file} "
+              f"(open in https://ui.perfetto.dev or via 'repro obs report')")
     return 0 if any(o.ok for o in result.outcomes) else 1
+
+
+def _cmd_obs_report(args: argparse.Namespace) -> int:
+    from repro.obs.report import report_run
+
+    run_dir = pathlib.Path(args.run_dir)
+    if not (run_dir / "manifest.json").is_file():
+        print(f"error: no manifest.json in {run_dir}", file=sys.stderr)
+        return 2
+    print(report_run(run_dir))
+    return 0
+
+
+def _cmd_obs_export(args: argparse.Namespace) -> int:
+    from repro.campaign.store import load_manifest
+    from repro.obs.export import TRACE_FILENAME, read_trace, validate_trace
+
+    run_dir = pathlib.Path(args.run_dir)
+    if not (run_dir / "manifest.json").is_file():
+        print(f"error: no manifest.json in {run_dir}", file=sys.stderr)
+        return 2
+    manifest = load_manifest(run_dir)
+    trace_path = run_dir / (manifest.get("spans_file") or TRACE_FILENAME)
+    if not trace_path.is_file():
+        print(f"error: no trace file at {trace_path} "
+              "(was the campaign run with --trace?)", file=sys.stderr)
+        return 2
+    doc = read_trace(trace_path)
+    problems = validate_trace(doc)
+    if problems:
+        for problem in problems:
+            print(f"invalid: {problem}", file=sys.stderr)
+        return 1
+    events = len(doc.get("traceEvents", []))
+    if args.check:
+        print(f"{trace_path}: valid trace-event JSON ({events} events)")
+        return 0
+    out_path = pathlib.Path(args.output) if args.output else trace_path
+    if out_path != trace_path:
+        out_path.parent.mkdir(parents=True, exist_ok=True)
+        out_path.write_text(trace_path.read_text(encoding="utf-8"), encoding="utf-8")
+    print(f"trace: {out_path} ({events} events) — "
+          "load in https://ui.perfetto.dev or chrome://tracing")
+    return 0
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    return args.obs_func(args)
 
 
 def _cmd_campaign_verify(args: argparse.Namespace) -> int:
@@ -478,6 +534,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="compute every cell, bypassing the result cache")
     c.add_argument("--output", default=None,
                    help="run directory (default campaign_runs/<name>)")
+    c.add_argument("--trace", action="store_true",
+                   help="record obs spans/metrics; writes trace.json "
+                        "(Perfetto) and a metrics section in the manifest")
     c.set_defaults(func=_cmd_campaign, campaign_func=_cmd_campaign_run)
 
     c = csub.add_parser("status", help="cache coverage of a campaign")
@@ -503,6 +562,27 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--json", action="store_true",
                    help="machine-readable report")
     c.set_defaults(func=_cmd_campaign, campaign_func=_cmd_campaign_verify)
+
+    p = sub.add_parser(
+        "obs",
+        help="observability: run traces, metrics, and reports",
+    )
+    osub = p.add_subparsers(dest="obs_command", required=True)
+
+    o = osub.add_parser("report", help="summary table for a traced run")
+    o.add_argument("run_dir", help="campaign run directory (manifest.json)")
+    o.set_defaults(func=_cmd_obs, obs_func=_cmd_obs_report)
+
+    o = osub.add_parser(
+        "export",
+        help="validate/copy a run's Chrome trace-event JSON",
+    )
+    o.add_argument("run_dir", help="campaign run directory (manifest.json)")
+    o.add_argument("--output", "-o", default=None,
+                   help="copy the trace to this path after validation")
+    o.add_argument("--check", action="store_true",
+                   help="validate against the exporter schema and exit")
+    o.set_defaults(func=_cmd_obs, obs_func=_cmd_obs_export)
 
     p = sub.add_parser(
         "lint",

@@ -13,6 +13,7 @@ Settings live in ``pyproject.toml`` under ``[tool.repro-lint]``::
     flow-unit-packages = ["repro.phy", "repro.mac"]  # RL012 scope
     flow-rng-packages = ["repro.phy", "repro.mac"]   # RL013/RL015 scope
     par-packages = ["repro.campaign"]  # RL023-RL025 scope (--par)
+    clock-modules = ["repro.obs.clock"]  # sanctioned clock shims
 
     [tool.repro-lint.per-file-ignores]
     "src/repro/campaign/telemetry.py" = ["RL002"]
@@ -47,7 +48,14 @@ DEFAULT_WALL_CLOCK_PACKAGES = (
     "repro.experiments",
     "repro.devices",
     "repro.campaign",
+    "repro.obs",
 )
+
+#: The sanctioned clock shims — the only modules allowed to read the
+#: wall/monotonic clock.  RL002 skips them entirely and the --par
+#: cache-purity pass (RL022) treats calls into them as pure, so every
+#: *other* clock read in the tree still fires.
+DEFAULT_CLOCK_MODULES = ("repro.obs.clock",)
 
 #: Packages doing link-budget / geometry math where float equality
 #: comparisons are suspect (RL005 scope).
@@ -98,6 +106,7 @@ class LintConfig:
     flow_unit_packages: Tuple[str, ...] = DEFAULT_FLOW_UNIT_PACKAGES
     flow_rng_packages: Tuple[str, ...] = DEFAULT_FLOW_RNG_PACKAGES
     par_packages: Tuple[str, ...] = DEFAULT_PAR_PACKAGES
+    clock_modules: Tuple[str, ...] = DEFAULT_CLOCK_MODULES
 
     def is_ignored(self, rel_path: str, code: str) -> bool:
         """True if ``code`` is switched off for ``rel_path`` by config."""
@@ -184,4 +193,5 @@ def load_config(root: pathlib.Path) -> LintConfig:
             section.get("flow-rng-packages"), DEFAULT_FLOW_RNG_PACKAGES
         ),
         par_packages=_strings(section.get("par-packages"), DEFAULT_PAR_PACKAGES),
+        clock_modules=_strings(section.get("clock-modules"), DEFAULT_CLOCK_MODULES),
     )

@@ -484,6 +484,11 @@ class ParPass:
         module: ModuleInfo,
         reported: Set[Tuple[str, int, int]],
     ) -> None:
+        # The sanctioned clock shim(s) may read time; a cell calling
+        # into them is instrumented, not impure — span timestamps never
+        # feed back into cached results.
+        if module_in(module.name, self.config.clock_modules):
+            return
         environ_call_values: Set[int] = {
             id(node.func.value)
             for node in ast.walk(fn.node)

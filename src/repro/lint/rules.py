@@ -139,6 +139,10 @@ class WallClockRule(Rule):
     node_types = (ast.Call,)
 
     def applies_to(self, ctx: FileContext) -> bool:
+        # The sanctioned clock shim(s) are exempt *by name* — they are
+        # the single doorway everything else must go through.
+        if module_in(ctx.module, ctx.config.clock_modules):
+            return False
         return module_in(ctx.module, ctx.config.wall_clock_packages)
 
     def begin_file(self, ctx: FileContext) -> None:

@@ -29,6 +29,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.devices.base import RadioDevice
 from repro.phy.channel import LinkBudget
 from repro.phy.codebook import CodebookEntry
@@ -183,11 +184,18 @@ class SectorSweepTrainer:
     ) -> SweepResult:
         """One directional sweep: TX iterates sectors, RX listens."""
         result = SweepResult()
-        for entry in transmitter.codebook.directional_entries:
-            snr = self._snr_db(transmitter, entry, listener, listen_entry, control=True)
-            snr += float(self.rng.normal(0.0, self.snr_noise_std_db))
-            if snr >= SSW_MIN_SNR_DB:
-                result.measurements.append(SectorMeasurement(entry.index, snr))
+        with obs.span("mac.beam_training.sweep", transmitter=transmitter.name):
+            for entry in transmitter.codebook.directional_entries:
+                snr = self._snr_db(transmitter, entry, listener, listen_entry, control=True)
+                snr += float(self.rng.normal(0.0, self.snr_noise_std_db))
+                if snr >= SSW_MIN_SNR_DB:
+                    result.measurements.append(SectorMeasurement(entry.index, snr))
+        if obs.STATE.metrics:
+            obs.add("mac.beam_training.sweeps")
+            obs.add(
+                "mac.beam_training.sectors_swept",
+                len(transmitter.codebook.directional_entries),
+            )
         return result
 
     def train(self, initiator: RadioDevice, responder: RadioDevice) -> TrainingResult:
@@ -197,6 +205,14 @@ class SectorSweepTrainer:
         during the ISS (and vice versa during the RSS), as the devices
         under test do during discovery.
         """
+        with obs.span(
+            "mac.beam_training.sls",
+            initiator=initiator.name,
+            responder=responder.name,
+        ):
+            return self._train(initiator, responder)
+
+    def _train(self, initiator: RadioDevice, responder: RadioDevice) -> TrainingResult:
         resp_listen = (
             responder.codebook.quasi_omni_entries[0]
             if responder.codebook.quasi_omni_entries

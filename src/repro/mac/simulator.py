@@ -25,6 +25,7 @@ from typing import Callable, Dict, List, Optional, Protocol, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.analysis.dbmath import db_to_linear_scalar, linear_to_db_scalar
 from repro.geometry.vec import Vec2
 from repro.mac.frames import FrameKind, FrameRecord
@@ -187,12 +188,16 @@ class Simulator:
 
     def run_until(self, end_s: float) -> None:
         """Process events until simulated time reaches ``end_s``."""
-        while self._queue and self._queue[0][0] <= end_s:
-            time, _, callback = heapq.heappop(self._queue)
-            self._now = time
-            self.events_processed += 1
-            callback()
-        self._now = max(self._now, end_s)
+        start_events = self.events_processed
+        with obs.span("mac.simulator.run", end_s=end_s):
+            while self._queue and self._queue[0][0] <= end_s:
+                time, _, callback = heapq.heappop(self._queue)
+                self._now = time
+                self.events_processed += 1
+                callback()
+            self._now = max(self._now, end_s)
+        if obs.STATE.metrics:
+            obs.add("mac.simulator.events", self.events_processed - start_events)
 
 
 @dataclass
@@ -321,6 +326,8 @@ class Medium:
         rx = self._stations.get(record.destination) if record.destination else None
         signal = self._rx_power_dbm(tx, rx, record.kind) if rx is not None else None
         act = _ActiveTransmission(record=record, tx=tx, rx=rx, signal_dbm=signal)
+        if obs.STATE.metrics:
+            obs.add("mac.medium.frames")
 
         # This new transmission interferes with every in-flight frame
         # whose receiver can hear it — and vice versa.  A station never

@@ -30,6 +30,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Callable, List, Optional
 
+from repro import obs
 from repro.mac.frames import FrameKind, FrameRecord, MacTiming, WIGIG_TIMING
 from repro.mac.simulator import Medium, Simulator, Station
 from repro.phy.mcs import MCS, MAX_OBSERVED_MCS_INDEX, mcs_by_index, select_mcs
@@ -47,6 +48,10 @@ PER_MPDU_OVERHEAD_S = 1.0e-6
 #: Maximum MPDUs per aggregate such that frames stay within the 25 us
 #: maximum the paper observed.
 MAX_AGGREGATION = 12
+
+#: Fixed obs-histogram buckets for MPDUs-per-aggregate; fixed bounds
+#: are what make per-worker histogram merges deterministic.
+AGGREGATION_BUCKETS = (1.0, 2.0, 4.0, 8.0, float(MAX_AGGREGATION))
 
 #: Contention parameters (802.11ad-like EDCA).
 MIN_CONTENTION_WINDOW = 8
@@ -240,6 +245,8 @@ class WiGigLink:
         """Force the data MCS (used by tests and ablations)."""
         self._mcs = mcs_by_index(index)
         self.mcs_history.append((self.sim.now, index))
+        if obs.STATE.metrics:
+            obs.add("mac.wigig.mcs_transitions")
 
     # -- beacons and discovery -------------------------------------------
 
@@ -409,6 +416,9 @@ class WiGigLink:
         )
         self.stats.data_frames_sent += 1
         self._recent_sent += 1
+        if obs.STATE.metrics:
+            obs.add("mac.wigig.data_frames")
+            obs.observe("mac.wigig.aggregation_mpdus", n, buckets=AGGREGATION_BUCKETS)
         self.medium.transmit(frame, on_complete=self._data_done)
 
     def _data_done(self, record: FrameRecord, delivered: bool) -> None:
@@ -420,6 +430,8 @@ class WiGigLink:
             # No ACK will come; requeue after an ACK-timeout-sized gap.
             self._retries += 1
             self.stats.retransmissions += 1
+            if obs.STATE.metrics:
+                obs.add("mac.wigig.retransmissions")
             self._queue_mpdus += record.aggregated_mpdus
             if self._retries > MAX_RETRIES:
                 # Give up on this burst; back off harder.
@@ -455,6 +467,8 @@ class WiGigLink:
             else:
                 self._retries += 1
                 self.stats.retransmissions += 1
+                if obs.STATE.metrics:
+                    obs.add("mac.wigig.retransmissions")
                 self._queue_mpdus += data_record.aggregated_mpdus
                 self.sim.schedule(self.timing.sifs_s, self._send_next_data)
 

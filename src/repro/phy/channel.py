@@ -22,6 +22,7 @@ from repro.analysis.dbmath import (
     linear_to_db_scalar,
     log_distance_loss_db,
 )
+from repro import obs
 from repro.phy.antenna import SPEED_OF_LIGHT
 from repro.seeding import fallback_rng
 
@@ -160,6 +161,8 @@ class LinkBudget:
         extra_loss_db: float = 0.0,
     ) -> float:
         """Signal-to-noise ratio of a single-path link."""
+        if obs.STATE.metrics:
+            obs.add("phy.channel.snr_evals")
         return (
             self.received_power_dbm(distance_m, tx_gain_dbi, rx_gain_dbi, extra_loss_db)
             - self.noise_floor_dbm()
@@ -222,5 +225,7 @@ class ShadowingProcess:
             rho = math.exp(-dt / self._tau)
             innovation_std = self._std * math.sqrt(max(0.0, 1.0 - rho * rho))
             self._value = rho * self._value + self._rng.normal(0.0, innovation_std)
+            if obs.STATE.metrics:
+                obs.add("phy.channel.shadowing_steps")
         self._time = now_s
         return self._value

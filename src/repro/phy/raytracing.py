@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.geometry.room import Room
 from repro.geometry.segments import Segment
 from repro.geometry.vec import Vec2
@@ -123,13 +124,17 @@ class RayTracer:
         if tx.distance_to(rx) < 1e-9:
             raise ValueError("TX and RX positions coincide")
         paths: List[PropagationPath] = []
-        los = self._trace_los(tx, rx)
-        if los is not None:
-            paths.append(los)
-        if self._max_order >= 1:
-            paths.extend(self._trace_first_order(tx, rx))
-        if self._max_order >= 2:
-            paths.extend(self._trace_second_order(tx, rx))
+        with obs.span("phy.raytracing.trace"):
+            los = self._trace_los(tx, rx)
+            if los is not None:
+                paths.append(los)
+            if self._max_order >= 1:
+                paths.extend(self._trace_first_order(tx, rx))
+            if self._max_order >= 2:
+                paths.extend(self._trace_second_order(tx, rx))
+        if obs.STATE.metrics:
+            obs.add("phy.raytracing.traces")
+            obs.add("phy.raytracing.paths", len(paths))
         return paths
 
     def strongest_path(

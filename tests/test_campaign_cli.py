@@ -125,6 +125,82 @@ class TestCampaignCli:
         assert {r["params"]["setup"] for r in rows} == {"laptop"}
 
 
+class TestObsCli:
+    @pytest.fixture()
+    def traced_run(self, cache_dir, tmp_path):
+        out = tmp_path / "traced"
+        rc = main(
+            [
+                "campaign",
+                "run",
+                "beam-patterns",
+                "--workers",
+                "2",
+                "--set",
+                "positions=8",
+                "--no-cache",
+                "--trace",
+                "--output",
+                str(out),
+            ]
+        )
+        assert rc == 0
+        return out
+
+    def test_trace_flag_produces_v2_manifest_and_trace(self, capsys, traced_run):
+        manifest = read_manifest(traced_run / "manifest.json")
+        assert manifest["schema_version"] == 2
+        assert manifest["spans_file"] == "trace.json"
+        assert (traced_run / "trace.json").is_file()
+        counters = manifest["metrics"]["counters"]
+        # Runner-level counters are always present on a traced run even
+        # if the campaign's cells hit no instrumented hot paths.
+        assert counters["campaign.cells.total"] == manifest["scenarios"]["total"]
+        assert counters["campaign.cells.completed"] == counters["campaign.cells.total"]
+        out = capsys.readouterr().out
+        assert "tracing on" in out
+        assert "trace" in out
+
+    def test_obs_report(self, traced_run, capsys):
+        assert main(["obs", "report", str(traced_run)]) == 0
+        out = capsys.readouterr().out
+        assert "campaign beam-patterns" in out
+        assert "metrics:" in out
+        assert "spans:" in out
+
+    def test_obs_export_check(self, traced_run, capsys):
+        assert main(["obs", "export", str(traced_run), "--check"]) == 0
+        assert "valid trace-event JSON" in capsys.readouterr().out
+
+    def test_obs_export_copies_to_output(self, traced_run, tmp_path, capsys):
+        dest = tmp_path / "out" / "perfetto.json"
+        assert main(["obs", "export", str(traced_run), "-o", str(dest)]) == 0
+        assert dest.is_file()
+        assert json.loads(dest.read_text())["traceEvents"]
+        assert "perfetto" in capsys.readouterr().out
+
+    def test_missing_run_dir_exits_2(self, tmp_path, capsys):
+        missing = tmp_path / "nope"
+        assert main(["obs", "report", str(missing)]) == 2
+        assert main(["obs", "export", str(missing)]) == 2
+        err = capsys.readouterr().err
+        assert "no manifest.json" in err
+
+    def test_export_without_trace_exits_2(self, cache_dir, tmp_path, capsys):
+        out = tmp_path / "untraced"
+        assert run_beam_campaign(cache_dir, out, workers=1) == 0
+        assert main(["obs", "export", str(out)]) == 2
+        assert "--trace" in capsys.readouterr().err
+
+    def test_report_works_without_trace(self, cache_dir, tmp_path, capsys):
+        out = tmp_path / "untraced"
+        assert run_beam_campaign(cache_dir, out, workers=1) == 0
+        assert main(["obs", "report", str(out)]) == 0
+        report = capsys.readouterr().out
+        assert "no metrics recorded" in report
+        assert "no trace.json" in report
+
+
 class TestMigratedSweeps:
     def test_pattern_report_matches_engine_output(self, tmp_path):
         from repro.experiments.beam_patterns import (

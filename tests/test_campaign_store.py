@@ -1,11 +1,18 @@
 """Tests for campaign result persistence (JSONL + manifest layout)."""
 
+import json
+
 import pytest
 
 from repro.campaign.runner import run_campaign
 from repro.campaign.spec import CampaignSpec
-from repro.campaign.store import load_results, save_results, write_run
-from repro.campaign.telemetry import read_manifest
+from repro.campaign.store import load_manifest, load_results, save_results, write_run
+from repro.campaign.telemetry import (
+    MANIFEST_SCHEMA_VERSION,
+    RunTelemetry,
+    read_manifest,
+    upgrade_manifest,
+)
 from repro.io import load_jsonl, save_jsonl
 
 DOUBLE = "tests.campaign_cells:double_cell"
@@ -66,3 +73,106 @@ class TestWriteRun:
         manifest = read_manifest(out / "manifest.json")
         assert manifest["scenarios"]["total"] == 2
         assert len(load_results(out / "results.jsonl")) == 2
+
+    def test_no_trace_file_without_tracing(self, result, tmp_path):
+        out = write_run(result, tmp_path / "run")
+        assert not (out / "trace.json").exists()
+
+
+class TestManifestSchema:
+    def test_v2_schema_locked(self, result, tmp_path):
+        # The manifest is the contract external tooling reads; lock the
+        # exact top-level key set so additions are deliberate (and
+        # versioned), mirroring the lint --json schema lock.
+        path = result.telemetry.write_manifest(tmp_path / "manifest.json")
+        manifest = json.loads(path.read_text())
+        assert sorted(manifest) == [
+            "cache_hit_ratio",
+            "campaign",
+            "campaign_digest",
+            "des",
+            "failures",
+            "finished_unix",
+            "metrics",
+            "scenarios",
+            "schema_version",
+            "shard_sizes",
+            "spans_file",
+            "started_unix",
+            "timing",
+            "workers",
+        ]
+        assert manifest["schema_version"] == MANIFEST_SCHEMA_VERSION == 2
+        assert sorted(manifest["scenarios"]) == [
+            "cached",
+            "completed",
+            "failed",
+            "retries",
+            "timeouts",
+            "total",
+        ]
+        assert sorted(manifest["timing"]) == [
+            "speedup_vs_serial",
+            "wall_clock_s",
+            "worker_time_s",
+        ]
+        assert sorted(manifest["des"]) == ["events_per_second", "events_simulated"]
+
+    def test_v1_manifest_upgraded_on_read(self, tmp_path):
+        # A pre-observability manifest (schema 1, no metrics/spans_file)
+        # must stay readable: the shim upgrades it in place.
+        v1 = {
+            "schema_version": 1,
+            "campaign": "legacy",
+            "campaign_digest": "abc",
+            "workers": 2,
+            "scenarios": {"total": 4, "completed": 4, "cached": 0, "failed": 0},
+            "timing": {"wall_clock_s": 1.0, "worker_time_s": 1.5},
+        }
+        path = tmp_path / "manifest.json"
+        path.write_text(json.dumps(v1))
+        manifest = read_manifest(path)
+        assert manifest["schema_version"] == 2
+        assert manifest["metrics"] is None
+        assert manifest["spans_file"] is None
+        assert manifest["campaign"] == "legacy"
+
+    def test_load_manifest_is_the_run_dir_shim(self, result, tmp_path):
+        out = write_run(result, tmp_path / "run")
+        manifest = load_manifest(out)
+        assert manifest["schema_version"] == 2
+        assert "metrics" in manifest and "spans_file" in manifest
+
+    def test_unknown_version_rejected(self):
+        with pytest.raises(ValueError, match="unsupported manifest schema"):
+            upgrade_manifest({"schema_version": 999})
+
+
+class TestEventsPerSecond:
+    def test_zero_duration_reports_null_not_inf(self):
+        # Regression: a cached-everything run has events_simulated > 0
+        # but ~zero summed worker time; the old code divided and put
+        # inf in the manifest (invalid JSON).
+        t = RunTelemetry(events_simulated=1000, worker_time_s=0.0)
+        assert t.events_per_second() is None
+        manifest = t.as_manifest()
+        assert manifest["des"]["events_per_second"] is None
+        # json round-trips (inf would raise / emit Infinity)
+        assert json.loads(json.dumps(manifest))["des"]["events_per_second"] is None
+
+    def test_no_events_is_zero_rate(self):
+        t = RunTelemetry(events_simulated=0, worker_time_s=5.0)
+        assert t.events_per_second() == 0.0
+
+    def test_normal_rate(self):
+        t = RunTelemetry(events_simulated=100, worker_time_s=2.0)
+        assert t.events_per_second() == 50.0
+
+    def test_summary_omits_rate_when_null(self):
+        t = RunTelemetry(events_simulated=1000, worker_time_s=0.0)
+        assert "events/s" not in t.summary()
+
+    def test_speedup_guarded_the_same_way(self):
+        t = RunTelemetry(worker_time_s=2.0, wall_clock_s=0.0)
+        assert t.speedup_vs_serial() is None
+        assert RunTelemetry().speedup_vs_serial() == 0.0

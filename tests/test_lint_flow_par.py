@@ -455,3 +455,35 @@ class TestSuppressionAndConfig:
         )
         assert stats.passes == ("par",)
         assert stats.by_rule == {"RL021": 1}
+
+
+class TestClockModuleExemption:
+    """RL022 tolerates the sanctioned clock shim — and only it."""
+
+    CLOCK_MOD = (
+        "import time\n\n\n"
+        "def wall_time():\n"
+        "    return time.time()\n"
+    )
+    CELL_MOD = (
+        "from repro.obs import clock\n\n\n"
+        "def timed_cell(*, seed=0, repetition=0):\n"
+        "    clock.wall_time()\n"
+        "    return {'v': seed}\n"
+    )
+
+    def test_cell_calling_shim_clean_by_default(self):
+        findings = analyze(
+            ("src/repro/obs/clock.py", self.CLOCK_MOD),
+            ("src/repro/campaign/toy.py", self.CELL_MOD),
+        )
+        assert findings == []
+
+    def test_cell_calling_shim_fires_without_exemption(self):
+        findings = analyze(
+            ("src/repro/obs/clock.py", self.CLOCK_MOD),
+            ("src/repro/campaign/toy.py", self.CELL_MOD),
+            config=LintConfig(clock_modules=()),
+        )
+        assert codes(findings) == ["RL022"]
+        assert "wall clock" in findings[0].message

@@ -214,6 +214,42 @@ class TestRL002:
         )
         assert codes(found) == []
 
+
+class TestClockModuleExemption:
+    """The sanctioned clock shim is exempt by module name, nothing else."""
+
+    CLOCK_SOURCE = """
+        import time
+
+        def wall_time():
+            return time.time()
+        """
+
+    def test_shim_module_exempt_by_default(self):
+        assert codes(run(self.CLOCK_SOURCE, module="repro.obs.clock")) == []
+
+    def test_identical_source_elsewhere_in_obs_fires(self):
+        # repro.obs is a wall-clock-policed package; only the shim
+        # module itself gets a pass.
+        found = run(self.CLOCK_SOURCE, module="repro.obs.trace")
+        assert codes(found) == ["RL002"]
+
+    def test_shim_fires_when_exemption_removed(self):
+        found = run(
+            self.CLOCK_SOURCE,
+            module="repro.obs.clock",
+            config=LintConfig(clock_modules=()),
+        )
+        assert codes(found) == ["RL002"]
+
+    def test_custom_shim_module_honored(self):
+        found = run(
+            self.CLOCK_SOURCE,
+            module="repro.mac.myclock",
+            config=LintConfig(clock_modules=("repro.mac.myclock",)),
+        )
+        assert codes(found) == []
+
     def test_des_clock_clean(self):
         found = run(
             """

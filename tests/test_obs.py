@@ -1,0 +1,278 @@
+"""Unit tests for repro.obs: state, metrics, spans, export, report."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.export import (
+    TRACE_FILENAME,
+    build_trace_doc,
+    read_trace,
+    validate_trace,
+    write_trace,
+)
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.report import aggregate_spans, render_report
+from repro.obs.trace import NOOP_SPAN, TraceBuffer, complete_event
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_state():
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+class TestState:
+    def test_disabled_by_default(self):
+        assert not obs.STATE.metrics
+        assert not obs.STATE.tracing
+        assert not obs.STATE.enabled
+
+    def test_enable_disable(self):
+        obs.enable(metrics=True, trace=True)
+        assert obs.STATE.enabled and obs.STATE.tracing
+        obs.disable()
+        assert not obs.STATE.enabled
+
+    def test_disabled_span_is_shared_noop(self):
+        assert obs.span("phy.raytracing.trace") is NOOP_SPAN
+        with obs.span("mac.simulator.run") as s:
+            assert s is NOOP_SPAN
+
+    def test_disabled_add_records_nothing(self):
+        obs.add("x.y.z", 5)
+        assert obs.metrics_snapshot() is None
+
+    def test_configure_from_env(self):
+        obs.configure_from_env({"REPRO_OBS": "metrics"})
+        assert obs.STATE.metrics and not obs.STATE.tracing
+        obs.disable()
+        obs.configure_from_env({"REPRO_OBS": "trace"})
+        assert obs.STATE.metrics and obs.STATE.tracing
+        obs.disable()
+        obs.configure_from_env({})
+        assert not obs.STATE.enabled
+
+
+class TestMetricsRegistry:
+    def test_counters_gauges_histograms(self):
+        reg = MetricsRegistry()
+        reg.add("a.b.count")
+        reg.add("a.b.count", 4)
+        reg.set_gauge("a.b.peak", 2.5)
+        reg.observe("a.b.size", 3, buckets=(1.0, 4.0, 8.0))
+        snap = reg.snapshot()
+        assert snap["counters"] == {"a.b.count": 5}
+        assert snap["gauges"] == {"a.b.peak": 2.5}
+        assert snap["histograms"]["a.b.size"]["counts"] == [0, 1, 0, 0]
+
+    def test_empty_snapshot_is_none(self):
+        assert MetricsRegistry().snapshot() is None
+
+    def test_merge_is_order_independent(self):
+        snaps = []
+        for values in ((1, 3.0), (7, 9.0), (2, 1.0)):
+            reg = MetricsRegistry()
+            reg.add("n", values[0])
+            reg.set_gauge("g", values[1])
+            reg.observe("h", values[0], buckets=(2.0, 8.0))
+            snaps.append(reg.snapshot())
+
+        def merged(order):
+            out = MetricsRegistry()
+            for i in order:
+                out.merge_snapshot(snaps[i])
+            return json.dumps(out.snapshot(), sort_keys=True)
+
+        assert merged([0, 1, 2]) == merged([2, 0, 1]) == merged([1, 2, 0])
+        final = json.loads(merged([0, 1, 2]))
+        assert final["counters"]["n"] == 10
+        assert final["gauges"]["g"] == 9.0  # gauges merge with max
+        assert final["histograms"]["h"]["counts"] == [2, 1, 0]
+
+    def test_merge_none_is_noop(self):
+        reg = MetricsRegistry()
+        reg.add("n")
+        reg.merge_snapshot(None)
+        assert reg.snapshot()["counters"] == {"n": 1}
+
+    def test_histogram_bucket_mismatch_rejected(self):
+        reg = MetricsRegistry()
+        reg.observe("h", 1, buckets=(1.0, 2.0))
+        with pytest.raises(ValueError):
+            reg.observe("h", 1, buckets=(1.0, 3.0))
+        other = MetricsRegistry()
+        other.observe("h", 1, buckets=(5.0,))
+        with pytest.raises(ValueError):
+            reg.merge_snapshot(other.snapshot())
+
+    def test_histogram_overflow_bin(self):
+        hist = Histogram((1.0, 2.0))
+        hist.observe(99.0)
+        assert hist.counts == [0, 0, 1]
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram((3.0, 1.0))
+
+    def test_ops_counts_every_mutation(self):
+        reg = MetricsRegistry()
+        reg.add("a")
+        reg.set_gauge("b", 1.0)
+        reg.observe("c", 1, buckets=(1.0,))
+        assert reg.ops == 3
+
+
+class TestSpans:
+    def test_enabled_span_records_event(self):
+        obs.enable(metrics=True, trace=True)
+        with obs.span("mac.beam_training.sls", initiator="tx"):
+            pass
+        _, spans = obs.collect_cell()
+        assert len(spans) == 1
+        event = spans[0]
+        assert event["name"] == "mac.beam_training.sls"
+        assert event["ph"] == "X"
+        assert event["cat"] == "mac"
+        assert event["dur"] >= 0
+        assert event["args"] == {"initiator": "tx"}
+
+    def test_buffer_caps_and_counts_drops(self):
+        buf = TraceBuffer(max_events=2)
+        for i in range(5):
+            buf.record(complete_event("x", 0, 10))
+        events = buf.drain()
+        # 2 recorded events + 1 synthetic drop counter
+        assert len(events) == 3
+        assert events[-1]["name"] == "obs.dropped_spans"
+        assert events[-1]["args"]["dropped"] == 3
+
+    def test_begin_cell_resets(self):
+        obs.enable(metrics=True, trace=True)
+        obs.add("n")
+        with obs.span("x.y.z"):
+            pass
+        obs.begin_cell()
+        metrics, spans = obs.collect_cell()
+        assert metrics is None
+        assert spans == []
+
+
+class TestExport:
+    def test_trace_doc_roundtrip_and_validation(self, tmp_path):
+        events = [
+            complete_event("phy.raytracing.trace", 1000, 5000),
+            {**complete_event("campaign.cell", 0, 9000), "pid": 1},
+        ]
+        path = write_trace(tmp_path / TRACE_FILENAME, events, label="demo")
+        doc = read_trace(path)
+        assert validate_trace(doc) == []
+        names = [e["name"] for e in doc["traceEvents"]]
+        assert "process_name" in names  # pid metadata for Perfetto
+        assert doc["otherData"] == {"campaign": "demo"}
+
+    def test_validator_catches_malformed_events(self):
+        assert validate_trace([]) == ["trace document must be an object, got list"]
+        assert validate_trace({"traceEvents": "nope"}) == ["traceEvents must be a list"]
+        bad = {
+            "traceEvents": [
+                {"name": "x", "ph": "Z", "pid": 0, "tid": 0},
+                {"name": "", "ph": "X", "pid": 0, "tid": 0, "ts": 1, "dur": 1},
+                {"name": "x", "ph": "X", "pid": 0, "tid": 0, "ts": -1, "dur": 1},
+                {"name": "x", "ph": "X", "pid": "p", "tid": 0, "ts": 1, "dur": 1},
+            ]
+        }
+        problems = validate_trace(bad)
+        assert len(problems) == 4
+
+    def test_build_doc_defaults_pid_tid(self):
+        doc = build_trace_doc([{"name": "x", "ph": "X", "ts": 0.0, "dur": 1.0}])
+        assert validate_trace(doc) == []
+
+
+class TestReport:
+    def test_aggregate_spans(self):
+        doc = build_trace_doc(
+            [
+                complete_event("a.b.c", 0, 3000),
+                complete_event("a.b.c", 0, 1000),
+                complete_event("d.e.f", 0, 10000),
+            ]
+        )
+        rows = aggregate_spans(doc)
+        assert [r["name"] for r in rows] == ["d.e.f", "a.b.c"]
+        assert rows[1]["count"] == 2
+        assert rows[1]["max_us"] == 3.0
+
+    def test_render_report_includes_metrics_and_spans(self):
+        manifest = {
+            "campaign": "demo",
+            "workers": 2,
+            "scenarios": {"total": 4},
+            "timing": {"wall_clock_s": 1.25},
+            "metrics": {
+                "counters": {"mac.simulator.events": 120},
+                "gauges": {},
+                "histograms": {
+                    "mac.wigig.aggregation_mpdus": {
+                        "buckets": [1.0, 12.0],
+                        "counts": [1, 2, 0],
+                        "count": 3,
+                        "sum": 20.0,
+                    }
+                },
+            },
+        }
+        doc = build_trace_doc([complete_event("mac.simulator.run", 0, 2000)])
+        text = render_report(manifest, doc)
+        assert "mac.simulator.events" in text
+        assert "120" in text
+        assert "mac.simulator.run" in text
+        assert "aggregation_mpdus" in text
+
+    def test_render_report_without_trace(self):
+        manifest = {"campaign": "demo", "workers": 1, "scenarios": {}, "timing": {}}
+        text = render_report(manifest, None)
+        assert "no metrics recorded" in text
+        assert "no trace.json" in text
+
+
+class TestInstrumentation:
+    """The hot paths actually feed the registry when enabled."""
+
+    def test_simulator_events_counter(self):
+        from repro.mac.simulator import Simulator
+
+        obs.enable(metrics=True)
+        sim = Simulator(seed=1)
+        fired = []
+        sim.schedule(0.001, lambda: fired.append(1))
+        sim.run_until(0.01)
+        snap = obs.metrics_snapshot()
+        assert snap["counters"]["mac.simulator.events"] == 1
+
+    def test_raytracer_counters_and_span(self):
+        from repro.geometry.room import Room
+        from repro.geometry.vec import Vec2
+        from repro.phy.raytracing import RayTracer
+
+        obs.enable(metrics=True, trace=True)
+        tracer = RayTracer(Room.rectangular(6.0, 4.0))
+        paths = tracer.trace(Vec2(1.0, 1.0), Vec2(5.0, 3.0))
+        snap, spans = obs.collect_cell()
+        assert snap["counters"]["phy.raytracing.traces"] == 1
+        assert snap["counters"]["phy.raytracing.paths"] == len(paths)
+        assert any(e["name"] == "phy.raytracing.trace" for e in spans)
+
+    def test_disabled_instrumentation_records_nothing(self):
+        from repro.geometry.room import Room
+        from repro.geometry.vec import Vec2
+        from repro.phy.raytracing import RayTracer
+
+        tracer = RayTracer(Room.rectangular(6.0, 4.0))
+        tracer.trace(Vec2(1.0, 1.0), Vec2(5.0, 3.0))
+        assert obs.metrics_snapshot() is None

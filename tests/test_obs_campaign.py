@@ -1,0 +1,146 @@
+"""Campaign-level observability: deterministic metrics, trace export.
+
+The acceptance-critical property mirrors the result-row one: a
+campaign's merged ``metrics`` manifest section must be byte-identical
+between ``workers=1`` and a shuffled parallel run.
+"""
+
+import os
+
+import pytest
+
+from repro import obs
+from repro.campaign.runner import CampaignRunner, run_campaign
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.store import load_manifest, write_run
+from repro.campaign.verify import canonical_metrics, verify_campaign
+from repro.obs.export import read_trace, validate_trace
+
+DES = "tests.campaign_cells:des_cell"
+DOUBLE = "tests.campaign_cells:double_cell"
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_state():
+    obs.disable()
+    obs.reset()
+    os.environ.pop(obs.OBS_ENV, None)
+    yield
+    obs.disable()
+    obs.reset()
+    os.environ.pop(obs.OBS_ENV, None)
+
+
+def des_campaign(ticks=(30, 60), seeds=(0, 1)):
+    return CampaignSpec(
+        name="des-obs",
+        experiment=DES,
+        grid={"ticks": tuple(ticks)},
+        seeds=seeds,
+    )
+
+
+class TestMetricsCollection:
+    def test_off_by_default(self):
+        result = run_campaign(des_campaign())
+        assert result.telemetry.metrics is None
+        assert result.telemetry.spans_file is None
+        assert result.trace_events == []
+
+    def test_metrics_run_merges_cell_counters(self):
+        result = run_campaign(des_campaign(), metrics=True)
+        counters = result.telemetry.metrics["counters"]
+        # DES cells feed the simulator counter; the runner adds its own.
+        assert counters["mac.simulator.events"] > 0
+        assert counters["campaign.cells.total"] == 4
+        assert counters["campaign.cells.completed"] == 4
+        assert counters["campaign.cells.failed"] == 0
+        assert counters["campaign.cache.misses"] == 4
+
+    def test_state_restored_after_run(self):
+        run_campaign(des_campaign(), metrics=True)
+        assert not obs.STATE.enabled
+        assert obs.OBS_ENV not in os.environ
+        assert obs.metrics_snapshot() is None
+
+    def test_state_restored_after_failure(self):
+        spec = CampaignSpec(
+            name="broken",
+            experiment="tests.campaign_cells:always_fails",
+            grid={},
+            seeds=(0,),
+        )
+        result = run_campaign(spec, metrics=True, retries=0)
+        assert result.telemetry.failed == 1
+        assert result.telemetry.metrics["counters"]["campaign.cells.failed"] == 1
+        assert not obs.STATE.enabled
+
+    def test_serial_and_parallel_metrics_byte_identical(self):
+        spec = des_campaign(ticks=(20, 40, 60), seeds=(0, 1))
+        serial = CampaignRunner(spec, workers=1, metrics=True).run()
+        parallel = CampaignRunner(
+            spec, workers=3, shuffle_seed=7, metrics=True
+        ).run()
+        assert canonical_metrics(serial) == canonical_metrics(parallel)
+        assert canonical_metrics(serial)  # non-empty: metrics were recorded
+
+    def test_metrics_excluded_from_result_rows(self):
+        result = run_campaign(des_campaign(), metrics=True)
+        for row in result.result_rows():
+            assert "metrics" not in row
+            assert "spans" not in row
+
+
+class TestTraceCollection:
+    def test_serial_trace_emits_cell_spans(self):
+        result = run_campaign(des_campaign(), trace=True)
+        names = {e["name"] for e in result.trace_events}
+        assert "campaign.run" in names
+        assert "campaign.cell" in names
+        assert "mac.simulator.run" in names  # in-cell span survived the merge
+
+    def test_parallel_trace_emits_events(self):
+        result = run_campaign(des_campaign(), workers=2, trace=True)
+        assert result.telemetry.spans_file == "trace.json"
+        names = {e["name"] for e in result.trace_events}
+        assert "campaign.run" in names
+        assert "campaign.shard" in names
+        assert "campaign.cell.await" in names
+        # In-cell spans ride the shard timeline (pid = shard + 1);
+        # runner-side events stay on the campaign parent (pid 0).
+        cell_pids = {
+            e["pid"] for e in result.trace_events if e["name"] == "mac.simulator.run"
+        }
+        assert cell_pids and all(pid >= 1 for pid in cell_pids)
+        run_pids = {
+            e["pid"] for e in result.trace_events if e["name"] == "campaign.run"
+        }
+        assert run_pids == {0}
+
+    def test_write_run_persists_valid_trace(self, tmp_path):
+        result = run_campaign(des_campaign(), workers=2, trace=True)
+        out = write_run(result, tmp_path / "run")
+        assert (out / "trace.json").is_file()
+        doc = read_trace(out / "trace.json")
+        assert validate_trace(doc) == []
+        manifest = load_manifest(out)
+        assert manifest["schema_version"] == 2
+        assert manifest["spans_file"] == "trace.json"
+        assert manifest["metrics"]["counters"]["campaign.cells.total"] == 4
+
+
+class TestVerifyMetricsLeg:
+    def test_verify_reports_metrics_match(self):
+        report = verify_campaign(
+            des_campaign(ticks=(25, 50), seeds=(0,)),
+            workers=2,
+            audit=False,
+            cache_check=False,
+        )
+        assert report.determinism_ok
+        assert report.metrics_ok
+        assert report.metrics_serial_digest == report.metrics_parallel_digest
+        assert report.ok
+        d = report.to_dict()
+        assert d["metrics_ok"] is True
+        assert d["metrics_serial_digest"] == report.metrics_serial_digest
