@@ -1,0 +1,114 @@
+"""Mobility subsystem performance: sampling rate and DES cost.
+
+Two numbers CI tracks in ``benchmarks/results/BENCH_mobility.json``:
+
+* **trajectory sampling** — positions per second from the vectorized
+  ``LinearTrajectory.sample_positions`` and the bisect-based
+  ``WaypointWalker.position`` paths.  Trajectories are sampled on the
+  DES clock every ``update_interval_s``, so this is the hot loop of
+  every mobile scenario.
+* **re-training under motion** — wall-clock per simulated second of
+  the full vehicular drive-by (DES MAC + iperf flow + sweeps), plus
+  the scenario's events-per-second, so a regression in the mobility
+  tick path shows up as sim-time slowdown rather than being hidden in
+  a fixed-iteration micro-loop.
+
+Soft floors are deliberately loose (10x below observed) — they catch
+order-of-magnitude regressions, not container jitter.
+"""
+
+import json
+import math
+import pathlib
+import time
+
+import numpy as np
+
+from repro.experiments.mobility import build_vehicular_scenario, run_vehicle_pass
+from repro.geometry.vec import Vec2
+from repro.mobility.trajectory import LinearTrajectory, WaypointWalker
+
+RESULTS = pathlib.Path(__file__).parent / "results" / "BENCH_mobility.json"
+
+ROUNDS = 3
+SAMPLE_BATCH = 100_000
+WALKER_CALLS = 20_000
+
+#: Order-of-magnitude floors: vectorized sampling should exceed 1M
+#: positions/s, scalar walker lookups 50k/s, and the vehicular DES
+#: should simulate a second of motion in under 60 s of wall clock.
+VECTOR_SAMPLES_PER_S_FLOOR = 1.0e6
+WALKER_CALLS_PER_S_FLOOR = 5.0e4
+WALL_PER_SIM_SECOND_CEILING = 60.0
+
+
+def best_of(fn, rounds=ROUNDS):
+    times = []
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return min(times)
+
+
+def test_perf_mobility():
+    # -- vectorized trajectory sampling ------------------------------------
+    traj = LinearTrajectory(Vec2(-12.0, 4.0), Vec2(20.0, 0.0), duration_s=1.2)
+    times = np.linspace(0.0, 1.2, SAMPLE_BATCH)
+    vector_s = best_of(lambda: traj.sample_positions(times))
+    vector_rate = SAMPLE_BATCH / vector_s
+
+    # -- scalar walker lookups (bisect + lerp) -----------------------------
+    walker = WaypointWalker.conference_room(
+        8.0, 6.0, np.random.default_rng(5), num_waypoints=12, pause_s=0.5
+    )
+    instants = [
+        (i * 0.001) % walker.duration_s for i in range(WALKER_CALLS)
+    ]
+
+    def walk():
+        for t in instants:
+            walker.position(t)
+
+    walker_s = best_of(walk)
+    walker_rate = WALKER_CALLS / walker_s
+
+    # -- full vehicular DES: wall clock per simulated second ---------------
+    def drive():
+        scenario = build_vehicular_scenario(speed_kmh=110.0, approach_m=6.0)
+        return run_vehicle_pass(scenario)
+
+    result = drive()  # warm imports/allocator, keep the row for the doc
+    sim_seconds = result["duration_s"]
+    drive_s = best_of(drive)
+    wall_per_sim_s = drive_s / sim_seconds
+    events_per_s = result["events_simulated"] / drive_s
+
+    doc = {
+        "vector_samples_per_s": round(vector_rate),
+        "walker_positions_per_s": round(walker_rate),
+        "vehicular_sim_seconds": round(sim_seconds, 4),
+        "vehicular_wall_s": round(drive_s, 4),
+        "wall_per_sim_second": round(wall_per_sim_s, 4),
+        "des_events_per_s": round(events_per_s),
+        "retrains_per_sim_second": round(result["retrains"] / sim_seconds, 2),
+        "retrain_overhead_fraction": round(result["overhead_fraction"], 5),
+        "vector_floor": VECTOR_SAMPLES_PER_S_FLOOR,
+        "walker_floor": WALKER_CALLS_PER_S_FLOOR,
+        "wall_per_sim_second_ceiling": WALL_PER_SIM_SECOND_CEILING,
+    }
+    RESULTS.parent.mkdir(parents=True, exist_ok=True)
+    RESULTS.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+
+    print(
+        f"\nmobility perf: vector sampling {vector_rate / 1e6:.1f}M/s, "
+        f"walker {walker_rate / 1e3:.0f}k/s, vehicular pass "
+        f"{drive_s * 1e3:.0f} ms wall for {sim_seconds * 1e3:.0f} ms sim "
+        f"({events_per_s / 1e3:.0f}k events/s, "
+        f"{result['retrains']} retrains)"
+    )
+
+    assert math.isfinite(wall_per_sim_s)
+    assert vector_rate > VECTOR_SAMPLES_PER_S_FLOOR
+    assert walker_rate > WALKER_CALLS_PER_S_FLOOR
+    assert wall_per_sim_s < WALL_PER_SIM_SECOND_CEILING

@@ -27,6 +27,8 @@ CELLS: Dict[str, str] = {
     "beam_pattern": "repro.experiments.beam_patterns:pattern_cell",
     "range_point": "repro.experiments.range_vs_distance:distance_cell",
     "interference_point": "repro.experiments.interference:interference_cell",
+    "mobility_vehicular": "repro.experiments.mobility:vehicular_cell",
+    "mobility_handover": "repro.experiments.mobility:handover_cell",
 }
 
 
@@ -94,6 +96,24 @@ def builtin_campaigns() -> Dict[str, CampaignSpec]:
             },
             seeds=(10,),
             description="Figure 22 side-lobe interference sweep (DES)",
+        ),
+        "mobility-speed": CampaignSpec(
+            name="mobility-speed",
+            experiment="mobility_vehicular",
+            base_params={},
+            grid={"speed_kmh": (50.0, 70.0, 110.0)},
+            seeds=(0, 1),
+            description="Vehicular drive-by: throughput and re-training "
+            "overhead vs speed (DES)",
+        ),
+        "mobility-handover": CampaignSpec(
+            name="mobility-handover",
+            experiment="mobility_handover",
+            base_params={},
+            grid={"policy": ("sticky", "hysteresis", "wifi")},
+            seeds=(0, 1),
+            description="Corridor walk: handover policies, goodput, and "
+            "AP contact time (DES)",
         ),
     }
 

@@ -8,6 +8,7 @@ Usage::
     python -m repro interference [--distances 0 1 2 3]
     python -m repro nlos
     python -m repro blockage [--no-failover] [--no-wall]
+    python -m repro mobility [--speeds 50 70 110]
     python -m repro campaign list
     python -m repro campaign run beam-patterns --workers 4
     python -m repro campaign status beam-patterns
@@ -167,6 +168,34 @@ def _cmd_recover(args: argparse.Namespace) -> int:
     print(f"protocol share of downtime: "
           f"{result.protocol_recovery_s * 1e3:.0f} ms "
           f"(mostly waiting for the 102.4 ms discovery sweep)")
+    return 0
+
+
+def _cmd_mobility(args: argparse.Namespace) -> int:
+    from repro.experiments.mobility import (
+        contact_time_by_policy,
+        retraining_overhead_vs_speed,
+    )
+
+    print("Vehicular pass: throughput and re-training overhead vs speed")
+    print(f"{'km/h':>6} {'goodput mbps':>13} {'retrains':>9} "
+          f"{'sweep ms':>9} {'overhead %':>11}")
+    for row in retraining_overhead_vs_speed(
+        speeds_kmh=args.speeds, seed=args.seed
+    ):
+        print(f"{row['speed_kmh']:6.0f} {row['goodput_bps'] / 1e6:13.0f} "
+              f"{row['retrains']:9d} {row['retrain_airtime_s'] * 1e3:9.2f} "
+              f"{row['overhead_fraction'] * 100:11.2f}")
+    print("Corridor walk: handover policies and AP contact time")
+    for policy, row in contact_time_by_policy(
+        policies=args.policies, seed=args.seed
+    ).items():
+        contact = ", ".join(
+            f"{ap} {t:.1f}s" for ap, t in row["contact_time_s"].items()
+        )
+        print(f"  {policy:<10} handovers={row['handovers']} "
+              f"goodput={row['mean_goodput_bps'] / 1e6:.0f} mbps "
+              f"outage={row['outage_fraction'] * 100:.1f}%  [{contact}]")
     return 0
 
 
@@ -492,6 +521,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="obstruction duration in seconds")
     seed_option(p, 20)
     p.set_defaults(func=_cmd_recover)
+
+    p = sub.add_parser(
+        "mobility",
+        help="vehicular drive-by overhead + corridor handover figures",
+    )
+    p.add_argument("--speeds", type=float, nargs="+", default=[50.0, 70.0, 110.0],
+                   help="vehicle speeds in km/h")
+    p.add_argument("--policies", nargs="+",
+                   default=["sticky", "hysteresis", "wifi"],
+                   help="handover policies (sticky, hysteresis, wifi)")
+    seed_option(p, 0)
+    p.set_defaults(func=_cmd_mobility)
 
     p = sub.add_parser("spatial", help="conflict graph / schedule for N links")
     p.add_argument("--links", type=int, default=3)

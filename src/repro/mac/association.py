@@ -49,6 +49,17 @@ ABFT_SLOT_S = 18.0e-6
 ASSOC_FRAME_S = 12.0e-6
 
 
+def association_overhead_s(timing: MacTiming = WIGIG_TIMING) -> float:
+    """Airtime of one uncontended link setup, excluding the SLS itself.
+
+    Discovery frame + one A-BFT response slot + the two-frame
+    association handshake — the fixed cost a handover pays on top of
+    re-training with the new dock.  Layered policies
+    (:mod:`repro.mobility.handover`) charge this per AP switch.
+    """
+    return timing.discovery_frame_s + ABFT_SLOT_S + 2.0 * ASSOC_FRAME_S
+
+
 @dataclass
 class AssociationStats:
     """Counters the manager accumulates."""

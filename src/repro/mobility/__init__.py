@@ -1,0 +1,65 @@
+"""Mobility: trajectories, beam re-training under motion, handovers.
+
+The paper's "bane" — 60 GHz links live and die by beam alignment — is
+sharpest when the client itself moves.  This package adds that missing
+axis: pure deterministic trajectory models sampled on the DES clock
+(:mod:`~repro.mobility.trajectory`), a :class:`MobileStation` adapter
+that moves a device between MAC events and re-trains its beams through
+the real sector-sweep machinery with airtime charged to the medium
+(:mod:`~repro.mobility.station`), and multi-AP handover policies with
+contact-time accounting (:mod:`~repro.mobility.handover`).
+"""
+
+from repro.mobility.handover import (
+    SERVING_FLOOR_SNR_DB,
+    HandoverEvent,
+    HandoverPolicy,
+    HandoverStats,
+    HysteresisHandover,
+    MultiAPController,
+    StickyStrongest,
+    WiFiAssistedSteering,
+    predicted_snr_db,
+)
+from repro.mobility.station import (
+    RETRAIN_AIRTIME_BUCKETS_MS,
+    MobileStation,
+    MobilityStats,
+    RetrainConfig,
+    sync_station,
+)
+from repro.mobility.trajectory import (
+    KMH_PER_MPS,
+    PEDESTRIAN_SPEED_MPS,
+    LinearTrajectory,
+    Trajectory,
+    VehiclePass,
+    WaypointWalker,
+    kmh_to_mps,
+    mps_to_kmh,
+)
+
+__all__ = [
+    "KMH_PER_MPS",
+    "PEDESTRIAN_SPEED_MPS",
+    "RETRAIN_AIRTIME_BUCKETS_MS",
+    "SERVING_FLOOR_SNR_DB",
+    "HandoverEvent",
+    "HandoverPolicy",
+    "HandoverStats",
+    "HysteresisHandover",
+    "LinearTrajectory",
+    "MobileStation",
+    "MobilityStats",
+    "MultiAPController",
+    "RetrainConfig",
+    "StickyStrongest",
+    "Trajectory",
+    "VehiclePass",
+    "WaypointWalker",
+    "WiFiAssistedSteering",
+    "kmh_to_mps",
+    "mps_to_kmh",
+    "predicted_snr_db",
+    "sync_station",
+]

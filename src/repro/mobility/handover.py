@@ -1,0 +1,399 @@
+"""Handover policies for multi-AP 60 GHz rooms.
+
+A room dense enough for 60 GHz coverage has several docks, and a
+moving client walks out of one's serviceable sector into another's.
+Deciding *when to switch* is a real trade: every handover pays the
+association overhead (discovery + A-BFT + handshake,
+:func:`~repro.mac.association.association_overhead_s`) plus a full
+sector sweep with the new dock, so switching too eagerly burns the
+very airtime the switch was meant to recover.
+
+Three policies, in increasing sophistication:
+
+* :class:`StickyStrongest` — ride the serving AP until its SNR falls
+  below an operational floor, then jump to the strongest candidate.
+  Minimal handovers, worst outage tail.
+* :class:`HysteresisHandover` — cellular-style: switch when a candidate
+  beats the serving AP by a hysteresis margin for a sustained
+  time-to-trigger.  Suppresses ping-pong at cell edges.
+* :class:`WiFiAssistedSteering` — the out-of-band approach of
+  arXiv 1506.05857: a co-located legacy WiFi band localizes the client
+  and predicts the best 60 GHz AP, so candidate evaluation costs **no
+  60 GHz probe airtime** (``needs_probes`` is False) and the client can
+  be steered proactively.
+
+:class:`MultiAPController` runs one policy on the DES clock: each
+decision epoch it evaluates candidate SNRs (charging per-AP probe
+airtime to the medium unless the policy is WiFi-assisted), asks the
+policy for a target, and executes handovers through
+:meth:`MobileStation.set_peer` — which re-trains with the new dock and
+charges that sweep too.  Per-AP contact time is accounted between
+switches, giving the paper-style AP contact-time figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro import obs
+from repro.devices.base import RadioDevice
+from repro.mac.association import ASSOC_FRAME_S, association_overhead_s
+from repro.mac.frames import FrameKind, FrameRecord, WIGIG_TIMING, MacTiming
+from repro.mac.simulator import Medium, Simulator, Station
+from repro.mobility.station import MobileStation
+from repro.phy.channel import LinkBudget
+
+#: SNR floor below which the serving data link is considered unusable
+#: (roughly the lowest single-carrier MCS threshold).
+SERVING_FLOOR_SNR_DB = 2.0
+
+
+def predicted_snr_db(
+    ap: RadioDevice,
+    client: RadioDevice,
+    budget: LinkBudget,
+) -> float:
+    """Best-sector SNR estimate between an AP and the client.
+
+    Each side contributes its best directional gain toward the other —
+    what an ideal steering decision would know after a sweep, and what
+    a WiFi-assisted controller predicts from localization.  Purely
+    geometric, so candidate ranking is deterministic.
+    """
+    tx_bearing = ap.bearing_to(client.position)
+    rx_bearing = client.bearing_to(ap.position)
+    tx_gain = max(
+        entry.pattern.gain_dbi(tx_bearing) for entry in ap.codebook.directional_entries
+    )
+    rx_gain = max(
+        entry.pattern.gain_dbi(rx_bearing)
+        for entry in client.codebook.directional_entries
+    )
+    distance = ap.position.distance_to(client.position)
+    return (
+        ap.tx_power_dbm
+        + tx_gain
+        + rx_gain
+        - budget.propagation_loss_db(distance)
+        - budget.implementation_loss_db
+        - budget.noise_floor_dbm()
+    )
+
+
+class HandoverPolicy:
+    """Chooses the serving AP from candidate SNR estimates."""
+
+    #: Whether candidate evaluation needs on-air 60 GHz probes.  The
+    #: controller charges per-candidate probe airtime when True.
+    needs_probes: bool = True
+
+    def reset(self) -> None:
+        """Clear any cross-epoch state (time-to-trigger timers)."""
+
+    def choose(
+        self, serving: str, snr_by_ap: Dict[str, float], now_s: float
+    ) -> str:
+        """Return the AP that should serve the client this epoch."""
+        raise NotImplementedError
+
+
+class StickyStrongest(HandoverPolicy):
+    """Stay put until the serving link is unusable, then go strongest.
+
+    Args:
+        floor_snr_db: Serving SNR below which the link counts as lost.
+    """
+
+    def __init__(self, floor_snr_db: float = SERVING_FLOOR_SNR_DB):
+        self.floor_snr_db = floor_snr_db
+
+    def choose(
+        self, serving: str, snr_by_ap: Dict[str, float], now_s: float
+    ) -> str:
+        if snr_by_ap.get(serving, -float("inf")) >= self.floor_snr_db:
+            return serving
+        return max(sorted(snr_by_ap), key=lambda name: snr_by_ap[name])
+
+
+class HysteresisHandover(HandoverPolicy):
+    """Switch when a candidate sustains a margin over the serving AP.
+
+    The A3-style rule: a candidate must beat the serving SNR by
+    ``hysteresis_db`` continuously for ``time_to_trigger_s`` before the
+    handover executes, which suppresses ping-pong where two cells'
+    coverage interleaves.
+
+    Args:
+        hysteresis_db: Required margin over the serving AP.
+        time_to_trigger_s: How long the margin must hold.
+    """
+
+    def __init__(self, hysteresis_db: float = 3.0, time_to_trigger_s: float = 0.2):
+        if hysteresis_db < 0 or time_to_trigger_s < 0:
+            raise ValueError("hysteresis parameters cannot be negative")
+        self.hysteresis_db = hysteresis_db
+        self.time_to_trigger_s = time_to_trigger_s
+        self._candidate: Optional[str] = None
+        self._candidate_since_s = 0.0
+
+    def reset(self) -> None:
+        self._candidate = None
+        self._candidate_since_s = 0.0
+
+    def choose(
+        self, serving: str, snr_by_ap: Dict[str, float], now_s: float
+    ) -> str:
+        serving_snr = snr_by_ap.get(serving, -float("inf"))
+        best = max(sorted(snr_by_ap), key=lambda name: snr_by_ap[name])
+        if best == serving or snr_by_ap[best] < serving_snr + self.hysteresis_db:
+            self._candidate = None
+            return serving
+        if self._candidate != best:
+            self._candidate = best
+            self._candidate_since_s = now_s
+        if now_s - self._candidate_since_s >= self.time_to_trigger_s:
+            self._candidate = None
+            return best
+        return serving
+
+
+class WiFiAssistedSteering(HandoverPolicy):
+    """Out-of-band steering: localization picks the AP, probes cost 0.
+
+    The legacy WiFi band tracks the client and predicts the best
+    60 GHz AP from geometry (arXiv 1506.05857), so the controller never
+    spends 60 GHz airtime probing candidates, and a small margin keeps
+    the decision from chattering when two APs predict nearly equal.
+
+    Args:
+        margin_db: Predicted advantage a candidate needs to trigger a
+            proactive switch.
+    """
+
+    needs_probes = False
+
+    def __init__(self, margin_db: float = 1.0):
+        if margin_db < 0:
+            raise ValueError("steering margin cannot be negative")
+        self.margin_db = margin_db
+
+    def choose(
+        self, serving: str, snr_by_ap: Dict[str, float], now_s: float
+    ) -> str:
+        serving_snr = snr_by_ap.get(serving, -float("inf"))
+        best = max(sorted(snr_by_ap), key=lambda name: snr_by_ap[name])
+        if best != serving and snr_by_ap[best] > serving_snr + self.margin_db:
+            return best
+        return serving
+
+
+@dataclass(frozen=True)
+class HandoverEvent:
+    """One executed AP switch."""
+
+    t_s: float
+    from_ap: str
+    to_ap: str
+    snr_before_db: float
+    snr_after_db: float
+    success: bool
+
+
+@dataclass
+class HandoverStats:
+    """What a multi-AP run spent and where the client spent it."""
+
+    handovers: int = 0
+    failed_handovers: int = 0
+    probe_airtime_s: float = 0.0
+    handover_airtime_s: float = 0.0
+    contact_time_s: Dict[str, float] = field(default_factory=dict)
+    events: List[HandoverEvent] = field(default_factory=list)
+
+
+class MultiAPController:
+    """Runs a handover policy for one mobile client in a multi-AP room.
+
+    Args:
+        sim: Event loop.
+        medium: Shared channel (probe and handshake frames really
+            occupy airtime on it).
+        mobile: The already-started :class:`MobileStation`; its serving
+            peer must be one of ``aps``.
+        aps: ``(device, station)`` per candidate AP.
+        policy: The handover decision rule.
+        budget: Link budget for candidate SNR prediction.
+        decision_interval_s: Policy evaluation epoch; defaults to the
+            discovery cadence, since probe-based policies learn about
+            candidates from their discovery sweeps.
+        timing: MAC timing (discovery frame length, cadence).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        medium: Medium,
+        mobile: MobileStation,
+        aps: List[Tuple[RadioDevice, Station]],
+        policy: HandoverPolicy,
+        budget: LinkBudget = LinkBudget(),
+        decision_interval_s: Optional[float] = None,
+        timing: MacTiming = WIGIG_TIMING,
+    ):
+        if not aps:
+            raise ValueError("need at least one AP")
+        names = [device.name for device, _ in aps]
+        if len(set(names)) != len(names):
+            raise ValueError("AP names must be unique")
+        if mobile.peer_device.name not in set(names):
+            raise ValueError("the mobile's serving peer must be a listed AP")
+        self.sim = sim
+        self.medium = medium
+        self.mobile = mobile
+        self.aps = {device.name: (device, station) for device, station in aps}
+        self.policy = policy
+        self.budget = budget
+        self.timing = timing
+        self.decision_interval_s = (
+            decision_interval_s
+            if decision_interval_s is not None
+            else timing.discovery_interval_s
+        )
+        if self.decision_interval_s <= 0:
+            raise ValueError("decision interval must be positive")
+        self.stats = HandoverStats()
+        for name in self.aps:
+            self.stats.contact_time_s[name] = 0.0
+        self._serving_since_s = sim.now
+        self._running = False
+        self.policy.reset()
+
+    @property
+    def serving_ap(self) -> str:
+        return self.mobile.peer_device.name
+
+    def start(self) -> None:
+        """Begin the decision epochs (idempotent)."""
+        if self._running:
+            return
+        self._running = True
+        self._serving_since_s = self.sim.now
+        self.sim.schedule(self.decision_interval_s, self._tick)
+
+    def stop(self) -> None:
+        """Stop deciding and close the open contact interval."""
+        if not self._running:
+            return
+        self._running = False
+        self._close_contact_interval()
+
+    def _close_contact_interval(self) -> None:
+        self.stats.contact_time_s[self.serving_ap] += (
+            self.sim.now - self._serving_since_s
+        )
+        self._serving_since_s = self.sim.now
+
+    def _candidate_snrs_db(self) -> Dict[str, float]:
+        snrs = {}
+        for name, (device, _) in sorted(self.aps.items()):
+            if name == self.serving_ap and self.mobile.link_up:
+                # The serving link's quality is measured on the trained
+                # data beams, not predicted.
+                snrs[name] = self.mobile.current_snr_db()
+            else:
+                snrs[name] = predicted_snr_db(device, self.mobile.device, self.budget)
+        return snrs
+
+    def _charge_probe_airtime(self) -> None:
+        """Non-serving APs announce themselves with discovery frames."""
+        for name, (_, station) in sorted(self.aps.items()):
+            if name == self.serving_ap:
+                continue
+            self.medium.transmit(
+                FrameRecord(
+                    start_s=self.sim.now,
+                    duration_s=self.timing.discovery_frame_s,
+                    source=station.name,
+                    destination="",
+                    kind=FrameKind.DISCOVERY,
+                )
+            )
+            self.stats.probe_airtime_s += self.timing.discovery_frame_s
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        if self.policy.needs_probes:
+            self._charge_probe_airtime()
+        snrs = self._candidate_snrs_db()
+        target = self.policy.choose(self.serving_ap, snrs, self.sim.now)
+        if target != self.serving_ap:
+            self._execute_handover(target, snrs)
+        self.sim.schedule(self.decision_interval_s, self._tick)
+
+    def _execute_handover(self, target: str, snrs: Dict[str, float]) -> None:
+        old = self.serving_ap
+        self._close_contact_interval()
+        device, station = self.aps[target]
+        with obs.span("mobility.handover", from_ap=old, to_ap=target):
+            # The handshake with the new dock occupies the air on top
+            # of the sector sweep set_peer() charges.
+            self.medium.transmit(
+                FrameRecord(
+                    start_s=self.sim.now,
+                    duration_s=ASSOC_FRAME_S,
+                    source=self.mobile.station.name,
+                    destination="",
+                    kind=FrameKind.ASSOC_REQ,
+                )
+            )
+            self.sim.schedule(
+                ASSOC_FRAME_S,
+                lambda: self.medium.transmit(
+                    FrameRecord(
+                        start_s=self.sim.now,
+                        duration_s=ASSOC_FRAME_S,
+                        source=station.name,
+                        destination="",
+                        kind=FrameKind.ASSOC_RESP,
+                    )
+                ),
+            )
+            training = self.mobile.set_peer(device, station)
+        self.stats.handover_airtime_s += (
+            association_overhead_s(self.timing) + training.duration_s
+        )
+        self.stats.handovers += 1
+        self.stats.events.append(
+            HandoverEvent(
+                t_s=self.sim.now,
+                from_ap=old,
+                to_ap=target,
+                snr_before_db=snrs[old],
+                snr_after_db=(
+                    training.link_snr_db if training.success else -float("inf")
+                ),
+                success=training.success,
+            )
+        )
+        if obs.STATE.metrics:
+            obs.add("mobility.handover.count")
+        if not training.success:
+            self.stats.failed_handovers += 1
+            if obs.STATE.metrics:
+                obs.add("mobility.handover.failed")
+        self.policy.reset()
+
+
+__all__ = [
+    "SERVING_FLOOR_SNR_DB",
+    "HandoverEvent",
+    "HandoverPolicy",
+    "HandoverStats",
+    "HysteresisHandover",
+    "MultiAPController",
+    "StickyStrongest",
+    "WiFiAssistedSteering",
+    "predicted_snr_db",
+]

@@ -1,0 +1,314 @@
+"""Deterministic trajectory models sampled on the DES clock.
+
+Every scenario the toolkit simulated before this module was static:
+devices trained once and never moved, so the paper's central "bane" —
+that a 60 GHz link lives and dies by beam alignment — only ever showed
+up through *other* things moving (blockers, interferers).  A
+:class:`Trajectory` gives a device itself a position as a pure function
+of simulation time:
+
+* :class:`LinearTrajectory` — constant-velocity motion (a vehicle on a
+  straight road, a person crossing a room);
+* :class:`WaypointWalker` — piecewise-linear pedestrian motion through
+  a list of waypoints at walking speed, with optional dwell pauses; a
+  seeded factory generates conference-room wander deterministically;
+* :class:`VehiclePass` — a vehicle at road speed (50/70/110 km/h)
+  driving down a lane past a roadside unit, the 802.11ad-V2X geometry.
+
+Trajectories are *pure*: ``position(t)`` depends only on ``t`` and the
+constructor arguments, never on call order or wall time, so campaign
+cells that sample them stay byte-identical across worker counts.  All
+randomness (the walker factory) comes in through an explicit seeded
+generator.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.geometry.vec import Vec2
+
+#: Conversion factor between the road-sign unit and SI.
+KMH_PER_MPS = 3.6
+
+#: Typical indoor walking speed, m/s (matches repro.phy.blockage).
+PEDESTRIAN_SPEED_MPS = 1.2
+
+
+def kmh_to_mps(speed_kmh: float) -> float:
+    """Convert km/h to m/s."""
+    return speed_kmh / KMH_PER_MPS
+
+
+def mps_to_kmh(speed_mps: float) -> float:
+    """Convert m/s to km/h."""
+    return speed_mps * KMH_PER_MPS
+
+
+class Trajectory:
+    """A position as a pure function of time.
+
+    Subclasses implement :meth:`position` and :meth:`velocity_mps`;
+    everything else derives from those.  Times before ``t = 0`` clamp
+    to the start state and times past :attr:`duration_s` clamp to the
+    end state, so callers never have to range-check the DES clock.
+    """
+
+    #: Seconds of defined motion; ``inf`` for unbounded trajectories.
+    duration_s: float = math.inf
+
+    def position(self, t_s: float) -> Vec2:
+        raise NotImplementedError
+
+    def velocity_mps(self, t_s: float) -> Vec2:
+        raise NotImplementedError
+
+    def speed_mps(self, t_s: float) -> float:
+        """Scalar speed at an instant."""
+        return self.velocity_mps(t_s).length()
+
+    def heading_rad(self, t_s: float) -> float:
+        """Direction of travel (CCW from +x); 0 when stationary."""
+        v = self.velocity_mps(t_s)
+        if v.length_squared() == 0.0:
+            return 0.0
+        return v.angle()
+
+    def sample_positions(self, times_s: Sequence[float]) -> np.ndarray:
+        """Positions at many instants as an ``(N, 2)`` float array.
+
+        The generic implementation loops; subclasses with closed-form
+        motion (:class:`LinearTrajectory`) vectorize it.
+        """
+        out = np.empty((len(times_s), 2), dtype=float)
+        for i, t in enumerate(times_s):
+            p = self.position(float(t))
+            out[i, 0] = p.x
+            out[i, 1] = p.y
+        return out
+
+    def path_length_m(self) -> float:
+        """Total distance travelled over the defined duration."""
+        raise NotImplementedError
+
+
+class LinearTrajectory(Trajectory):
+    """Constant-velocity motion from a start point.
+
+    Args:
+        start: Position at ``t = 0``.
+        velocity_mps: Velocity vector, meters/second.
+        duration_s: Optional motion bound; the position clamps to the
+            endpoint afterwards (the vehicle parks, the walker stops).
+    """
+
+    def __init__(
+        self,
+        start: Vec2,
+        velocity_mps: Vec2,
+        duration_s: float = math.inf,
+    ):
+        if duration_s < 0:
+            raise ValueError("trajectory duration cannot be negative")
+        self.start = start
+        self.velocity = velocity_mps
+        self.duration_s = duration_s
+
+    def _clamp(self, t_s: float) -> float:
+        return min(max(t_s, 0.0), self.duration_s)
+
+    def position(self, t_s: float) -> Vec2:
+        return self.start + self.velocity * self._clamp(t_s)
+
+    def velocity_mps(self, t_s: float) -> Vec2:
+        if t_s < 0.0 or t_s > self.duration_s:
+            return Vec2(0.0, 0.0)
+        return self.velocity
+
+    def sample_positions(self, times_s: Sequence[float]) -> np.ndarray:
+        t = np.clip(np.asarray(times_s, dtype=float), 0.0, self.duration_s)
+        return np.stack(
+            (self.start.x + self.velocity.x * t, self.start.y + self.velocity.y * t),
+            axis=1,
+        )
+
+    def path_length_m(self) -> float:
+        if math.isinf(self.duration_s):
+            return math.inf
+        return self.velocity.length() * self.duration_s
+
+    def crossing_time_s(self, a: Vec2, b: Vec2) -> Optional[float]:
+        """When this trajectory crosses the segment ``a -> b``.
+
+        Solves the line intersection in closed form and returns the
+        earliest ``t >= 0`` at which the moving point lies on the
+        segment, or ``None`` if the motion never crosses it.  This is
+        the crossing-time math the blockage model used to carry as its
+        own ad-hoc parameterization.
+        """
+        ab = b - a
+        denom = self.velocity.cross(ab)
+        if denom == 0.0:
+            return None  # parallel (or stationary): no transversal crossing
+        rel = a - self.start
+        t = rel.cross(ab) / denom
+        u = rel.cross(self.velocity) / denom
+        if t < 0.0 or t > self.duration_s or not 0.0 <= u <= 1.0:
+            return None
+        return t
+
+
+class WaypointWalker(Trajectory):
+    """Piecewise-linear pedestrian motion through waypoints.
+
+    The walker moves at constant speed along each leg and optionally
+    dwells ``pause_s`` at every intermediate waypoint — the
+    stop-look-walk cadence of a person wandering a conference room.
+
+    Args:
+        waypoints: At least two positions, visited in order.
+        speed_mps: Walking speed along every leg.
+        pause_s: Dwell time at each waypoint between legs.
+    """
+
+    def __init__(
+        self,
+        waypoints: Sequence[Vec2],
+        speed_mps: float = PEDESTRIAN_SPEED_MPS,
+        pause_s: float = 0.0,
+    ):
+        if len(waypoints) < 2:
+            raise ValueError("a walker needs at least two waypoints")
+        if speed_mps <= 0:
+            raise ValueError("walking speed must be positive")
+        if pause_s < 0:
+            raise ValueError("pause cannot be negative")
+        self.waypoints: Tuple[Vec2, ...] = tuple(waypoints)
+        self.speed = speed_mps
+        self.pause_s = pause_s
+        # Event times: leg starts alternate with dwell starts.  The
+        # tables are built once; position() is a bisect plus a lerp.
+        self._leg_start_s: List[float] = []
+        self._leg_end_s: List[float] = []
+        t = 0.0
+        for a, b in zip(self.waypoints, self.waypoints[1:]):
+            self._leg_start_s.append(t)
+            t += a.distance_to(b) / speed_mps
+            self._leg_end_s.append(t)
+            t += pause_s
+        self.duration_s = self._leg_end_s[-1]
+
+    def _locate(self, t_s: float) -> Tuple[int, float]:
+        """(leg index, seconds into that leg, clamped to its span)."""
+        t = min(max(t_s, 0.0), self.duration_s)
+        i = bisect.bisect_right(self._leg_start_s, t) - 1
+        i = max(i, 0)
+        return i, min(t - self._leg_start_s[i], self._leg_end_s[i] - self._leg_start_s[i])
+
+    def position(self, t_s: float) -> Vec2:
+        i, into = self._locate(t_s)
+        a, b = self.waypoints[i], self.waypoints[i + 1]
+        leg_len = a.distance_to(b)
+        if leg_len == 0.0:
+            return a
+        frac = min(into * self.speed / leg_len, 1.0)
+        return a + (b - a) * frac
+
+    def velocity_mps(self, t_s: float) -> Vec2:
+        if t_s < 0.0 or t_s > self.duration_s:
+            return Vec2(0.0, 0.0)
+        i, into = self._locate(t_s)
+        span = self._leg_end_s[i] - self._leg_start_s[i]
+        if into >= span:  # dwelling at the waypoint
+            return Vec2(0.0, 0.0)
+        a, b = self.waypoints[i], self.waypoints[i + 1]
+        if a.distance_to(b) == 0.0:
+            return Vec2(0.0, 0.0)
+        return (b - a).normalized() * self.speed
+
+    def path_length_m(self) -> float:
+        return sum(a.distance_to(b) for a, b in zip(self.waypoints, self.waypoints[1:]))
+
+    @classmethod
+    def conference_room(
+        cls,
+        width_m: float,
+        depth_m: float,
+        rng: np.random.Generator,
+        num_waypoints: int = 8,
+        speed_mps: float = PEDESTRIAN_SPEED_MPS,
+        pause_s: float = 1.0,
+        margin_m: float = 0.5,
+        origin: Vec2 = Vec2(0.0, 0.0),
+    ) -> "WaypointWalker":
+        """A seeded random wander inside a rectangular room.
+
+        Waypoints are drawn uniformly inside the room minus a wall
+        margin.  The generator is an explicit argument (never created
+        here) so the caller's seed chain fully determines the path.
+        """
+        if num_waypoints < 2:
+            raise ValueError("need at least two waypoints")
+        if width_m <= 2 * margin_m or depth_m <= 2 * margin_m:
+            raise ValueError("room too small for the wall margin")
+        xs = rng.uniform(margin_m, width_m - margin_m, size=num_waypoints)
+        ys = rng.uniform(margin_m, depth_m - margin_m, size=num_waypoints)
+        points = [origin + Vec2(float(x), float(y)) for x, y in zip(xs, ys)]
+        return cls(points, speed_mps=speed_mps, pause_s=pause_s)
+
+
+class VehiclePass(LinearTrajectory):
+    """A vehicle driving down a straight lane past a roadside unit.
+
+    The roadside unit sits at the origin; the lane runs parallel to
+    the x-axis at ``lane_offset_m``.  The vehicle enters at
+    ``x = -approach_m`` and drives in +x at road speed, so its bearing
+    from the unit sweeps through the unit's whole serviceable sector —
+    the 802.11ad-V2X drive-by geometry.
+
+    Args:
+        speed_kmh: Road speed (the paper-adjacent sweep uses 50/70/110).
+        lane_offset_m: Perpendicular distance lane <-> roadside unit.
+        approach_m: Entry distance before the point of closest approach;
+            the drive ends symmetrically at ``x = +approach_m``.
+    """
+
+    def __init__(
+        self,
+        speed_kmh: float,
+        lane_offset_m: float = 4.0,
+        approach_m: float = 12.0,
+    ):
+        if speed_kmh <= 0:
+            raise ValueError("vehicle speed must be positive")
+        if approach_m <= 0:
+            raise ValueError("approach distance must be positive")
+        self.speed_kmh = speed_kmh
+        self.lane_offset_m = lane_offset_m
+        self.approach_m = approach_m
+        speed = kmh_to_mps(speed_kmh)
+        super().__init__(
+            start=Vec2(-approach_m, lane_offset_m),
+            velocity_mps=Vec2(speed, 0.0),
+            duration_s=2.0 * approach_m / speed,
+        )
+
+    def closest_approach_s(self) -> float:
+        """When the vehicle passes abeam of the roadside unit."""
+        return self.duration_s / 2.0
+
+
+__all__ = [
+    "KMH_PER_MPS",
+    "PEDESTRIAN_SPEED_MPS",
+    "LinearTrajectory",
+    "Trajectory",
+    "VehiclePass",
+    "WaypointWalker",
+    "kmh_to_mps",
+    "mps_to_kmh",
+]

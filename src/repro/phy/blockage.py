@@ -22,6 +22,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.geometry.vec import Vec2
+from repro.mobility.trajectory import LinearTrajectory, Trajectory
 
 #: Shadow depth of a human torso at 60 GHz, dB.
 HUMAN_SHADOW_DEPTH_DB = 25.0
@@ -33,24 +34,57 @@ HUMAN_BODY_WIDTH_M = 0.4
 WALKING_SPEED_MPS = 1.2
 
 
-@dataclass(frozen=True)
 class Blocker:
     """A moving absorber crossing the floor plan.
 
-    Attributes:
-        start: Position at ``t = 0``.
-        velocity: Meters/second, as a vector.
+    A blocker's path is a :class:`~repro.mobility.trajectory.Trajectory`
+    — the same primitive that moves clients — so a blocker can follow
+    any motion model, not just the historical straight line.  The
+    ``start``/``velocity`` constructor form is kept as shorthand for a
+    :class:`LinearTrajectory` and the matching attributes keep reading
+    from it.
+
+    Args:
+        start: Position at ``t = 0`` (shorthand form; with
+            ``velocity``, builds an unbounded linear trajectory).
+        velocity: Meters/second, as a vector (shorthand form).
+        trajectory: Explicit motion model; mutually exclusive with the
+            shorthand form.
         width_m: Body width perpendicular to the link.
         shadow_depth_db: Loss when fully blocking.
     """
 
-    start: Vec2
-    velocity: Vec2
-    width_m: float = HUMAN_BODY_WIDTH_M
-    shadow_depth_db: float = HUMAN_SHADOW_DEPTH_DB
+    def __init__(
+        self,
+        start: Optional[Vec2] = None,
+        velocity: Optional[Vec2] = None,
+        trajectory: Optional[Trajectory] = None,
+        width_m: float = HUMAN_BODY_WIDTH_M,
+        shadow_depth_db: float = HUMAN_SHADOW_DEPTH_DB,
+    ):
+        if trajectory is not None:
+            if start is not None or velocity is not None:
+                raise ValueError("pass either a trajectory or start/velocity, not both")
+        else:
+            if start is None or velocity is None:
+                raise ValueError("need start and velocity (or a trajectory)")
+            trajectory = LinearTrajectory(start, velocity)
+        self.trajectory = trajectory
+        self.width_m = width_m
+        self.shadow_depth_db = shadow_depth_db
+
+    @property
+    def start(self) -> Vec2:
+        """Position at ``t = 0``."""
+        return self.trajectory.position(0.0)
+
+    @property
+    def velocity(self) -> Vec2:
+        """Velocity at ``t = 0``, meters/second."""
+        return self.trajectory.velocity_mps(0.0)
 
     def position(self, t_s: float) -> Vec2:
-        return self.start + self.velocity * t_s
+        return self.trajectory.position(t_s)
 
 
 def path_blockage_loss_db(
@@ -121,6 +155,17 @@ class BlockageEvent:
             return None
         return float(times[above[0]]), float(times[above[-1]])
 
+    def crossing_time_s(self) -> Optional[float]:
+        """Closed-form instant the blocker's center crosses the link.
+
+        Delegates to the trajectory's segment-crossing solver when the
+        motion is linear (no sampled profile needed); ``None`` when the
+        path never crosses or the motion model has no closed form.
+        """
+        if isinstance(self.blocker.trajectory, LinearTrajectory):
+            return self.blocker.trajectory.crossing_time_s(self.tx, self.rx)
+        return None
+
 
 def crossing_blocker(
     tx: Vec2,
@@ -150,7 +195,9 @@ def crossing_blocker(
     crossing_point = tx + (rx - tx) * crossing_fraction
     direction = axis.perpendicular()
     start = crossing_point - direction * (speed_mps * lead_in_s)
-    return Blocker(start=start, velocity=direction * speed_mps)
+    return Blocker(
+        trajectory=LinearTrajectory(start=start, velocity_mps=direction * speed_mps)
+    )
 
 
 def blocked_duration_s(

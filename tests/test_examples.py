@@ -59,3 +59,9 @@ class TestExamples:
         out = run_example("nlos_rescue", capsys)
         assert "LOS lobe in angular profile: gone" in out
         assert "% of line-of-sight" in out
+
+    def test_vehicular_pass(self, capsys):
+        out = run_example("vehicular_pass", capsys)
+        assert "Re-training overhead" in out
+        assert "km/h" in out
+        assert "overhead" in out

@@ -1,0 +1,200 @@
+"""Handover policies and the multi-AP controller."""
+
+import math
+
+import pytest
+
+from repro.devices.d5000 import make_d5000_dock, make_e7440_laptop
+from repro.experiments.mobility import build_corridor_scenario, run_corridor_walk
+from repro.geometry.vec import Vec2
+from repro.mac.frames import FrameKind
+from repro.mobility.handover import (
+    HysteresisHandover,
+    MultiAPController,
+    StickyStrongest,
+    WiFiAssistedSteering,
+    predicted_snr_db,
+)
+from repro.phy.channel import LinkBudget
+
+
+class TestPredictedSnr:
+    def test_decreases_with_distance(self):
+        budget = LinkBudget()
+        ap = make_d5000_dock(
+            name="ap", position=Vec2(0, 0), orientation_rad=math.pi / 2.0
+        )
+        near = make_e7440_laptop(
+            name="near", position=Vec2(0.0, 2.0), orientation_rad=-math.pi / 2.0
+        )
+        far = make_e7440_laptop(
+            name="far", position=Vec2(0.0, 12.0), orientation_rad=-math.pi / 2.0
+        )
+        assert predicted_snr_db(ap, near, budget) > predicted_snr_db(
+            ap, far, budget
+        )
+
+    def test_deterministic(self):
+        budget = LinkBudget()
+        ap = make_d5000_dock(
+            name="ap", position=Vec2(0, 0), orientation_rad=math.pi / 2.0
+        )
+        client = make_e7440_laptop(
+            name="c", position=Vec2(1.0, 3.0), orientation_rad=-math.pi / 2.0
+        )
+        assert predicted_snr_db(ap, client, budget) == predicted_snr_db(
+            ap, client, budget
+        )
+
+
+class TestStickyStrongest:
+    def test_stays_while_serving_above_floor(self):
+        policy = StickyStrongest(floor_snr_db=2.0)
+        snrs = {"a": 5.0, "b": 25.0}
+        assert policy.choose("a", snrs, 0.0) == "a"
+
+    def test_jumps_to_strongest_below_floor(self):
+        policy = StickyStrongest(floor_snr_db=2.0)
+        snrs = {"a": 1.0, "b": 14.0, "c": 9.0}
+        assert policy.choose("a", snrs, 0.0) == "b"
+
+    def test_tie_breaks_by_name(self):
+        policy = StickyStrongest(floor_snr_db=2.0)
+        # Equal SNRs: the alphabetically first candidate wins, so the
+        # choice is stable no matter the dict's insertion order.
+        snrs = {"b": 10.0, "a": 10.0, "serving": -5.0}
+        assert policy.choose("serving", snrs, 0.0) == "a"
+
+
+class TestHysteresisHandover:
+    def test_requires_sustained_margin(self):
+        policy = HysteresisHandover(hysteresis_db=3.0, time_to_trigger_s=0.2)
+        snrs = {"a": 10.0, "b": 14.0}
+        # The margin holds but the timer has not elapsed yet.
+        assert policy.choose("a", snrs, 0.0) == "a"
+        assert policy.choose("a", snrs, 0.1) == "a"
+        # 0.2 s after the candidate first appeared: switch.
+        assert policy.choose("a", snrs, 0.21) == "b"
+
+    def test_margin_break_resets_the_timer(self):
+        policy = HysteresisHandover(hysteresis_db=3.0, time_to_trigger_s=0.2)
+        above = {"a": 10.0, "b": 14.0}
+        below = {"a": 10.0, "b": 11.0}
+        assert policy.choose("a", above, 0.0) == "a"
+        assert policy.choose("a", below, 0.1) == "a"  # margin lost
+        assert policy.choose("a", above, 0.15) == "a"  # timer restarted
+        assert policy.choose("a", above, 0.30) == "a"
+        assert policy.choose("a", above, 0.36) == "b"
+
+    def test_reset_clears_timer(self):
+        policy = HysteresisHandover(hysteresis_db=3.0, time_to_trigger_s=0.2)
+        snrs = {"a": 10.0, "b": 14.0}
+        assert policy.choose("a", snrs, 0.0) == "a"
+        policy.reset()
+        assert policy.choose("a", snrs, 0.19) == "a"
+        assert policy.choose("a", snrs, 0.40) == "b"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HysteresisHandover(hysteresis_db=-1.0)
+        with pytest.raises(ValueError):
+            HysteresisHandover(time_to_trigger_s=-0.1)
+
+
+class TestWiFiAssistedSteering:
+    def test_no_probes_needed(self):
+        assert WiFiAssistedSteering().needs_probes is False
+        assert StickyStrongest().needs_probes is True
+        assert HysteresisHandover().needs_probes is True
+
+    def test_switches_on_margin(self):
+        policy = WiFiAssistedSteering(margin_db=1.0)
+        assert policy.choose("a", {"a": 10.0, "b": 10.5}, 0.0) == "a"
+        assert policy.choose("a", {"a": 10.0, "b": 11.5}, 0.0) == "b"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WiFiAssistedSteering(margin_db=-0.5)
+
+
+class TestMultiAPController:
+    def test_rejects_bad_ap_lists(self):
+        scenario = build_corridor_scenario(StickyStrongest(), num_aps=2)
+        mobile = scenario.mobile
+        aps = [(scenario.aps[n], scenario.mobile.peer_station) for n in scenario.aps]
+        with pytest.raises(ValueError):
+            MultiAPController(scenario.sim, scenario.medium, mobile, [], StickyStrongest())
+        dup = [aps[0], aps[0]]
+        with pytest.raises(ValueError):
+            MultiAPController(scenario.sim, scenario.medium, mobile, dup, StickyStrongest())
+
+    def test_corridor_walk_hands_over(self):
+        scenario = build_corridor_scenario(WiFiAssistedSteering(), num_aps=3)
+        result = run_corridor_walk(scenario)
+        stats = scenario.controller.stats
+        assert result["handovers"] >= 1
+        # The client walked past every AP, so it should have ended up on
+        # a later AP than the one it started on.
+        assert scenario.controller.serving_ap != "ap-0"
+        for event in stats.events:
+            assert event.from_ap != event.to_ap
+
+    def test_contact_times_partition_the_walk(self):
+        scenario = build_corridor_scenario(WiFiAssistedSteering(), num_aps=3)
+        result = run_corridor_walk(scenario)
+        total_contact = sum(result["contact_time_s"].values())
+        assert total_contact == pytest.approx(result["duration_s"], rel=0.02)
+
+    def test_wifi_assist_spends_no_probe_airtime(self):
+        wifi = run_corridor_walk(
+            build_corridor_scenario(WiFiAssistedSteering(), num_aps=3)
+        )
+        sticky = run_corridor_walk(
+            build_corridor_scenario(StickyStrongest(), num_aps=3)
+        )
+        assert wifi["probe_airtime_s"] == 0.0
+        assert sticky["probe_airtime_s"] > 0.0
+
+    def test_probe_frames_really_hit_the_medium(self):
+        scenario = build_corridor_scenario(StickyStrongest(), num_aps=3)
+        run_corridor_walk(scenario)
+        probes = [
+            f
+            for f in scenario.medium.history
+            if f.kind == FrameKind.DISCOVERY and f.source.startswith("ap-")
+        ]
+        assert probes
+        assert sum(f.duration_s for f in probes) == pytest.approx(
+            scenario.controller.stats.probe_airtime_s
+        )
+
+    def test_handover_charges_handshake_and_sweep(self):
+        scenario = build_corridor_scenario(WiFiAssistedSteering(), num_aps=3)
+        result = run_corridor_walk(scenario)
+        stats = scenario.controller.stats
+        assert stats.handovers == result["handovers"]
+        if stats.handovers:
+            assert stats.handover_airtime_s > 0.0
+            assoc = [
+                f
+                for f in scenario.medium.history
+                if f.kind in (FrameKind.ASSOC_REQ, FrameKind.ASSOC_RESP)
+            ]
+            assert len(assoc) >= stats.handovers
+
+    def test_sticky_hands_over_later_than_wifi_assist(self):
+        wifi_scenario = build_corridor_scenario(WiFiAssistedSteering(), num_aps=3)
+        run_corridor_walk(wifi_scenario)
+        sticky_scenario = build_corridor_scenario(StickyStrongest(), num_aps=3)
+        run_corridor_walk(sticky_scenario)
+        wifi_first = min(
+            (e.t_s for e in wifi_scenario.controller.stats.events),
+            default=math.inf,
+        )
+        sticky_first = min(
+            (e.t_s for e in sticky_scenario.controller.stats.events),
+            default=math.inf,
+        )
+        # Proactive steering switches before the sticky policy's
+        # last-ditch jump (which may never even fire).
+        assert wifi_first <= sticky_first

@@ -1,0 +1,186 @@
+"""Trajectory models: clamping, crossing times, walkers, vehicle passes."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry.vec import Vec2
+from repro.mobility.trajectory import (
+    KMH_PER_MPS,
+    PEDESTRIAN_SPEED_MPS,
+    LinearTrajectory,
+    VehiclePass,
+    WaypointWalker,
+    kmh_to_mps,
+    mps_to_kmh,
+)
+
+
+class TestSpeedConversions:
+    def test_roundtrip(self):
+        assert kmh_to_mps(mps_to_kmh(13.7)) == pytest.approx(13.7)
+        assert mps_to_kmh(1.0) == pytest.approx(KMH_PER_MPS)
+
+    def test_road_speeds(self):
+        assert kmh_to_mps(36.0) == pytest.approx(10.0)
+        assert kmh_to_mps(110.0) == pytest.approx(30.555, abs=1e-3)
+
+
+class TestLinearTrajectory:
+    def test_position_is_linear_in_time(self):
+        traj = LinearTrajectory(Vec2(1.0, 2.0), Vec2(3.0, -1.0))
+        p = traj.position(2.0)
+        assert p.x == pytest.approx(7.0)
+        assert p.y == pytest.approx(0.0)
+
+    def test_clamps_before_start_and_after_duration(self):
+        traj = LinearTrajectory(Vec2(0.0, 0.0), Vec2(2.0, 0.0), duration_s=3.0)
+        assert traj.position(-5.0).x == pytest.approx(0.0)
+        assert traj.position(99.0).x == pytest.approx(6.0)
+        # Outside the defined motion the point is parked.
+        assert traj.velocity_mps(-1.0).length() == 0.0
+        assert traj.velocity_mps(4.0).length() == 0.0
+        assert traj.velocity_mps(1.0).x == pytest.approx(2.0)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            LinearTrajectory(Vec2(0, 0), Vec2(1, 0), duration_s=-1.0)
+
+    def test_sample_positions_matches_position(self):
+        traj = LinearTrajectory(Vec2(1.0, 1.0), Vec2(0.5, 2.0), duration_s=4.0)
+        times = [-1.0, 0.0, 1.3, 4.0, 10.0]
+        sampled = traj.sample_positions(times)
+        assert sampled.shape == (5, 2)
+        for row, t in zip(sampled, times):
+            p = traj.position(t)
+            assert row[0] == pytest.approx(p.x)
+            assert row[1] == pytest.approx(p.y)
+
+    def test_path_length(self):
+        traj = LinearTrajectory(Vec2(0, 0), Vec2(3.0, 4.0), duration_s=2.0)
+        assert traj.path_length_m() == pytest.approx(10.0)
+        assert math.isinf(LinearTrajectory(Vec2(0, 0), Vec2(1, 0)).path_length_m())
+
+    def test_heading_follows_velocity(self):
+        traj = LinearTrajectory(Vec2(0, 0), Vec2(0.0, 2.0))
+        assert traj.heading_rad(1.0) == pytest.approx(math.pi / 2.0)
+
+
+class TestCrossingTime:
+    def test_perpendicular_crossing(self):
+        # Moving +x at 2 m/s from x=-4; the segment is the y-axis span.
+        traj = LinearTrajectory(Vec2(-4.0, 0.0), Vec2(2.0, 0.0))
+        t = traj.crossing_time_s(Vec2(0.0, -1.0), Vec2(0.0, 1.0))
+        assert t == pytest.approx(2.0)
+
+    def test_miss_beyond_segment_end(self):
+        traj = LinearTrajectory(Vec2(-4.0, 5.0), Vec2(2.0, 0.0))
+        # The crossing point (0, 5) lies outside the segment's y-span.
+        assert traj.crossing_time_s(Vec2(0.0, -1.0), Vec2(0.0, 1.0)) is None
+
+    def test_parallel_motion_never_crosses(self):
+        traj = LinearTrajectory(Vec2(0.0, 1.0), Vec2(1.0, 0.0))
+        assert traj.crossing_time_s(Vec2(0.0, 0.0), Vec2(5.0, 0.0)) is None
+
+    def test_crossing_in_the_past_is_rejected(self):
+        traj = LinearTrajectory(Vec2(4.0, 0.0), Vec2(2.0, 0.0))
+        assert traj.crossing_time_s(Vec2(0.0, -1.0), Vec2(0.0, 1.0)) is None
+
+    def test_crossing_after_duration_is_rejected(self):
+        traj = LinearTrajectory(Vec2(-4.0, 0.0), Vec2(2.0, 0.0), duration_s=1.0)
+        assert traj.crossing_time_s(Vec2(0.0, -1.0), Vec2(0.0, 1.0)) is None
+
+    def test_oblique_crossing(self):
+        traj = LinearTrajectory(Vec2(-2.0, -2.0), Vec2(1.0, 1.0))
+        t = traj.crossing_time_s(Vec2(-1.0, 1.0), Vec2(1.0, -1.0))
+        assert t == pytest.approx(2.0)
+        p = traj.position(t)
+        assert p.x == pytest.approx(0.0)
+        assert p.y == pytest.approx(0.0)
+
+
+class TestWaypointWalker:
+    def test_visits_waypoints_in_order(self):
+        walker = WaypointWalker(
+            [Vec2(0, 0), Vec2(3, 0), Vec2(3, 4)], speed_mps=1.0
+        )
+        assert walker.duration_s == pytest.approx(7.0)
+        assert walker.path_length_m() == pytest.approx(7.0)
+        mid = walker.position(1.5)
+        assert mid.x == pytest.approx(1.5)
+        assert mid.y == pytest.approx(0.0)
+        end = walker.position(7.0)
+        assert end.x == pytest.approx(3.0)
+        assert end.y == pytest.approx(4.0)
+
+    def test_dwell_pauses_hold_position(self):
+        walker = WaypointWalker(
+            [Vec2(0, 0), Vec2(2, 0), Vec2(2, 2)], speed_mps=1.0, pause_s=1.0
+        )
+        # Leg 1 spans [0, 2], dwell [2, 3], leg 2 spans [3, 5].
+        assert walker.duration_s == pytest.approx(5.0)
+        dwelling = walker.position(2.5)
+        assert dwelling.x == pytest.approx(2.0)
+        assert dwelling.y == pytest.approx(0.0)
+        assert walker.velocity_mps(2.5).length() == 0.0
+        assert walker.velocity_mps(3.5).y == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WaypointWalker([Vec2(0, 0)])
+        with pytest.raises(ValueError):
+            WaypointWalker([Vec2(0, 0), Vec2(1, 0)], speed_mps=0.0)
+        with pytest.raises(ValueError):
+            WaypointWalker([Vec2(0, 0), Vec2(1, 0)], pause_s=-0.1)
+
+    def test_conference_room_is_seed_deterministic(self):
+        a = WaypointWalker.conference_room(6.0, 4.0, np.random.default_rng(7))
+        b = WaypointWalker.conference_room(6.0, 4.0, np.random.default_rng(7))
+        c = WaypointWalker.conference_room(6.0, 4.0, np.random.default_rng(8))
+        assert a.waypoints == b.waypoints
+        assert a.waypoints != c.waypoints
+        assert a.speed == pytest.approx(PEDESTRIAN_SPEED_MPS)
+
+    def test_conference_room_respects_margin(self):
+        walker = WaypointWalker.conference_room(
+            6.0, 4.0, np.random.default_rng(3), num_waypoints=16, margin_m=0.5
+        )
+        for p in walker.waypoints:
+            assert 0.5 <= p.x <= 5.5
+            assert 0.5 <= p.y <= 3.5
+
+    def test_conference_room_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            WaypointWalker.conference_room(6.0, 4.0, rng, num_waypoints=1)
+        with pytest.raises(ValueError):
+            WaypointWalker.conference_room(0.8, 4.0, rng, margin_m=0.5)
+
+
+class TestVehiclePass:
+    def test_pass_duration_shrinks_with_speed(self):
+        slow = VehiclePass(50.0, approach_m=12.0)
+        fast = VehiclePass(110.0, approach_m=12.0)
+        assert slow.duration_s == pytest.approx(24.0 / kmh_to_mps(50.0))
+        assert fast.duration_s < slow.duration_s
+        # Same road segment regardless of speed.
+        assert slow.path_length_m() == pytest.approx(24.0)
+        assert fast.path_length_m() == pytest.approx(24.0)
+
+    def test_geometry(self):
+        traj = VehiclePass(70.0, lane_offset_m=4.0, approach_m=12.0)
+        start = traj.position(0.0)
+        assert start.x == pytest.approx(-12.0)
+        assert start.y == pytest.approx(4.0)
+        abeam = traj.position(traj.closest_approach_s())
+        assert abeam.x == pytest.approx(0.0, abs=1e-9)
+        assert abeam.y == pytest.approx(4.0)
+        end = traj.position(traj.duration_s)
+        assert end.x == pytest.approx(12.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VehiclePass(0.0)
+        with pytest.raises(ValueError):
+            VehiclePass(50.0, approach_m=0.0)
