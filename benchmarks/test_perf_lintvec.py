@@ -1,0 +1,86 @@
+"""Vectorization-pass (``--vec``) performance over the full source tree.
+
+Times the RL030-RL036 shape/dtype flow pass plus the worklist build on
+the repository itself and writes the numbers to
+``benchmarks/results/BENCH_lintvec.json`` so CI runs leave a
+comparable perf trail.  The emitted file doubles as a profile-format
+smoke input: its numeric leaves flatten cleanly through
+``load_profile``.
+
+The assertions are deliberately loose (budget ceilings, not speedup
+floors): the vec pass must stay cheap enough to gate every commit, but
+container scheduling jitter must not flake the suite.
+"""
+
+import json
+import pathlib
+import time
+
+from repro.lint.config import load_config
+from repro.lint.engine import iter_python_files
+from repro.lint.flow import analyze_paths
+from repro.lint.flow.shapes import WORKLIST_CODES, build_worklist, load_profile
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+RESULTS = pathlib.Path(__file__).parent / "results" / "BENCH_lintvec.json"
+
+#: Generous wall-clock budget (seconds) for a CI container.
+VEC_BUDGET_S = 60.0
+
+
+def test_perf_lint_vec_full_repo():
+    config = load_config(REPO_ROOT)
+    files = iter_python_files([SRC], config)
+    assert len(files) >= 60, "source tree unexpectedly small"
+
+    t0 = time.perf_counter()
+    findings, stats = analyze_paths([SRC], REPO_ROOT, config, passes=("vec",))
+    vec_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    worklist = build_worklist(findings)
+    worklist_s = time.perf_counter() - t0
+
+    # Determinism: a second run over the same tree must reproduce the
+    # findings and the worklist ordering exactly.
+    repeat, _ = analyze_paths([SRC], REPO_ROOT, config, passes=("vec",))
+    assert [f.sort_key() for f in findings] == [f.sort_key() for f in repeat]
+    assert [e.to_dict() for e in build_worklist(repeat)] == [
+        e.to_dict() for e in worklist
+    ]
+
+    doc = {
+        "files": len(files),
+        "vec_pass_s": round(vec_s, 4),
+        "worklist_build_s": round(worklist_s, 4),
+        "flow_modules": stats.modules,
+        "flow_functions": stats.functions,
+        "flow_call_edges": stats.call_edges,
+        "vec_findings": len(findings),
+        "vec_by_rule": {
+            code: count
+            for code, count in sorted(stats.by_rule.items())
+            if code.startswith("RL03")
+        },
+        "worklist_entries": len(worklist),
+    }
+    RESULTS.parent.mkdir(parents=True, exist_ok=True)
+    RESULTS.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+
+    # The file we just wrote must flatten as a worklist profile.
+    flat = load_profile(RESULTS)
+    assert flat["vec_findings"] == float(len(findings))
+
+    # Every worklist entry must come from a worklist-eligible rule.
+    for entry in worklist:
+        assert set(entry.codes) <= WORKLIST_CODES
+
+    print(
+        f"\nlint --vec perf ({len(files)} files): pass {vec_s:.2f} s, "
+        f"worklist {worklist_s * 1000:.1f} ms, "
+        f"{len(findings)} finding(s), {len(worklist)} worklist entr"
+        f"{'y' if len(worklist) == 1 else 'ies'}"
+    )
+
+    assert vec_s < VEC_BUDGET_S

@@ -60,7 +60,14 @@ def write_baseline(path: pathlib.Path, findings: Iterable[Finding]) -> int:
         }
         for f in sorted(findings, key=Finding.sort_key)
     ]
-    payload = {"version": BASELINE_VERSION, "entries": entries}
+    # ``by_code`` is a review aid only (loaders never read it): a diff
+    # of the baseline shows at a glance which rule's debt moved.
+    by_code = Counter(entry["code"] for entry in entries)
+    payload = {
+        "version": BASELINE_VERSION,
+        "by_code": dict(sorted(by_code.items())),
+        "entries": entries,
+    }
     path.parent.mkdir(parents=True, exist_ok=True)
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)

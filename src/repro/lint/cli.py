@@ -14,6 +14,13 @@ cache-purity pass (RL020-RL025) over the same symbol table; the flags
 combine freely.  Flow findings merge into the same output, baseline,
 and exit-code machinery as the per-file rules.
 
+``--vec`` runs the numpy shape/dtype flow and vectorization-readiness
+pass (RL030-RL036) over the same symbol table.  ``--vec --worklist``
+switches to an exclusive mode that prints the ranked vectorization
+worklist (RL030/RL033/RL034/RL035 sites grouped per function) and
+exits 0; add ``--profile <manifest|BENCH_*.json>`` to rank entries by
+measured hotness joined from obs metrics.
+
 ``--jobs N`` lints files in N pool processes (per-file rules only —
 the flow passes need the whole program in one address space); finding
 order is byte-identical for any N.
@@ -66,6 +73,15 @@ def run_lint(args: argparse.Namespace) -> int:
         )
         return 2
 
+    if args.worklist:
+        if not args.vec:
+            print("repro lint: --worklist requires --vec", file=sys.stderr)
+            return 2
+        return _run_worklist(args, root, config, paths)
+    if args.profile and not args.vec:
+        print("repro lint: --profile requires --vec", file=sys.stderr)
+        return 2
+
     findings = lint_paths(paths, root, config, jobs=max(1, args.jobs))
     flow_stats = None
     flow_passes = ()
@@ -73,6 +89,8 @@ def run_lint(args: argparse.Namespace) -> int:
         flow_passes += ("units", "rng")
     if args.par:
         flow_passes += ("par",)
+    if args.vec:
+        flow_passes += ("vec",)
     if flow_passes:
         from repro.lint.flow import analyze_paths
 
@@ -122,6 +140,80 @@ def run_lint(args: argparse.Namespace) -> int:
         if args.stats:
             _print_stats(findings, paths, config, duration_s, flow_stats)
     return 1 if findings else 0
+
+
+def _run_worklist(
+    args: argparse.Namespace,
+    root: pathlib.Path,
+    config,
+    paths: List[pathlib.Path],
+) -> int:
+    """Exclusive ``--vec --worklist`` mode: print the ranked worklist.
+
+    Runs only the vec pass (baselined findings are still *real*
+    vectorization targets — the worklist is the burn-down list, not
+    the failure gate) and always exits 0 unless the profile is
+    unreadable.
+    """
+    from repro.lint.config import LintConfig
+    from repro.lint.flow import Reporter
+    from repro.lint.flow.callgraph import build_call_graph
+    from repro.lint.flow.shapes import (
+        VecPass,
+        build_worklist,
+        load_profile,
+        render_worklist,
+    )
+    from repro.lint.flow.symbols import build_symbol_table
+
+    profile = None
+    if args.profile:
+        try:
+            profile = load_profile(pathlib.Path(args.profile))
+        except ValueError as exc:
+            print(f"repro lint: {exc}", file=sys.stderr)
+            return 2
+    files = []
+    for path in iter_python_files(list(paths), config):
+        try:
+            rel = path.resolve().relative_to(root.resolve())
+        except ValueError:
+            rel = pathlib.Path(path.name)
+        try:
+            source = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError):
+            continue
+        files.append((rel.as_posix(), source))
+    table = build_symbol_table(files)
+    graph = build_call_graph(table)
+    # Inline suppressions still apply; the committed baseline does not.
+    reporter = Reporter(config if isinstance(config, LintConfig) else LintConfig())
+    VecPass(table, graph, config, reporter).run()
+    findings = sorted(reporter.findings, key=Finding.sort_key)
+    modules_by_path = {
+        m.rel_path: m.name
+        for m in sorted(table.modules.values(), key=lambda m: m.name)
+    }
+    module_of_function = {
+        qualname: fn.module for qualname, fn in sorted(table.functions.items())
+    }
+    entries = build_worklist(
+        findings, graph, profile, modules_by_path, module_of_function
+    )
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "profile": args.profile,
+                    "worklist": [e.to_dict() for e in entries],
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        print(render_worklist(entries, args.profile))
+    return 0
 
 
 def _check_baseline(findings, baseline_path: pathlib.Path) -> int:
@@ -198,6 +290,25 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         "(RL020-025); combines with --flow",
     )
     parser.add_argument(
+        "--vec",
+        action="store_true",
+        help="also run the numpy shape/dtype flow and vectorization-"
+        "readiness pass (RL030-036); combines with --flow/--par",
+    )
+    parser.add_argument(
+        "--profile",
+        default=None,
+        metavar="PATH",
+        help="run manifest or BENCH_*.json whose metrics rank the "
+        "--worklist entries by measured hotness (requires --vec)",
+    )
+    parser.add_argument(
+        "--worklist",
+        action="store_true",
+        help="print the ranked vectorization worklist instead of "
+        "findings and exit 0 (requires --vec)",
+    )
+    parser.add_argument(
         "--jobs",
         type=int,
         default=1,
@@ -244,11 +355,12 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
 
 
 def list_rules() -> int:
-    from repro.lint.flow import FLOW_RULES, PAR_RULES
+    from repro.lint.flow import FLOW_RULES, PAR_RULES, VEC_RULES
 
     catalog = {code: (cls.name, cls.summary) for code, cls in RULES.items()}
     catalog.update(FLOW_RULES)
     catalog.update(PAR_RULES)
+    catalog.update(VEC_RULES)
     for code in sorted(catalog):
         name, summary = catalog[code]
         print(f"{code}  {name:<26} {summary}")

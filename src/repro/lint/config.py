@@ -14,6 +14,7 @@ Settings live in ``pyproject.toml`` under ``[tool.repro-lint]``::
     flow-rng-packages = ["repro.phy", "repro.mac"]   # RL013/RL015 scope
     par-packages = ["repro.campaign"]  # RL023-RL025 scope (--par)
     clock-modules = ["repro.obs.clock"]  # sanctioned clock shims
+    vec-packages = ["repro.phy"]       # RL030-RL036 scope (--vec)
 
     [tool.repro-lint.per-file-ignores]
     "src/repro/campaign/telemetry.py" = ["RL002"]
@@ -90,6 +91,11 @@ DEFAULT_FLOW_RNG_PACKAGES = (
 #: mutation) apply here.  RL020-RL022 follow cells project-wide.
 DEFAULT_PAR_PACKAGES = ("repro.campaign", "repro.experiments")
 
+#: Packages holding the numpy kernels targeted by the vectorization
+#: arc; RL030-RL036 (shape/dtype flow, loop-growth, shape contracts)
+#: apply here (``--vec``).
+DEFAULT_VEC_PACKAGES = ("repro.phy", "repro.core", "repro.experiments")
+
 
 @dataclass(frozen=True)
 class LintConfig:
@@ -107,6 +113,7 @@ class LintConfig:
     flow_rng_packages: Tuple[str, ...] = DEFAULT_FLOW_RNG_PACKAGES
     par_packages: Tuple[str, ...] = DEFAULT_PAR_PACKAGES
     clock_modules: Tuple[str, ...] = DEFAULT_CLOCK_MODULES
+    vec_packages: Tuple[str, ...] = DEFAULT_VEC_PACKAGES
 
     def is_ignored(self, rel_path: str, code: str) -> bool:
         """True if ``code`` is switched off for ``rel_path`` by config."""
@@ -194,4 +201,5 @@ def load_config(root: pathlib.Path) -> LintConfig:
         ),
         par_packages=_strings(section.get("par-packages"), DEFAULT_PAR_PACKAGES),
         clock_modules=_strings(section.get("clock-modules"), DEFAULT_CLOCK_MODULES),
+        vec_packages=_strings(section.get("vec-packages"), DEFAULT_VEC_PACKAGES),
     )

@@ -8,7 +8,9 @@ then runs interprocedural passes on top of them:
 * :mod:`repro.lint.flow.rngflow` — RNG-determinism taint tracking
   (RL013-RL015);
 * :mod:`repro.lint.flow.par` — parallelism-safety and cache-purity
-  analysis for the campaign engine (RL020-RL025, ``--par``).
+  analysis for the campaign engine (RL020-RL025, ``--par``);
+* :mod:`repro.lint.flow.shapes` — numpy shape/dtype inference and
+  vectorization-readiness lints (RL030-RL036, ``--vec``).
 
 Findings use the same :class:`repro.lint.engine.Finding` type as the
 per-file rules, honor the same inline ``# replint: disable=...``
@@ -28,6 +30,7 @@ from repro.lint.engine import _SUPPRESS_RE, Finding, iter_python_files
 from repro.lint.flow.callgraph import build_call_graph
 from repro.lint.flow.par import ParPass
 from repro.lint.flow.rngflow import RngPass
+from repro.lint.flow.shapes import VecPass
 from repro.lint.flow.symbols import ModuleInfo, SymbolTable, build_symbol_table
 from repro.lint.flow.units import UnitPass
 
@@ -88,8 +91,40 @@ PAR_RULES: Dict[str, Tuple[str, str]] = {
     ),
 }
 
+#: Rule catalog for the vectorization-readiness pass (``--vec``).
+VEC_RULES: Dict[str, Tuple[str, str]] = {
+    "RL030": (
+        "scalar-hot-loop",
+        "scalar python loop over a vectorizable domain doing float math",
+    ),
+    "RL031": (
+        "broadcast-shape-conflict",
+        "broadcast shape mismatch or silent rank promotion",
+    ),
+    "RL032": (
+        "dtype-drift",
+        "float64->float32 narrowing or complex->real truncation unannotated",
+    ),
+    "RL033": (
+        "array-growth-in-loop",
+        "np.append/concatenate or list-append-then-asarray grows arrays in a loop",
+    ),
+    "RL034": (
+        "python-float-roundtrip",
+        "float(...) coerces array elements to python scalars inside a loop",
+    ),
+    "RL035": (
+        "false-vectorization",
+        "np.vectorize or scalar-only math.* applied to arrays",
+    ),
+    "RL036": (
+        "missing-shape-contract",
+        "public array-returning API without a '# replint: shape=...' contract",
+    ),
+}
+
 #: Pass names accepted by :func:`analyze_files`, in execution order.
-PASS_NAMES = ("units", "rng", "par")
+PASS_NAMES = ("units", "rng", "par", "vec")
 
 
 @dataclass
@@ -195,6 +230,8 @@ def analyze_files(
         RngPass(table, graph, config, reporter).run()
     if "par" in passes:
         ParPass(table, graph, config, reporter).run()
+    if "vec" in passes:
+        VecPass(table, graph, config, reporter).run()
     findings = sorted(reporter.findings, key=Finding.sort_key)
     stats = FlowStats(
         files=len(files),
@@ -234,6 +271,7 @@ def analyze_paths(
 __all__ = [
     "FLOW_RULES",
     "PAR_RULES",
+    "VEC_RULES",
     "PASS_NAMES",
     "FlowStats",
     "Reporter",

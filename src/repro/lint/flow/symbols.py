@@ -33,6 +33,16 @@ from repro.lint.engine import ImportMap, module_name_for
 #: ``# replint: unit=dB`` / ``unit=linear`` annotation on a source line.
 UNIT_ANNOTATION_RE = re.compile(r"#\s*replint:\s*unit=([A-Za-z\-]+)")
 
+#: ``# replint: shape=(n,)`` / ``shape=scalar`` / ``shape=input``
+#: annotation — the shape contract consumed by the --vec pass (RL036)
+#: and the runtime shape checker in :mod:`repro.sanitize`.  May share
+#: a comment with ``unit=``: ``# replint: unit=dBi shape=(points,)``.
+SHAPE_ANNOTATION_RE = re.compile(r"#\s*replint:[^\n]*?\bshape=([^\s#]+)")
+
+#: ``# replint: dtype=float32`` — blesses a deliberate dtype narrowing
+#: or complex→real truncation on the annotated line (RL032).
+DTYPE_ANNOTATION_RE = re.compile(r"#\s*replint:[^\n]*?\bdtype=([A-Za-z0-9_]+)")
+
 
 @dataclass
 class ParamInfo:
@@ -57,6 +67,9 @@ class FunctionInfo:
     #: Declared return unit from a ``# replint: unit=...`` def-line
     #: annotation ("" when absent).
     unit_annotation: str = ""
+    #: Declared return-shape contract from a ``# replint: shape=...``
+    #: def-line annotation ("" when absent).
+    shape_annotation: str = ""
     #: Source text of the ``->`` return annotation ("" when absent).
     return_annotation: str = ""
 
@@ -111,6 +124,10 @@ class ModuleInfo:
     classes: Dict[str, ClassInfo] = field(default_factory=dict)
     #: line number -> declared unit from ``# replint: unit=...``.
     unit_annotations: Dict[int, str] = field(default_factory=dict)
+    #: line number -> declared shape from ``# replint: shape=...``.
+    shape_annotations: Dict[int, str] = field(default_factory=dict)
+    #: line number -> blessed dtype from ``# replint: dtype=...``.
+    dtype_annotations: Dict[int, str] = field(default_factory=dict)
     lines: List[str] = field(default_factory=list)
 
 
@@ -154,10 +171,10 @@ def _params_of(node: ast.AST) -> List[ParamInfo]:
     return out
 
 
-def _scan_unit_annotations(lines: List[str]) -> Dict[int, str]:
+def _scan_annotations(lines: List[str], pattern: "re.Pattern") -> Dict[int, str]:
     out: Dict[int, str] = {}
     for lineno, text in enumerate(lines, start=1):
-        match = UNIT_ANNOTATION_RE.search(text)
+        match = pattern.search(text)
         if match:
             out[lineno] = match.group(1)
     return out
@@ -188,7 +205,9 @@ class SymbolTable:
             source=source,
             tree=tree,
             imports=ImportMap.scan(tree),
-            unit_annotations=_scan_unit_annotations(lines),
+            unit_annotations=_scan_annotations(lines, UNIT_ANNOTATION_RE),
+            shape_annotations=_scan_annotations(lines, SHAPE_ANNOTATION_RE),
+            dtype_annotations=_scan_annotations(lines, DTYPE_ANNOTATION_RE),
             lines=lines,
         )
         for node in tree.body:
@@ -231,6 +250,15 @@ class SymbolTable:
                 returns = ast.unparse(node.returns)
             except (ValueError, AttributeError):  # pragma: no cover
                 returns = _dotted(node.returns)
+        # A multi-line signature may carry the annotation on any line
+        # between ``def`` and the first body statement (typically the
+        # closing ``) -> np.ndarray:`` line).
+        shape_annotation = ""
+        body_start = node.body[0].lineno if node.body else node.lineno + 1
+        for lineno in range(node.lineno, body_start):
+            if lineno in module.shape_annotations:
+                shape_annotation = module.shape_annotations[lineno]
+                break
         return FunctionInfo(
             qualname=f"{prefix}{node.name}",
             module=module.name,
@@ -240,6 +268,7 @@ class SymbolTable:
             class_name=class_name,
             decorators=decorators,
             unit_annotation=module.unit_annotations.get(node.lineno, ""),
+            shape_annotation=shape_annotation,
             return_annotation=returns,
         )
 

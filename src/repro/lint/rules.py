@@ -7,6 +7,11 @@ time, hand-rolled dB math drifting from the shared helpers, log/linear
 unit mixing, float equality in link-budget code, frozen-spec mutation,
 nondeterministic iteration feeding content-addressed hashes, and
 swallowed simulator errors.
+
+These per-file rules compose with the whole-program passes in
+:mod:`repro.lint.flow`: unit inference (RL010-RL012), RNG taint
+(RL013-RL015), parallelism safety (RL020-RL025), and the numpy
+shape/dtype vectorization-readiness pass (RL030-RL036, ``--vec``).
 """
 
 from __future__ import annotations

@@ -30,7 +30,9 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.analysis.dbmath import db_to_linear, db_to_linear_scalar, linear_to_db
+from repro.sanitize import shape_contract
 
 #: Speed of light in vacuum, m/s.
 SPEED_OF_LIGHT = 299_792_458.0
@@ -64,28 +66,48 @@ class AntennaPattern:
         order = np.argsort(azimuths_rad)
         self._az = azimuths_rad[order]
         self._gain = gains_dbi[order]
+        # np.interp needs the query inside the grid span; extend the
+        # grid by one wrapped point on each side for periodicity.
+        # Precomputed here: rebuilding it per gain_dbi call was the
+        # vec pass's first confirmed RL033 catch.
+        two_pi = 2.0 * math.pi
+        self._az_ext = np.concatenate((
+            [self._az[-1] - two_pi], self._az, [self._az[0] + two_pi],
+        ))
+        self._gain_ext = np.concatenate(
+            ([self._gain[-1]], self._gain, [self._gain[0]])
+        )
 
     @property
-    def azimuths(self) -> np.ndarray:
+    def azimuths(self) -> np.ndarray:  # replint: shape=(grid,)
         """Grid angles in radians (sorted ascending)."""
         return self._az.copy()
 
     @property
-    def gains_dbi(self) -> np.ndarray:
+    def gains_dbi(self) -> np.ndarray:  # replint: unit=dBi shape=(grid,)
         """Gain at each grid angle, in dBi."""
         return self._gain.copy()
 
-    def gain_dbi(self, azimuth_rad: float) -> float:
-        """Gain toward a direction, via periodic linear interpolation."""
+    def gain_dbi(self, azimuth_rad):  # replint: unit=dBi shape=input
+        """Gain toward one direction or an array of directions, in dBi.
+
+        Periodic linear interpolation on the stored grid.  A python
+        scalar in gives a python float out (bit-identical to the
+        historical scalar-only implementation); an ndarray in gives an
+        ndarray of the same shape out, interpolated in one vectorized
+        ``np.interp`` call.
+        """
+        if obs.STATE.metrics:
+            obs.add("phy.antenna.gain_queries")
         two_pi = 2.0 * math.pi
-        az = math.remainder(azimuth_rad, two_pi)
-        # np.interp needs the query inside the grid span; extend the
-        # grid by one wrapped point on each side for periodicity.
-        az_ext = np.concatenate((
-            [self._az[-1] - two_pi], self._az, [self._az[0] + two_pi],
-        ))
-        gain_ext = np.concatenate(([self._gain[-1]], self._gain, [self._gain[0]]))
-        return float(np.interp(az, az_ext, gain_ext))
+        if np.ndim(azimuth_rad) == 0:
+            az = math.remainder(float(azimuth_rad), two_pi)
+            return float(np.interp(az, self._az_ext, self._gain_ext))
+        az = np.asarray(azimuth_rad, dtype=float)
+        # Wrap into [-pi, pi] with round-half-to-even, matching
+        # math.remainder's tie behavior on the scalar path.
+        wrapped = az - np.round(az / two_pi) * two_pi
+        return np.interp(wrapped, self._az_ext, self._gain_ext)
 
     def peak(self) -> Tuple[float, float]:
         """Return ``(azimuth_rad, gain_dbi)`` of the strongest direction."""
@@ -96,7 +118,8 @@ class AntennaPattern:
         """Maximum gain over all directions."""
         return float(np.max(self._gain))
 
-    def normalized_db(self) -> np.ndarray:
+    @shape_contract("(grid,)")
+    def normalized_db(self) -> np.ndarray:  # replint: unit=dB shape=(grid,)
         """Pattern relative to its own peak (0 dB at the main lobe)."""
         return self._gain - self.peak_gain_dbi()
 
@@ -220,7 +243,7 @@ class PhaseShifterModel:
 
     bits: Optional[int] = 2
 
-    def quantize(self, phases_rad: np.ndarray) -> np.ndarray:
+    def quantize(self, phases_rad: np.ndarray) -> np.ndarray:  # replint: shape=input
         """Snap ideal phases to the nearest realizable setting."""
         if self.bits is None:
             return phases_rad
@@ -372,10 +395,12 @@ class PhasedArray:
         return self._lambda
 
     @property
-    def element_positions(self) -> np.ndarray:
+    @shape_contract("(elements,2)")
+    def element_positions(self) -> np.ndarray:  # replint: shape=(elements,2)
         return self._positions.copy()
 
-    def steering_phases(self, azimuth_rad: float) -> np.ndarray:
+    @shape_contract("(elements,)")
+    def steering_phases(self, azimuth_rad: float) -> np.ndarray:  # replint: shape=(elements,)
         """Ideal per-element phases that focus the beam at ``azimuth_rad``."""
         k = 2.0 * math.pi / self._lambda
         x = self._positions[:, 0]
@@ -395,6 +420,8 @@ class PhasedArray:
         normalized so that a perfectly coherent array of N ideal
         elements would have peak gain ``element_gain + 10*log10(N)``.
         """
+        if obs.STATE.metrics:
+            obs.add("phy.antenna.pattern_syntheses")
         phases = np.asarray(phases_rad, dtype=float)
         if phases.shape != (self.num_elements,):
             raise ValueError(

@@ -25,6 +25,10 @@ Checks performed while enabled:
   where linear power is expected trips this.
 * **unseeded RNG** — ``numpy.random.default_rng()`` called with no
   seed, which makes the run irreproducible.
+* **shape contract** — a function decorated with
+  :func:`shape_contract` returned an array whose rank or concrete
+  dimensions disagree with its declared ``# replint: shape=...``
+  contract (the dynamic counterpart of lint rule RL036).
 
 Each violation records the offending value and a call stack.  In
 ``"warn"`` mode violations are collected (and surfaced as
@@ -353,6 +357,132 @@ def write_report(path: str) -> None:
         pass
 
 
+def _parse_contract(spec: str) -> Tuple[str, Optional[Tuple[Optional[int], ...]]]:
+    """Parse a ``shape_contract`` spec into ``(kind, dims)``.
+
+    Accepts the same grammar as the static ``# replint: shape=``
+    annotation: ``scalar``, ``any``/``input`` (no runtime check —
+    the output shape depends on the input), or a dim tuple like
+    ``(n,)`` / ``(points,2)`` where integer dims are checked exactly
+    and symbolic names check rank plus same-name size consistency.
+    """
+    text = spec.strip().strip("'\"")
+    if text == "scalar":
+        return "scalar", None
+    if text in ("any", "input", "match-input", "like-input"):
+        return "any", None
+    if text.startswith("(") and text.endswith(")"):
+        inner = text[1:-1].strip().rstrip(",")
+        dims: List[Optional[int]] = []
+        names: List[Optional[str]] = []
+        for part in inner.split(",") if inner else []:
+            part = part.strip()
+            if part.lstrip("-").isdigit():
+                dims.append(int(part))
+                names.append(None)
+            else:
+                dims.append(None)
+                names.append(part if part not in ("*", "_", "") else None)
+        return "array", tuple(dims) if not any(names) else _NamedDims(
+            tuple(dims), tuple(names)
+        )
+    raise ValueError(f"unparseable shape contract: {spec!r}")
+
+
+class _NamedDims(tuple):
+    """Dim tuple carrying symbolic names for same-name consistency checks."""
+
+    def __new__(cls, dims, names):
+        self = super().__new__(cls, dims)
+        self.names = names
+        return self
+
+
+def _check_shape_result(qualname: str, spec: str, parsed, result: object) -> None:
+    kind, dims = parsed
+    if kind == "any":
+        return
+    ndim = np.ndim(result)
+    if kind == "scalar":
+        if ndim != 0:
+            _record(
+                "shape-contract",
+                qualname,
+                result,
+                f"{qualname} declares shape=scalar but returned a "
+                f"rank-{ndim} array",
+            )
+        return
+    if ndim != len(dims):
+        _record(
+            "shape-contract",
+            qualname,
+            result,
+            f"{qualname} declares shape={spec} (rank {len(dims)}) but "
+            f"returned rank {ndim}",
+        )
+        return
+    shape = np.shape(result)
+    for axis, want in enumerate(dims):
+        if want is not None and shape[axis] != want:
+            _record(
+                "shape-contract",
+                qualname,
+                result,
+                f"{qualname} declares shape={spec} but axis {axis} has "
+                f"size {shape[axis]} (expected {want})",
+            )
+            return
+    names = getattr(dims, "names", None)
+    if names:
+        sizes: Dict[str, int] = {}
+        for axis, name in enumerate(names):
+            if name is None:
+                continue
+            prev = sizes.setdefault(name, shape[axis])
+            if prev != shape[axis]:
+                _record(
+                    "shape-contract",
+                    qualname,
+                    result,
+                    f"{qualname} declares shape={spec} but dims named "
+                    f"{name!r} disagree ({prev} vs {shape[axis]})",
+                )
+                return
+
+
+def shape_contract(spec: str) -> Callable:
+    """Decorate a function to validate its return against ``spec``.
+
+    The dynamic counterpart of lint rule RL036 (missing-shape-contract):
+    the static pass proves the contract *exists*; this decorator checks
+    it *holds* on real data.  ``spec`` uses the ``# replint: shape=``
+    grammar (``"(n,)"``, ``"(points,2)"``, ``"scalar"``, ``"input"``).
+
+    Zero overhead when the sanitizer is disabled beyond one attribute
+    check per call; the spec is parsed lazily on the first checked call
+    so a bad spec on a never-sanitized function cannot break imports.
+    Violations are recorded as ``shape-contract``.
+    """
+    parsed_box: List[object] = []
+
+    def decorate(func: Callable) -> Callable:
+        @functools.wraps(func)
+        def wrapper(*args, **kwargs):
+            result = func(*args, **kwargs)
+            if not _STATE.enabled:
+                return result
+            if not parsed_box:
+                parsed_box.append(_parse_contract(spec))
+            _check_shape_result(func.__qualname__, spec, parsed_box[0], result)
+            return result
+
+        wrapper.__repro_shape_contract__ = spec
+        return wrapper
+
+    return decorate
+
+
 @dataclass
 class ReadRecord:
     """One out-of-spec input read observed during a purity audit."""
@@ -518,6 +648,7 @@ __all__ = [
     "enable_from_env",
     "is_enabled",
     "report",
+    "shape_contract",
     "violations",
     "write_report",
 ]

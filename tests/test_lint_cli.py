@@ -472,12 +472,30 @@ class TestSelfLint:
         out = capsys.readouterr().out
         assert rc == 0, f"repro lint --par found new violations:\n{out}"
 
+    def test_src_tree_clean_under_vec(self, capsys):
+        rc = main(
+            [
+                "lint",
+                "--vec",
+                "--baseline",
+                "--root",
+                str(REPO_ROOT),
+                str(REPO_ROOT / "src"),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0, f"repro lint --vec found new violations:\n{out}"
+
     def test_committed_baseline_not_stale(self, capsys):
+        # The baseline is shared across passes, so staleness must be
+        # checked with every pass enabled — a missing pass would make
+        # its entries look dead.
         rc = main(
             [
                 "lint",
                 "--flow",
                 "--par",
+                "--vec",
                 "--check-baseline",
                 "--root",
                 str(REPO_ROOT),
@@ -487,8 +505,16 @@ class TestSelfLint:
         out = capsys.readouterr().out
         assert rc == 0, f"stale baseline entries:\n{out}"
 
-    def test_committed_baseline_is_empty(self):
-        # All real findings were fixed in-tree rather than grandfathered;
-        # keep it that way.
+    def test_committed_baseline_holds_only_vec_worklist_debt(self):
+        # Per-file and flow/par findings were all fixed in-tree and
+        # must stay fixed.  The vec pass's RL030-RL036 findings are
+        # grandfathered on purpose: they are the vectorization
+        # worklist (`--vec --worklist`), burned down change by change.
         baseline = json.loads((REPO_ROOT / "lint-baseline.json").read_text())
-        assert baseline["entries"] == []
+        codes = {entry["code"] for entry in baseline["entries"]}
+        assert codes <= {f"RL03{i}" for i in range(7)}, codes
+        # The by_code summary is a review aid; keep it in sync.
+        by_code = {}
+        for entry in baseline["entries"]:
+            by_code[entry["code"]] = by_code.get(entry["code"], 0) + 1
+        assert baseline["by_code"] == by_code

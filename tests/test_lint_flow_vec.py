@@ -1,0 +1,471 @@
+"""Vectorization-readiness pass (RL030-RL036) and the shape lattice."""
+
+import json
+
+import pytest
+
+from repro.lint.config import LintConfig
+from repro.lint.flow import VEC_RULES, PASS_NAMES, Reporter, analyze_files
+from repro.lint.flow.callgraph import build_call_graph
+from repro.lint.flow.shapes import (
+    VecPass,
+    WorklistEntry,
+    array,
+    broadcast,
+    build_worklist,
+    canon_dtype,
+    join,
+    join_dtype,
+    load_profile,
+    narrows,
+    parse_shape_annotation,
+    render_worklist,
+    scalar,
+)
+from repro.lint.flow.symbols import build_symbol_table
+
+VEC = ("vec",)
+
+
+def codes(findings):
+    return [f.code for f in findings]
+
+
+def analyze(*files, config=None):
+    findings, _ = analyze_files(list(files), config or LintConfig(), passes=VEC)
+    return findings
+
+
+def phy(src):
+    """Wrap a snippet as an in-scope module (vec_packages covers repro.phy)."""
+    return ("src/repro/phy/toy.py", src)
+
+
+def return_shape(src, fn="f"):
+    """Run the pass over one module and return ``f``'s inferred summary."""
+    table = build_symbol_table([phy(src)])
+    graph = build_call_graph(table)
+    config = LintConfig()
+    vec = VecPass(table, graph, config, Reporter(config))
+    vec.run()
+    return vec.summaries.returns.get(f"repro.phy.toy.{fn}")
+
+
+class TestRuleCatalog:
+    def test_catalog_covers_rl030_to_rl036(self):
+        assert sorted(VEC_RULES) == [f"RL03{i}" for i in range(7)]
+
+    def test_vec_is_a_registered_pass(self):
+        assert "vec" in PASS_NAMES
+
+
+class TestDtypeLattice:
+    def test_canonicalization(self):
+        assert canon_dtype("np.float32") == "float32"
+        assert canon_dtype("numpy.complex128") == "complex128"
+        assert canon_dtype("float") == "float64"
+        assert canon_dtype("made_up") is None
+
+    def test_join_promotes_upward(self):
+        assert join_dtype("float32", "float64") == "float64"
+        assert join_dtype("float64", "complex128") == "complex128"
+        assert join_dtype("bool", "int") == "int"
+        assert join_dtype("float64", None) is None
+
+    def test_narrows_is_strictly_downward(self):
+        assert narrows("float64", "float32")
+        assert narrows("complex128", "float64")
+        assert not narrows("float32", "float64")
+        assert not narrows("float64", "float64")
+        assert not narrows(None, "float32")
+
+
+class TestShapeJoinAndBroadcast:
+    def test_join_keeps_agreeing_dims_and_decays_conflicts(self):
+        a = array((3, "n"), "float64")
+        b = array((3, "n"), "float64")
+        assert join(a, b) == a
+        c = array((4, "n"), "float64")
+        assert join(a, c) == array((None, "n"), "float64")
+
+    def test_join_of_mixed_kinds_is_unknown(self):
+        assert join(scalar("float64"), array((3,), "float64")) is None
+
+    def test_broadcast_scalar_adopts_array_shape(self):
+        result, problem = broadcast(scalar("float64"), array((5,), "float32"))
+        assert problem is None
+        assert result == array((5,), "float64")
+
+    def test_broadcast_concrete_mismatch(self):
+        _, problem = broadcast(array((3,)), array((4,)))
+        assert problem == "mismatch"
+
+    def test_broadcast_size_one_expands(self):
+        result, problem = broadcast(array((3, 1)), array((3, 7)))
+        assert problem is None
+        assert result.dims == (3, 7)
+
+    def test_broadcast_rank_promotion_flagged(self):
+        result, problem = broadcast(array((3, 4)), array((4,)))
+        assert problem == "promotion"
+        assert result.dims == (3, 4)
+
+    def test_symbolic_dims_survive_broadcast(self):
+        result, problem = broadcast(array(("n",)), array(("n",)))
+        assert problem is None
+        assert result.dims == ("n",)
+
+    def test_render(self):
+        assert scalar("float64").render() == "scalar[float64]"
+        assert array((3,), "float32").render() == "array[(3,)][float32]"
+        assert array(None).render() == "array[(?)]"
+
+
+class TestAnnotationGrammar:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("scalar", scalar()),
+            ("any", array(None)),
+            ("(points,)", array(("points",))),
+            ("(n,2)", array(("n", 2))),
+            ("(*,3)", array((None, 3))),
+        ],
+    )
+    def test_recognized_spellings(self, text, expected):
+        value, recognized = parse_shape_annotation(text)
+        assert recognized
+        assert value == expected
+
+    def test_input_contract_is_presence_only(self):
+        value, recognized = parse_shape_annotation("input")
+        assert recognized and value is None
+
+    def test_garbage_is_not_recognized(self):
+        value, recognized = parse_shape_annotation("(3+4)")
+        assert not recognized and value is None
+
+
+class TestShapeFlow:
+    def test_reshape_produces_concrete_dims(self):
+        src = (
+            "import numpy as np\n\n"
+            "def f():  # replint: shape=any\n"
+            "    a = np.zeros((3, 4))\n"
+            "    return a.reshape(12)\n"
+        )
+        assert return_shape(src) == array((12,), "float64")
+
+    def test_ravel_keeps_rank_one_but_forgets_size(self):
+        src = (
+            "import numpy as np\n\n"
+            "def f():  # replint: shape=any\n"
+            "    a = np.zeros((3, 4))\n"
+            "    return a.ravel()\n"
+        )
+        assert return_shape(src) == array((None,), "float64")
+
+    def test_newaxis_inserts_a_unit_dim(self):
+        src = (
+            "import numpy as np\n\n"
+            "def f():  # replint: shape=any\n"
+            "    a = np.zeros(3)\n"
+            "    return a[:, np.newaxis]\n"
+        )
+        assert return_shape(src) == array((3, 1), "float64")
+
+    def test_where_joins_branch_dtypes_upward(self):
+        src = (
+            "import numpy as np\n\n"
+            "def f():  # replint: shape=any\n"
+            "    a = np.zeros(5, dtype=np.float32)\n"
+            "    b = np.ones(5)\n"
+            "    return np.where(a > 0, a, b)\n"
+        )
+        assert return_shape(src) == array((5,), "float64")
+
+    def test_concatenate_forgets_the_joined_axis(self):
+        src = (
+            "import numpy as np\n\n"
+            "def f():  # replint: shape=any\n"
+            "    a = np.zeros(3, dtype=np.float32)\n"
+            "    b = np.zeros(4)\n"
+            "    return np.concatenate((a, b))\n"
+        )
+        assert return_shape(src) == array((None,), "float64")
+
+    def test_loop_carried_shape_reaches_fixpoint(self):
+        src = (
+            "import numpy as np\n\n"
+            "def f():  # replint: shape=any\n"
+            "    acc = np.zeros((3, 4))\n"
+            "    for _ in range(3):\n"
+            "        acc = acc + np.ones((3, 4))\n"
+            "    return acc\n"
+        )
+        assert return_shape(src) == array((3, 4), "float64")
+
+
+class TestRL030ScalarHotLoop:
+    SRC = (
+        "import numpy as np\n\n"
+        "def _hot(xs):\n"
+        "    out = 0.0\n"
+        "    for x in np.arange(0.0, 1.0, 0.1):\n"
+        "        out += x * x + 2.0 * x\n"
+        "    return out\n"
+    )
+
+    def test_arange_loop_flagged(self):
+        findings = analyze(phy(self.SRC))
+        assert codes(findings) == ["RL030"]
+        assert "vectoriz" in findings[0].message
+
+    def test_inline_suppression(self):
+        src = self.SRC.replace(
+            "0.1):", "0.1):  # replint: disable=RL030"
+        )
+        assert analyze(phy(src)) == []
+
+    def test_out_of_scope_package_is_quiet(self):
+        assert analyze(("src/repro/mac/toy.py", self.SRC)) == []
+
+
+class TestRL031Broadcast:
+    def test_concrete_mismatch_flagged(self):
+        src = (
+            "import numpy as np\n\n"
+            "def _mix():  # replint: shape=any\n"
+            "    a = np.zeros(3)\n"
+            "    b = np.zeros(4)\n"
+            "    return a + b\n"
+        )
+        assert codes(analyze(phy(src))) == ["RL031"]
+
+    def test_rank_promotion_flagged(self):
+        src = (
+            "import numpy as np\n\n"
+            "def _mix():  # replint: shape=any\n"
+            "    a = np.zeros((3, 4))\n"
+            "    b = np.zeros(4)\n"
+            "    return a * b\n"
+        )
+        assert codes(analyze(phy(src))) == ["RL031"]
+
+    def test_newaxis_flows_into_mismatch(self):
+        src = (
+            "import numpy as np\n\n"
+            "def _mix():  # replint: shape=any\n"
+            "    a = np.zeros(3)\n"
+            "    b = a[:, np.newaxis]\n"
+            "    return b + np.zeros((4, 2))\n"
+        )
+        assert codes(analyze(phy(src))) == ["RL031"]
+
+    def test_array_into_scalar_annotated_param(self):
+        src = (
+            "import numpy as np\n\n"
+            "def _gain(az: float):  # replint: shape=scalar\n"
+            "    return az * 2.0\n\n"
+            "def _caller():\n"
+            "    a = np.zeros(8)\n"
+            "    return _gain(a)\n"
+        )
+        findings = analyze(phy(src))
+        assert codes(findings) == ["RL031"]
+        assert findings[0].line == 8
+
+
+class TestRL032DtypeDrift:
+    SRC = (
+        "import numpy as np\n\n"
+        "def _narrow(a):  # replint: shape=any\n"
+        "    b = np.asarray(a, dtype=float)\n"
+        "    return b.astype(np.float32)\n"
+    )
+
+    def test_unannotated_narrowing_flagged(self):
+        assert codes(analyze(phy(self.SRC))) == ["RL032"]
+
+    def test_dtype_annotation_blesses_the_cast(self):
+        src = self.SRC.replace(
+            "astype(np.float32)", "astype(np.float32)  # replint: dtype=float32"
+        )
+        assert analyze(phy(src)) == []
+
+
+class TestRL033ArrayGrowth:
+    def test_append_in_loop_flagged(self):
+        src = (
+            "import numpy as np\n\n"
+            "def _grow(xs):  # replint: shape=any\n"
+            "    out = np.zeros(0)\n"
+            "    for x in xs:\n"
+            "        out = np.append(out, x)\n"
+            "    return out\n"
+        )
+        assert codes(analyze(phy(src))) == ["RL033"]
+
+    def test_precomputed_concatenate_is_clean(self):
+        src = (
+            "import numpy as np\n\n"
+            "def _ext(a):  # replint: shape=any\n"
+            "    return np.concatenate(([a[-1]], a, [a[0]]))\n"
+        )
+        assert analyze(phy(src)) == []
+
+
+class TestRL034FloatRoundtrip:
+    def test_float_of_element_in_loop_flagged(self):
+        src = (
+            "import numpy as np\n\n"
+            "def _roundtrip(xs):\n"
+            "    a = np.asarray(xs, dtype=float)\n"
+            "    out = []\n"
+            "    for i in range(3):\n"
+            "        out.append(float(a[i]) * 2.0)\n"
+            "    return out\n"
+        )
+        assert "RL034" in codes(analyze(phy(src)))
+
+    def test_boundary_conversion_outside_loop_is_clean(self):
+        src = (
+            "import numpy as np\n\n"
+            "def _once(xs):\n"
+            "    a = np.asarray(xs, dtype=float)\n"
+            "    return float(a.sum())\n"
+        )
+        assert analyze(phy(src)) == []
+
+
+class TestRL035FalseVectorization:
+    def test_np_vectorize_flagged(self):
+        src = (
+            "import numpy as np\n\n"
+            "def _vec(a):  # replint: shape=any\n"
+            "    g = np.vectorize(lambda x: x * 2.0)\n"
+            "    return g(a)\n"
+        )
+        assert codes(analyze(phy(src))) == ["RL035"]
+
+
+class TestRL036ShapeContract:
+    def test_public_array_api_without_contract_flagged(self):
+        src = (
+            "import numpy as np\n\n"
+            "def grid(points: int) -> np.ndarray:\n"
+            "    return np.zeros(points)\n"
+        )
+        assert codes(analyze(phy(src))) == ["RL036"]
+
+    def test_shape_annotation_satisfies_the_contract(self):
+        src = (
+            "import numpy as np\n\n"
+            "def grid(points: int) -> np.ndarray:"
+            "  # replint: shape=(points,)\n"
+            "    return np.zeros(points)\n"
+        )
+        assert analyze(phy(src)) == []
+
+    def test_annotation_on_multiline_signature(self):
+        src = (
+            "import numpy as np\n\n"
+            "def grid(\n"
+            "    points: int,\n"
+            ") -> np.ndarray:  # replint: shape=(points,)\n"
+            "    return np.zeros(points)\n"
+        )
+        assert analyze(phy(src)) == []
+
+    def test_tuple_returns_are_exempt(self):
+        src = (
+            "import numpy as np\n"
+            "from typing import Tuple\n\n"
+            "def pair(n: int) -> Tuple[np.ndarray, np.ndarray]:\n"
+            "    return np.zeros(n), np.ones(n)\n"
+        )
+        assert analyze(phy(src)) == []
+
+    def test_private_helpers_are_exempt(self):
+        src = (
+            "import numpy as np\n\n"
+            "def _grid(points: int) -> np.ndarray:\n"
+            "    return np.zeros(points)\n"
+        )
+        assert analyze(phy(src)) == []
+
+
+class TestWorklist:
+    SRC = (
+        "import numpy as np\n\n"
+        "def sweep(xs):\n"
+        "    out = np.zeros(0)\n"
+        "    a = np.asarray(xs, dtype=float)\n"
+        "    for x in np.arange(0.0, 1.0, 0.1):\n"
+        "        out = np.append(out, float(a[0]) + x * x + 2.0 * x)\n"
+        "    return out  # replint: disable=RL036\n"
+    )
+
+    def _findings(self):
+        return analyze(
+            phy(self.SRC),
+            ("src/repro/mac/quiet.py", "X = 1\n"),
+        )
+
+    def test_entries_group_per_function(self):
+        entries = build_worklist(self._findings())
+        assert len(entries) == 1
+        entry = entries[0]
+        assert entry.context == "repro.phy.toy.sweep"
+        assert set(entry.codes) <= {"RL030", "RL033", "RL034", "RL035"}
+        assert entry.line == 6
+
+    def test_profile_hotness_and_share(self):
+        profile = {"counters.phy.toy.calls": 80.0, "counters.mac.other": 20.0}
+        entries = build_worklist(self._findings(), profile=profile)
+        assert entries[0].hotness == 80.0
+        assert entries[0].share == 1.0
+
+    def test_ordering_is_deterministic(self):
+        findings = self._findings()
+        profile = {"counters.phy.toy.calls": 3.0}
+        first = [e.to_dict() for e in build_worklist(findings, profile=profile)]
+        second = [e.to_dict() for e in build_worklist(findings, profile=profile)]
+        assert first == second
+
+    def test_hotter_entries_sort_first(self):
+        cold = WorklistEntry(path="a.py", line=1, context="a", hotness=1.0)
+        hot = WorklistEntry(path="b.py", line=1, context="b", hotness=9.0)
+        ordered = sorted(
+            [cold, hot], key=lambda e: (-e.hotness, e.path, e.line, e.context)
+        )
+        assert ordered[0] is hot
+
+    def test_render_mentions_profile_and_codes(self):
+        entries = build_worklist(self._findings())
+        text = render_worklist(entries, "BENCH_x.json")
+        assert "profile: BENCH_x.json" in text
+        assert "repro.phy.toy.sweep" in text
+
+
+class TestLoadProfile:
+    def test_flattens_numeric_leaves(self, tmp_path):
+        path = tmp_path / "BENCH_toy.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "metrics": {"counters": {"phy.toy.calls": 3, "ok": True}},
+                    "samples": [{"t": 1.5}, {"t": 2.5}],
+                }
+            )
+        )
+        flat = load_profile(path)
+        assert flat["metrics.counters.phy.toy.calls"] == 3.0
+        assert flat["samples.t"] == 4.0  # list entries share the prefix
+        assert "metrics.counters.ok" not in flat  # bools are skipped
+
+    def test_unreadable_profile_raises(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(ValueError):
+            load_profile(path)

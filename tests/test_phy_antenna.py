@@ -238,3 +238,75 @@ class TestHorn:
     def test_invalid_hpbw(self):
         with pytest.raises(ValueError):
             HornAntenna(10.0, hpbw_deg=0.0)
+
+
+def _reference_scalar_gain(pattern: AntennaPattern, azimuth_rad: float) -> float:
+    """The historical scalar-only gain_dbi, rebuilt per call.
+
+    The wrapped-grid extension used to be concatenated on every query;
+    the vectorization pass (RL033) motivated hoisting it into
+    ``__init__``.  This reference pins the byte-identical contract.
+    """
+    two_pi = 2.0 * math.pi
+    az_grid = pattern.azimuths
+    gains = pattern.gains_dbi
+    az = math.remainder(float(azimuth_rad), two_pi)
+    az_ext = np.concatenate(([az_grid[-1] - two_pi], az_grid, [az_grid[0] + two_pi]))
+    gain_ext = np.concatenate(([gains[-1]], gains, [gains[0]]))
+    return float(np.interp(az, az_ext, gain_ext))
+
+
+class TestGainDbiArrayInput:
+    def _pattern(self) -> AntennaPattern:
+        return UniformLinearArray(8, FREQ).steered_pattern(0.35)
+
+    def test_scalar_in_scalar_out(self):
+        p = self._pattern()
+        out = p.gain_dbi(0.2)
+        assert isinstance(out, float)
+
+    def test_array_in_array_out_same_shape(self):
+        p = self._pattern()
+        az = np.linspace(-4.0, 4.0, 101)
+        out = p.gain_dbi(az)
+        assert isinstance(out, np.ndarray)
+        assert out.shape == az.shape
+
+    def test_two_dimensional_input_preserves_shape(self):
+        p = self._pattern()
+        az = np.linspace(-3.0, 3.0, 24).reshape(4, 6)
+        assert p.gain_dbi(az).shape == (4, 6)
+
+    def test_scalar_path_is_byte_identical_to_reference(self):
+        p = self._pattern()
+        rng = np.random.default_rng(1234)
+        queries = np.concatenate(
+            [
+                rng.uniform(-math.pi, math.pi, 500),
+                rng.uniform(-8 * math.pi, 8 * math.pi, 500),
+                [0.0, math.pi, -math.pi, 2 * math.pi, -2 * math.pi],
+            ]
+        )
+        for az in queries:
+            assert p.gain_dbi(float(az)) == _reference_scalar_gain(p, float(az))
+
+    def test_array_path_matches_scalar_path_exactly(self):
+        p = self._pattern()
+        rng = np.random.default_rng(99)
+        az = rng.uniform(-6 * math.pi, 6 * math.pi, 400)
+        vec = p.gain_dbi(az)
+        per_element = np.array([p.gain_dbi(float(a)) for a in az])
+        assert np.array_equal(vec, per_element)
+
+    def test_array_path_is_periodic(self):
+        p = self._pattern()
+        az = np.linspace(-math.pi, math.pi, 50, endpoint=False)
+        np.testing.assert_allclose(
+            p.gain_dbi(az + 4 * math.pi), p.gain_dbi(az), atol=1e-9
+        )
+
+    def test_empty_array_round_trips(self):
+        p = self._pattern()
+        out = p.gain_dbi(np.zeros(0))
+        assert isinstance(out, np.ndarray)
+        assert out.shape == (0,)
