@@ -163,7 +163,7 @@ def run_break_and_recover(
 
     # Initial traffic phase.
     start_traffic()
-    sim.schedule(outage_start_s - 1e-6, lambda: state.__setitem__(
+    sim.schedule(max(0.0, outage_start_s - 1e-6), lambda: state.__setitem__(
         "tput_before", state["flow"].throughput_bps()))
 
     def outage_on() -> None:

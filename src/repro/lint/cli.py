@@ -15,11 +15,12 @@ combine freely.  Flow findings merge into the same output, baseline,
 and exit-code machinery as the per-file rules.
 
 ``--vec`` runs the numpy shape/dtype flow and vectorization-readiness
-pass (RL030-RL036) over the same symbol table.  ``--vec --worklist``
-switches to an exclusive mode that prints the ranked vectorization
-worklist (RL030/RL033/RL034/RL035 sites grouped per function) and
-exits 0; add ``--profile <manifest|BENCH_*.json>`` to rank entries by
-measured hotness joined from obs metrics.
+pass (RL030-RL036) over the same symbol table.  ``--des`` runs the
+discrete-event sim-time soundness pass (RL040-RL046).  ``--worklist``
+(with ``--vec``, ``--des``, or both) switches to an exclusive mode
+that prints the ranked burn-down worklist (finding sites grouped per
+function) and exits 0; add ``--profile <manifest|BENCH_*.json>`` to
+rank entries by measured hotness joined from obs metrics.
 
 ``--jobs N`` lints files in N pool processes (per-file rules only —
 the flow passes need the whole program in one address space); finding
@@ -74,12 +75,18 @@ def run_lint(args: argparse.Namespace) -> int:
         return 2
 
     if args.worklist:
-        if not args.vec:
-            print("repro lint: --worklist requires --vec", file=sys.stderr)
+        if not (args.vec or args.des):
+            print(
+                "repro lint: --worklist requires --vec and/or --des",
+                file=sys.stderr,
+            )
             return 2
         return _run_worklist(args, root, config, paths)
-    if args.profile and not args.vec:
-        print("repro lint: --profile requires --vec", file=sys.stderr)
+    if args.profile and not (args.vec or args.des):
+        print(
+            "repro lint: --profile requires --vec and/or --des",
+            file=sys.stderr,
+        )
         return 2
 
     findings = lint_paths(paths, root, config, jobs=max(1, args.jobs))
@@ -91,6 +98,8 @@ def run_lint(args: argparse.Namespace) -> int:
         flow_passes += ("par",)
     if args.vec:
         flow_passes += ("vec",)
+    if args.des:
+        flow_passes += ("des",)
     if flow_passes:
         from repro.lint.flow import analyze_paths
 
@@ -148,17 +157,19 @@ def _run_worklist(
     config,
     paths: List[pathlib.Path],
 ) -> int:
-    """Exclusive ``--vec --worklist`` mode: print the ranked worklist.
+    """Exclusive ``--worklist`` mode: print the ranked worklist.
 
-    Runs only the vec pass (baselined findings are still *real*
-    vectorization targets — the worklist is the burn-down list, not
-    the failure gate) and always exits 0 unless the profile is
-    unreadable.
+    Runs only the selected pass(es) — vec, des, or both (baselined
+    findings are still *real* targets — the worklist is the burn-down
+    list, not the failure gate) and always exits 0 unless the profile
+    is unreadable.
     """
     from repro.lint.config import LintConfig
     from repro.lint.flow import Reporter
     from repro.lint.flow.callgraph import build_call_graph
+    from repro.lint.flow.destime import DES_WORKLIST_CODES, DesPass
     from repro.lint.flow.shapes import (
+        WORKLIST_CODES,
         VecPass,
         build_worklist,
         load_profile,
@@ -188,7 +199,13 @@ def _run_worklist(
     graph = build_call_graph(table)
     # Inline suppressions still apply; the committed baseline does not.
     reporter = Reporter(config if isinstance(config, LintConfig) else LintConfig())
-    VecPass(table, graph, config, reporter).run()
+    codes = frozenset()
+    if args.vec:
+        VecPass(table, graph, config, reporter).run()
+        codes |= WORKLIST_CODES
+    if args.des:
+        DesPass(table, graph, config, reporter).run()
+        codes |= DES_WORKLIST_CODES
     findings = sorted(reporter.findings, key=Finding.sort_key)
     modules_by_path = {
         m.rel_path: m.name
@@ -198,7 +215,7 @@ def _run_worklist(
         qualname: fn.module for qualname, fn in sorted(table.functions.items())
     }
     entries = build_worklist(
-        findings, graph, profile, modules_by_path, module_of_function
+        findings, graph, profile, modules_by_path, module_of_function, codes=codes
     )
     if args.json:
         print(
@@ -212,7 +229,12 @@ def _run_worklist(
             )
         )
     else:
-        print(render_worklist(entries, args.profile))
+        titles = []
+        if args.vec:
+            titles.append("vectorization")
+        if args.des:
+            titles.append("DES-time")
+        print(render_worklist(entries, args.profile, title="/".join(titles)))
     return 0
 
 
@@ -296,17 +318,23 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         "readiness pass (RL030-036); combines with --flow/--par",
     )
     parser.add_argument(
+        "--des",
+        action="store_true",
+        help="also run the discrete-event sim-time soundness pass "
+        "(RL040-046); combines with --flow/--par/--vec",
+    )
+    parser.add_argument(
         "--profile",
         default=None,
         metavar="PATH",
         help="run manifest or BENCH_*.json whose metrics rank the "
-        "--worklist entries by measured hotness (requires --vec)",
+        "--worklist entries by measured hotness (requires --vec/--des)",
     )
     parser.add_argument(
         "--worklist",
         action="store_true",
-        help="print the ranked vectorization worklist instead of "
-        "findings and exit 0 (requires --vec)",
+        help="print the ranked burn-down worklist instead of findings "
+        "and exit 0 (requires --vec and/or --des)",
     )
     parser.add_argument(
         "--jobs",
@@ -355,12 +383,13 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
 
 
 def list_rules() -> int:
-    from repro.lint.flow import FLOW_RULES, PAR_RULES, VEC_RULES
+    from repro.lint.flow import DES_RULES, FLOW_RULES, PAR_RULES, VEC_RULES
 
     catalog = {code: (cls.name, cls.summary) for code, cls in RULES.items()}
     catalog.update(FLOW_RULES)
     catalog.update(PAR_RULES)
     catalog.update(VEC_RULES)
+    catalog.update(DES_RULES)
     for code in sorted(catalog):
         name, summary = catalog[code]
         print(f"{code}  {name:<26} {summary}")

@@ -15,6 +15,7 @@ Settings live in ``pyproject.toml`` under ``[tool.repro-lint]``::
     par-packages = ["repro.campaign"]  # RL023-RL025 scope (--par)
     clock-modules = ["repro.obs.clock"]  # sanctioned clock shims
     vec-packages = ["repro.phy"]       # RL030-RL036 scope (--vec)
+    des-packages = ["repro.mac"]       # RL040-RL046 scope (--des)
 
     [tool.repro-lint.per-file-ignores]
     "src/repro/campaign/telemetry.py" = ["RL002"]
@@ -96,6 +97,11 @@ DEFAULT_PAR_PACKAGES = ("repro.campaign", "repro.experiments")
 #: apply here (``--vec``).
 DEFAULT_VEC_PACKAGES = ("repro.phy", "repro.core", "repro.experiments")
 
+#: Packages that schedule simulator events and define event handlers;
+#: RL040-RL046 (delay soundness, timestamp drift, stale-now capture,
+#: handler purity, cache-invalidation typestate) apply here (``--des``).
+DEFAULT_DES_PACKAGES = ("repro.mac", "repro.mobility", "repro.experiments")
+
 
 @dataclass(frozen=True)
 class LintConfig:
@@ -114,6 +120,7 @@ class LintConfig:
     par_packages: Tuple[str, ...] = DEFAULT_PAR_PACKAGES
     clock_modules: Tuple[str, ...] = DEFAULT_CLOCK_MODULES
     vec_packages: Tuple[str, ...] = DEFAULT_VEC_PACKAGES
+    des_packages: Tuple[str, ...] = DEFAULT_DES_PACKAGES
 
     def is_ignored(self, rel_path: str, code: str) -> bool:
         """True if ``code`` is switched off for ``rel_path`` by config."""
@@ -202,4 +209,5 @@ def load_config(root: pathlib.Path) -> LintConfig:
         par_packages=_strings(section.get("par-packages"), DEFAULT_PAR_PACKAGES),
         clock_modules=_strings(section.get("clock-modules"), DEFAULT_CLOCK_MODULES),
         vec_packages=_strings(section.get("vec-packages"), DEFAULT_VEC_PACKAGES),
+        des_packages=_strings(section.get("des-packages"), DEFAULT_DES_PACKAGES),
     )

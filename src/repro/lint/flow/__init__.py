@@ -10,7 +10,9 @@ then runs interprocedural passes on top of them:
 * :mod:`repro.lint.flow.par` — parallelism-safety and cache-purity
   analysis for the campaign engine (RL020-RL025, ``--par``);
 * :mod:`repro.lint.flow.shapes` — numpy shape/dtype inference and
-  vectorization-readiness lints (RL030-RL036, ``--vec``).
+  vectorization-readiness lints (RL030-RL036, ``--vec``);
+* :mod:`repro.lint.flow.destime` — discrete-event sim-time and
+  event-handler soundness (RL040-RL046, ``--des``).
 
 Findings use the same :class:`repro.lint.engine.Finding` type as the
 per-file rules, honor the same inline ``# replint: disable=...``
@@ -28,6 +30,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 from repro.lint.config import LintConfig
 from repro.lint.engine import _SUPPRESS_RE, Finding, iter_python_files
 from repro.lint.flow.callgraph import build_call_graph
+from repro.lint.flow.destime import DesPass
 from repro.lint.flow.par import ParPass
 from repro.lint.flow.rngflow import RngPass
 from repro.lint.flow.shapes import VecPass
@@ -123,8 +126,40 @@ VEC_RULES: Dict[str, Tuple[str, str]] = {
     ),
 }
 
+#: Rule catalog for the DES-time soundness pass (``--des``).
+DES_RULES: Dict[str, Tuple[str, str]] = {
+    "RL040": (
+        "schedule-delay-unsound",
+        "schedule()/schedule_at() delay may be negative, NaN, or non-finite",
+    ),
+    "RL041": (
+        "sim-time-accumulation-drift",
+        "float sim-time accumulated in a loop (t += dt) instead of t0 + k*dt",
+    ),
+    "RL042": (
+        "stale-now-capture",
+        "sim.now captured into a variable read inside a later-scheduled callback",
+    ),
+    "RL043": (
+        "impure-event-handler",
+        "wall-clock/global-RNG/env read reachable from event-handler context",
+    ),
+    "RL044": (
+        "missing-cache-invalidation",
+        "pose/beam write not followed by coupling-cache invalidation before SNR eval",
+    ),
+    "RL045": (
+        "zero-delay-self-reschedule",
+        "handler reschedules itself at delay 0 (same-timestamp event storm)",
+    ),
+    "RL046": (
+        "sim-time-float-equality",
+        "float ==/!= on sim-time values or event tuple without counter tiebreak",
+    ),
+}
+
 #: Pass names accepted by :func:`analyze_files`, in execution order.
-PASS_NAMES = ("units", "rng", "par", "vec")
+PASS_NAMES = ("units", "rng", "par", "vec", "des")
 
 
 @dataclass
@@ -232,6 +267,8 @@ def analyze_files(
         ParPass(table, graph, config, reporter).run()
     if "vec" in passes:
         VecPass(table, graph, config, reporter).run()
+    if "des" in passes:
+        DesPass(table, graph, config, reporter).run()
     findings = sorted(reporter.findings, key=Finding.sort_key)
     stats = FlowStats(
         files=len(files),
@@ -269,6 +306,7 @@ def analyze_paths(
 
 
 __all__ = [
+    "DES_RULES",
     "FLOW_RULES",
     "PAR_RULES",
     "VEC_RULES",

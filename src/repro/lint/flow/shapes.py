@@ -1653,8 +1653,13 @@ def build_worklist(
     profile: Optional[Dict[str, float]] = None,
     modules_by_path: Optional[Dict[str, str]] = None,
     module_of_function: Optional[Dict[str, str]] = None,
+    codes: Optional[frozenset] = None,
 ) -> List[WorklistEntry]:
-    """Rank RL030/RL033/RL034/RL035 findings into a vectorization worklist.
+    """Rank eligible findings into a burn-down worklist.
+
+    ``codes`` selects the eligible rule codes — the vectorization set
+    (RL030/RL033/RL034/RL035) by default; the ``--des`` CLI path
+    passes the DES-time set (or the union, for ``--vec --des``).
 
     Hotness of an entry is the profile mass (summed numeric metrics)
     of its own module plus every module reachable from the enclosing
@@ -1664,9 +1669,10 @@ def build_worklist(
     the same list.
     """
     profile = profile or {}
+    eligible = WORKLIST_CODES if codes is None else codes
     grouped: Dict[Tuple[str, str], WorklistEntry] = {}
     for finding in findings:
-        if finding.code not in WORKLIST_CODES:
+        if finding.code not in eligible:
             continue
         key = (finding.path, finding.context)
         entry = grouped.get(key)
@@ -1709,11 +1715,13 @@ def _module_of_path(rel_path: str, modules_by_path: Optional[Dict[str, str]]) ->
 
 
 def render_worklist(
-    entries: List[WorklistEntry], profile_path: Optional[str] = None
+    entries: List[WorklistEntry],
+    profile_path: Optional[str] = None,
+    title: str = "vectorization",
 ) -> str:
-    """Human-readable worklist table for ``--vec --worklist``."""
+    """Human-readable worklist table for ``--vec``/``--des --worklist``."""
     header = (
-        f"vectorization worklist ({len(entries)} entr"
+        f"{title} worklist ({len(entries)} entr"
         f"{'y' if len(entries) == 1 else 'ies'}, "
         f"profile: {profile_path or 'none'})"
     )

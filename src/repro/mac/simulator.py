@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import math
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Protocol, Tuple
 
@@ -37,6 +38,12 @@ from repro.phy.mcs import frame_error_probability, mcs_by_index
 #: honor its NAV (control-PHY sensitivity: MCS-0 threshold over the
 #: noise floor of the default budget, ~-83 dBm).
 NAV_DECODE_THRESHOLD_DBM = -82.0
+
+#: Optional runtime sim-time auditor (a ``repro.sanitize.SimTimeAudit``)
+#: installed by :func:`repro.sanitize.enable` and removed by
+#: :func:`repro.sanitize.disable`.  ``None`` when the sanitizer is off,
+#: so the hot path pays a single global read per event and nothing else.
+_AUDIT = None
 
 
 class Station:
@@ -177,13 +184,33 @@ class Simulator:
         return self._now
 
     def schedule(self, delay_s: float, callback: Callable[[], None]) -> None:
-        """Run ``callback`` after ``delay_s`` seconds of simulated time."""
+        """Run ``callback`` after ``delay_s`` seconds of simulated time.
+
+        Rejects NaN/inf delays outright: ``delay_s < 0`` is False for
+        NaN, so a NaN timestamp would otherwise enter the heap and
+        poison the ordering of every later event.
+        """
+        if _AUDIT is not None:
+            _AUDIT.on_schedule(self, delay_s)
+        if not math.isfinite(delay_s):
+            raise ValueError(
+                f"cannot schedule with a non-finite delay ({delay_s!r})"
+            )
         if delay_s < 0:
-            raise ValueError("cannot schedule into the past")
+            raise ValueError(f"cannot schedule into the past (delay {delay_s:g} s)")
         heapq.heappush(self._queue, (self._now + delay_s, next(self._counter), callback))
 
     def schedule_at(self, time_s: float, callback: Callable[[], None]) -> None:
         """Run ``callback`` at an absolute simulation time."""
+        if not math.isfinite(time_s):
+            raise ValueError(
+                f"cannot schedule at a non-finite time ({time_s!r})"
+            )
+        if time_s < self._now:
+            raise ValueError(
+                f"cannot schedule into the past: requested t={time_s:g} s "
+                f"but simulation time is already t={self._now:g} s"
+            )
         self.schedule(time_s - self._now, callback)
 
     def run_until(self, end_s: float) -> None:
@@ -192,6 +219,8 @@ class Simulator:
         with obs.span("mac.simulator.run", end_s=end_s):
             while self._queue and self._queue[0][0] <= end_s:
                 time, _, callback = heapq.heappop(self._queue)
+                if _AUDIT is not None:
+                    _AUDIT.on_event(self, time)
                 self._now = time
                 self.events_processed += 1
                 callback()

@@ -29,6 +29,12 @@ Checks performed while enabled:
   :func:`shape_contract` returned an array whose rank or concrete
   dimensions disagree with its declared ``# replint: shape=...``
   contract (the dynamic counterpart of lint rule RL036).
+* **sim-time audit** — the DES event loop violated a sim-time
+  invariant (the dynamic counterpart of the ``--des`` lint pass
+  RL040-RL046): a non-finite or into-the-past delay reached
+  ``Simulator.schedule``, ``_now`` moved backwards, or more than
+  ``REPRO_SANITIZE_STORM_CAP`` events fired at one timestamp (a
+  zero-delay event storm).  See :class:`SimTimeAudit`.
 
 Each violation records the offending value and a call stack.  In
 ``"warn"`` mode violations are collected (and surfaced as
@@ -75,6 +81,13 @@ NEGATIVE_LINEAR_TOLERANCE = -1e-6
 
 #: Hard cap on stored violations so a hot loop cannot eat memory.
 MAX_RECORDED = 200
+
+#: Default per-timestamp event budget for the sim-time event-storm
+#: watchdog; override with ``REPRO_SANITIZE_STORM_CAP``.  Legitimate
+#: same-timestamp bursts (frame completions waking CSMA waiters) are a
+#: handful of events; a zero-delay self-rescheduling handler crosses
+#: any finite cap immediately.
+DEFAULT_EVENT_STORM_CAP = 1000
 
 
 class SanitizerError(RuntimeError):
@@ -308,6 +321,15 @@ def enable(mode: str = "warn") -> None:
         )
     wrappers[np.random.default_rng] = _wrap_default_rng(np.random.default_rng)
     _install(wrappers)
+    # Install the DES sim-time auditor as a module-level hook rather
+    # than a wrapper: the event loop is the hottest path in the tree,
+    # and a single ``_AUDIT is None`` check is all it costs when off.
+    from repro.mac import simulator as _simulator_mod
+
+    _STATE.patches.append((_simulator_mod, "_AUDIT", _simulator_mod._AUDIT))
+    _simulator_mod._AUDIT = SimTimeAudit(
+        max_events_per_timestamp=_storm_cap_from_env()
+    )
     _STATE.enabled = True
     _STATE.mode = mode
     report_path = os.environ.get("REPRO_SANITIZE_REPORT")
@@ -483,6 +505,113 @@ def shape_contract(spec: str) -> Callable:
     return decorate
 
 
+class SimTimeAudit:
+    """Runtime sim-time invariants for the DES loop (dynamic RL040-046).
+
+    Installed by :func:`enable` as ``repro.mac.simulator._AUDIT`` and
+    called from the two spots that move simulated time: every
+    ``Simulator.schedule`` and every event pop in ``run_until``.  With
+    the sanitizer off the hook is ``None`` and the loop pays one global
+    read per event — nothing is wrapped or subclassed.
+
+    Checks:
+
+    * **sim-schedule-nonfinite** — a NaN/inf delay reached
+      ``schedule()``.  The simulator raises on these too; the audit
+      records the offending call *with its stack* first, which the
+      bare ``ValueError`` cannot show in warn-mode post-mortems.
+    * **sim-schedule-past** — a negative delay (scheduling into the
+      past) reached ``schedule()``.
+    * **sim-time-regression** — ``_now`` moved backwards between
+      processed events; the heap invariant was violated (e.g. a
+      mutated queue or a NaN that slipped in before the guards).
+    * **sim-event-storm** — more than ``max_events_per_timestamp``
+      events fired at one timestamp: the signature of a zero-delay
+      self-rescheduling handler (static rule RL045).  Recorded once
+      per offending timestamp, exactly when the count crosses the cap
+      — deterministic for a deterministic event stream.
+
+    State is tracked per live ``Simulator`` (keyed by ``id``); in
+    ``raise`` mode the first violation raises :class:`SanitizerError`
+    inside the event loop, stopping the storm instead of spinning.
+    """
+
+    def __init__(self, max_events_per_timestamp: int = DEFAULT_EVENT_STORM_CAP):
+        self.max_events_per_timestamp = max(1, int(max_events_per_timestamp))
+        self._last_time: Dict[int, float] = {}
+        self._at_time: Dict[int, int] = {}
+
+    def on_schedule(self, sim: object, delay_s: object) -> None:
+        """Audit one ``Simulator.schedule(delay_s, ...)`` call."""
+        try:
+            delay = float(delay_s)  # type: ignore[arg-type]
+        except (TypeError, ValueError):
+            return  # the simulator's own type error is clearer
+        if delay != delay or delay in (float("inf"), float("-inf")):
+            _record(
+                "sim-schedule-nonfinite",
+                "Simulator.schedule",
+                delay_s,
+                f"schedule() called with a non-finite delay ({delay!r}) — "
+                "a NaN/inf timestamp would poison heap ordering for every "
+                "later event",
+            )
+        elif delay < 0:
+            _record(
+                "sim-schedule-past",
+                "Simulator.schedule",
+                delay_s,
+                f"schedule() called with a negative delay ({delay:g} s) — "
+                "scheduling into the past; clamp with max(0.0, ...) or fix "
+                "the timing arithmetic",
+            )
+
+    def on_event(self, sim: object, time_s: float) -> None:
+        """Audit one event pop at ``time_s`` in ``run_until``."""
+        key = id(sim)
+        last = self._last_time.get(key)
+        if last is None or time_s > last:
+            self._last_time[key] = time_s
+            self._at_time[key] = 1
+            return
+        if time_s < last:
+            self._last_time[key] = time_s
+            self._at_time[key] = 1
+            _record(
+                "sim-time-regression",
+                "Simulator.run_until",
+                time_s,
+                f"simulation time moved backwards ({last:g} s -> "
+                f"{time_s:g} s) — the event heap ordering invariant is "
+                "broken",
+            )
+            return
+        count = self._at_time.get(key, 0) + 1
+        self._at_time[key] = count
+        if count == self.max_events_per_timestamp:
+            _record(
+                "sim-event-storm",
+                "Simulator.run_until",
+                time_s,
+                f"{count} events processed at t={time_s:g} s without time "
+                "advancing — a zero-delay (self-)rescheduling handler is "
+                "storming the queue (cap via REPRO_SANITIZE_STORM_CAP)",
+            )
+
+    def forget(self, sim: object) -> None:
+        """Drop per-simulator state (for long-lived processes)."""
+        self._last_time.pop(id(sim), None)
+        self._at_time.pop(id(sim), None)
+
+
+def _storm_cap_from_env() -> int:
+    raw = os.environ.get("REPRO_SANITIZE_STORM_CAP", "")
+    try:
+        return int(raw) if raw.strip() else DEFAULT_EVENT_STORM_CAP
+    except ValueError:
+        return DEFAULT_EVENT_STORM_CAP
+
+
 @dataclass
 class ReadRecord:
     """One out-of-spec input read observed during a purity audit."""
@@ -637,10 +766,12 @@ def enable_from_env() -> bool:
 
 __all__ = [
     "DB_RANGE",
+    "DEFAULT_EVENT_STORM_CAP",
     "PurityAudit",
     "ReadRecord",
     "SanitizerError",
     "SanitizerWarning",
+    "SimTimeAudit",
     "Violation",
     "clear_violations",
     "disable",

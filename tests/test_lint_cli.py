@@ -486,6 +486,20 @@ class TestSelfLint:
         out = capsys.readouterr().out
         assert rc == 0, f"repro lint --vec found new violations:\n{out}"
 
+    def test_src_tree_clean_under_des(self, capsys):
+        rc = main(
+            [
+                "lint",
+                "--des",
+                "--baseline",
+                "--root",
+                str(REPO_ROOT),
+                str(REPO_ROOT / "src"),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0, f"repro lint --des found new violations:\n{out}"
+
     def test_committed_baseline_not_stale(self, capsys):
         # The baseline is shared across passes, so staleness must be
         # checked with every pass enabled — a missing pass would make
@@ -496,6 +510,7 @@ class TestSelfLint:
                 "--flow",
                 "--par",
                 "--vec",
+                "--des",
                 "--check-baseline",
                 "--root",
                 str(REPO_ROOT),
@@ -504,6 +519,52 @@ class TestSelfLint:
         )
         out = capsys.readouterr().out
         assert rc == 0, f"stale baseline entries:\n{out}"
+
+    def test_des_worklist_deterministic_across_runs(self, capsys):
+        args = [
+            "lint",
+            "--des",
+            "--worklist",
+            "--json",
+            "--root",
+            str(REPO_ROOT),
+            str(REPO_ROOT / "src"),
+        ]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        json.loads(first)  # machine-readable
+
+    def test_worklist_requires_vec_or_des(self, capsys):
+        rc = main(
+            [
+                "lint",
+                "--worklist",
+                "--root",
+                str(REPO_ROOT),
+                str(REPO_ROOT / "src"),
+            ]
+        )
+        assert rc == 2
+        assert "--worklist requires" in capsys.readouterr().err
+
+    def test_combined_vec_des_worklist_merges_codes(self, capsys):
+        rc = main(
+            [
+                "lint",
+                "--vec",
+                "--des",
+                "--worklist",
+                "--root",
+                str(REPO_ROOT),
+                str(REPO_ROOT / "src"),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert out.startswith("vectorization/DES-time worklist")
 
     def test_committed_baseline_holds_only_vec_worklist_debt(self):
         # Per-file and flow/par findings were all fixed in-tree and

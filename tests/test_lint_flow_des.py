@@ -1,0 +1,417 @@
+"""DES-time soundness pass (RL040-RL046)."""
+
+import textwrap
+
+from repro.lint.config import LintConfig
+from repro.lint.flow import DES_RULES, PASS_NAMES, analyze_files
+
+DES = ("des",)
+
+
+def codes(findings):
+    return [f.code for f in findings]
+
+
+def analyze(*files, config=None):
+    findings, _ = analyze_files(list(files), config or LintConfig(), passes=DES)
+    return findings
+
+
+def mac(src):
+    """Wrap a snippet as an in-scope module (des_packages covers repro.mac)."""
+    return ("src/repro/mac/toy.py", textwrap.dedent(src))
+
+
+class TestRuleCatalog:
+    def test_catalog_covers_rl040_to_rl046(self):
+        assert sorted(DES_RULES) == [f"RL04{i}" for i in range(7)]
+
+    def test_des_is_a_registered_pass(self):
+        assert "des" in PASS_NAMES
+
+    def test_out_of_scope_module_is_skipped(self):
+        findings = analyze(
+            (
+                "src/repro/analysis/toy.py",
+                "def f(sim):\n    sim.schedule(-1.0, f)\n",
+            )
+        )
+        assert findings == []
+
+
+class TestRL040DelaySoundness:
+    def test_negative_constant_delay(self):
+        findings = analyze(mac("""
+            def f(sim, cb):
+                sim.schedule(-1.0, cb)
+        """))
+        assert codes(findings) == ["RL040"]
+
+    def test_nan_and_inf_literals(self):
+        findings = analyze(mac("""
+            import math
+            def f(sim, cb):
+                sim.schedule(float("nan"), cb)
+                sim.schedule(math.inf, cb)
+        """))
+        assert codes(findings) == ["RL040", "RL040"]
+
+    def test_unguarded_subtraction_flagged(self):
+        findings = analyze(mac("""
+            def f(sim, cb, deadline_s):
+                sim.schedule(deadline_s - 1e-6, cb)
+        """))
+        assert codes(findings) == ["RL040"]
+        assert "subtraction" in findings[0].message
+
+    def test_max_clamp_discharges_subtraction(self):
+        findings = analyze(mac("""
+            def f(sim, cb, deadline_s):
+                sim.schedule(max(0.0, deadline_s - 1e-6), cb)
+        """))
+        assert findings == []
+
+    def test_positive_guard_discharges_local(self):
+        findings = analyze(mac("""
+            def f(sim, cb, a, b):
+                delay = a - b
+                if delay > 0:
+                    sim.schedule(delay, cb)
+        """))
+        assert findings == []
+
+    def test_risk_propagates_through_local_assignment(self):
+        findings = analyze(mac("""
+            def f(sim, cb, a, b):
+                delay = a - b
+                sim.schedule(delay, cb)
+        """))
+        assert codes(findings) == ["RL040"]
+
+    def test_reassignment_clears_earlier_risk(self):
+        findings = analyze(mac("""
+            def f(sim, cb, a, b):
+                delay = a - b
+                delay = abs(a - b)
+                sim.schedule(delay, cb)
+        """))
+        assert findings == []
+
+    def test_sifs_timeout_chain_is_clean(self):
+        findings = analyze(mac("""
+            def f(sim, cb, sifs_s, ack_frame_s):
+                sim.schedule(sifs_s + ack_frame_s + sifs_s, cb)
+        """))
+        assert findings == []
+
+    def test_schedule_at_unary_minus(self):
+        findings = analyze(mac("""
+            def f(sim, cb, t):
+                sim.schedule_at(-t, cb)
+        """))
+        assert codes(findings) == ["RL040"]
+
+    def test_subtracting_a_negative_constant_is_safe(self):
+        findings = analyze(mac("""
+            def f(sim, cb, t):
+                sim.schedule(t - -1.0, cb)
+        """))
+        assert findings == []
+
+
+class TestRL041AccumulationDrift:
+    def test_aug_assign_accumulator_in_loop(self):
+        findings = analyze(mac("""
+            def f(sim, cb, dt):
+                t = 0.0
+                for _ in range(10):
+                    t += dt
+                    sim.schedule_at(t, cb)
+        """))
+        assert "RL041" in codes(findings)
+
+    def test_closed_form_is_clean(self):
+        findings = analyze(mac("""
+            def f(sim, cb, t0, dt):
+                for k in range(10):
+                    sim.schedule_at(t0 + k * dt, cb)
+        """))
+        assert findings == []
+
+    def test_accumulation_outside_loop_is_clean(self):
+        findings = analyze(mac("""
+            def f(sim, cb, dt):
+                t = 0.0
+                t += dt
+                sim.schedule_at(t, cb)
+        """))
+        assert "RL041" not in codes(findings)
+
+    def test_unrelated_accumulator_is_clean(self):
+        findings = analyze(mac("""
+            def f(sim, cb, dt):
+                total = 0.0
+                for k in range(10):
+                    total += dt
+                    sim.schedule_at(k * dt, cb)
+        """))
+        assert findings == []
+
+
+class TestRL042StaleNowCapture:
+    def test_captured_now_read_in_lambda(self):
+        findings = analyze(mac("""
+            def f(sim, flow):
+                start = sim.now
+                sim.schedule(5.0, lambda: flow.stamp(start))
+        """))
+        assert codes(findings) == ["RL042"]
+
+    def test_captured_now_read_in_nested_def(self):
+        findings = analyze(mac("""
+            def f(sim, flow):
+                start = sim.now
+                def fire():
+                    flow.stamp(start)
+                sim.schedule(5.0, fire)
+        """))
+        assert codes(findings) == ["RL042"]
+
+    def test_zero_delay_capture_is_current(self):
+        findings = analyze(mac("""
+            def f(sim, flow):
+                start = sim.now
+                sim.schedule(0.0, lambda: flow.stamp(start))
+        """))
+        assert findings == []
+
+    def test_epoch_pattern_rereading_now_is_clean(self):
+        findings = analyze(mac("""
+            def f(sim, flow, duration):
+                start = sim.now
+                def tick():
+                    if sim.now - start < duration:
+                        sim.schedule(1.0, tick)
+                sim.schedule(1.0, tick)
+        """))
+        assert findings == []
+
+
+class TestRL043HandlerPurity:
+    def test_wall_clock_in_method_handler(self):
+        findings = analyze(mac("""
+            import time
+            class Node:
+                def __init__(self, sim):
+                    self.sim = sim
+                def start(self):
+                    self.sim.schedule(1.0, self._fire)
+                def _fire(self):
+                    self.t = time.time()
+        """))
+        assert codes(findings) == ["RL043"]
+        assert "time.time" in findings[0].message
+
+    def test_global_rng_through_call_chain(self):
+        findings = analyze(mac("""
+            import random
+            def jitter():
+                return random.random()
+            def handler():
+                return jitter()
+            def f(sim):
+                sim.schedule(1.0, handler)
+        """))
+        assert codes(findings) == ["RL043"]
+        assert "RNG" in findings[0].message
+
+    def test_env_read_in_lambda(self):
+        findings = analyze(mac("""
+            import os
+            def f(sim, flow):
+                sim.schedule(1.0, lambda: flow.mark(os.getenv("MODE")))
+        """))
+        assert codes(findings) == ["RL043"]
+
+    def test_pure_handler_is_clean(self):
+        findings = analyze(mac("""
+            class Node:
+                def __init__(self, sim):
+                    self.sim = sim
+                def start(self):
+                    self.sim.schedule(1.0, self._fire)
+                def _fire(self):
+                    self.t = self.sim.now
+        """))
+        assert findings == []
+
+    def test_clock_module_exempt(self):
+        clock = (
+            "src/repro/obs/clock.py",
+            "import time\ndef now_s():\n    return time.time()\n",
+        )
+        handler = mac("""
+            from repro.obs.clock import now_s
+            def handler():
+                return now_s()
+            def f(sim):
+                sim.schedule(1.0, handler)
+        """)
+        assert analyze(clock, handler) == []
+
+    def test_unscheduled_impure_function_is_not_flagged(self):
+        findings = analyze(mac("""
+            import time
+            def telemetry():
+                return time.time()
+        """))
+        assert findings == []
+
+
+class TestRL044CacheInvalidation:
+    def test_move_then_snr_without_invalidation(self):
+        findings = analyze(mac("""
+            def f(device, coupling, pos):
+                device.position = pos
+                return coupling.snr_db(device.name)
+        """))
+        assert codes(findings) == ["RL044"]
+
+    def test_invalidation_discharges_obligation(self):
+        findings = analyze(mac("""
+            def f(device, coupling, pos):
+                device.position = pos
+                coupling.invalidate(device.name)
+                return coupling.snr_db(device.name)
+        """))
+        assert findings == []
+
+    def test_beam_pattern_write_counts(self):
+        findings = analyze(mac("""
+            def f(device, coupling, pattern):
+                device.data_pattern = pattern
+                return coupling.coupling_db(device.name, "ap")
+        """))
+        assert codes(findings) == ["RL044"]
+
+    def test_init_is_exempt(self):
+        findings = analyze(mac("""
+            class Node:
+                def __init__(self, coupling, pos):
+                    self.position = pos
+                    self.snr = coupling.snr_db("n")
+        """))
+        assert findings == []
+
+
+class TestRL045ZeroDelaySelfReschedule:
+    def test_zero_delay_self_reschedule_method(self):
+        findings = analyze(mac("""
+            class Node:
+                def __init__(self, sim):
+                    self.sim = sim
+                def _poll(self):
+                    self.sim.schedule(0.0, self._poll)
+        """))
+        assert codes(findings) == ["RL045"]
+
+    def test_zero_delay_self_reschedule_function(self):
+        findings = analyze(mac("""
+            def poll(sim):
+                sim.schedule(0, poll)
+        """))
+        assert codes(findings) == ["RL045"]
+
+    def test_positive_delay_self_reschedule_is_clean(self):
+        findings = analyze(mac("""
+            class Node:
+                def __init__(self, sim):
+                    self.sim = sim
+                def _poll(self):
+                    self.sim.schedule(1e-3, self._poll)
+        """))
+        assert findings == []
+
+    def test_zero_delay_other_callback_is_clean(self):
+        findings = analyze(mac("""
+            class Node:
+                def __init__(self, sim):
+                    self.sim = sim
+                def _poll(self):
+                    self.sim.schedule(0.0, self._drain)
+                def _drain(self):
+                    pass
+        """))
+        assert findings == []
+
+    def test_schedule_at_now_self_reschedule(self):
+        findings = analyze(mac("""
+            class Node:
+                def __init__(self, sim):
+                    self.sim = sim
+                def _poll(self):
+                    self.sim.schedule_at(self.sim.now, self._poll)
+        """))
+        assert codes(findings) == ["RL045"]
+
+
+class TestRL046TimeEqualityAndTiebreak:
+    def test_float_equality_on_now(self):
+        findings = analyze(mac("""
+            def f(sim, deadline):
+                if sim.now == deadline:
+                    return True
+        """))
+        assert codes(findings) == ["RL046"]
+
+    def test_equality_on_captured_now_local(self):
+        findings = analyze(mac("""
+            def f(sim, deadline):
+                t = sim.now
+                return t != deadline
+        """))
+        assert codes(findings) == ["RL046"]
+
+    def test_ordering_comparison_is_clean(self):
+        findings = analyze(mac("""
+            def f(sim, deadline):
+                return sim.now >= deadline
+        """))
+        assert findings == []
+
+    def test_heappush_without_counter_tiebreak(self):
+        findings = analyze(mac("""
+            import heapq
+            def f(queue, t, cb):
+                heapq.heappush(queue, (t, cb))
+        """))
+        assert codes(findings) == ["RL046"]
+
+    def test_heappush_with_counter_is_clean(self):
+        findings = analyze(mac("""
+            import heapq
+            def f(queue, t, counter, cb):
+                heapq.heappush(queue, (t, next(counter), cb))
+        """))
+        assert findings == []
+
+
+class TestDeterminism:
+    def test_findings_are_stable_across_runs(self):
+        files = [
+            mac("""
+                import time
+                def f(sim, cb, a, b):
+                    sim.schedule(a - b, cb)
+                def handler():
+                    return time.time()
+                def g(sim):
+                    sim.schedule(1.0, handler)
+                def h(sim, deadline):
+                    if sim.now == deadline:
+                        sim.schedule(0, h)
+            """)
+        ]
+        first = [(f.code, f.path, f.line, f.col) for f in analyze(*files)]
+        second = [(f.code, f.path, f.line, f.col) for f in analyze(*files)]
+        assert first and first == second

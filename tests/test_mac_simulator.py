@@ -14,6 +14,16 @@ from repro.mac.simulator import (
 from repro.phy.channel import SIXTY_GHZ
 
 
+@pytest.fixture
+def no_sim_audit(monkeypatch):
+    """Silence the SimTimeAudit hook for tests that feed bad delays on
+    purpose — under ``pytest --sanitize`` those deliberate violations
+    would otherwise fail the session-wide audit."""
+    from repro.mac import simulator as simulator_mod
+
+    monkeypatch.setattr(simulator_mod, "_AUDIT", None)
+
+
 def make_pair(coupling_db_value=-40.0):
     sim = Simulator(seed=1)
     coupling = StaticCoupling({
@@ -57,9 +67,33 @@ class TestSimulator:
         sim.run_until(2.0)
         assert log == [1, 2]
 
-    def test_negative_delay_rejected(self):
+    def test_negative_delay_rejected(self, no_sim_audit):
         with pytest.raises(ValueError):
             Simulator().schedule(-1.0, lambda: None)
+
+    def test_nan_delay_rejected(self, no_sim_audit):
+        # Regression: NaN compares False against 0, so a NaN timestamp
+        # used to slip into the heap and poison ordering of every later
+        # event.  It must be rejected up front, like inf.
+        with pytest.raises(ValueError, match="non-finite"):
+            Simulator().schedule(float("nan"), lambda: None)
+
+    def test_inf_delay_rejected(self, no_sim_audit):
+        with pytest.raises(ValueError, match="non-finite"):
+            Simulator().schedule(float("inf"), lambda: None)
+        with pytest.raises(ValueError, match="non-finite"):
+            Simulator().schedule(float("-inf"), lambda: None)
+
+    def test_schedule_at_past_names_both_times(self):
+        sim = Simulator()
+        sim.run_until(5.0)
+        with pytest.raises(ValueError, match=r"requested t=1 s.*already t=5 s"):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_schedule_at_nonfinite_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError, match="non-finite"):
+            sim.schedule_at(float("nan"), lambda: None)
 
     def test_events_beyond_horizon_wait(self):
         sim = Simulator()

@@ -276,3 +276,126 @@ class TestShapeContract:
             v for v in sanitizer.violations() if v.check == "shape-contract"
         ]
         assert shape_hits == []
+
+
+class TestSimTimeAudit:
+    def test_audit_installed_and_removed_with_sanitizer(self):
+        from repro.mac import simulator as simulator_mod
+
+        assert simulator_mod._AUDIT is None
+        sanitize.enable("warn")
+        try:
+            assert isinstance(simulator_mod._AUDIT, sanitize.SimTimeAudit)
+        finally:
+            sanitize.disable()
+            sanitize.clear_violations()
+        assert simulator_mod._AUDIT is None
+
+    def test_nonfinite_schedule_recorded_before_rejection(self, sanitizer):
+        from repro.mac.simulator import Simulator
+
+        sim = Simulator()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", sanitize.SanitizerWarning)
+            with pytest.raises(ValueError):
+                sim.schedule(float("nan"), lambda: None)
+        assert [v.check for v in sanitizer.violations()] == [
+            "sim-schedule-nonfinite"
+        ]
+
+    def test_negative_schedule_recorded(self, sanitizer):
+        from repro.mac.simulator import Simulator
+
+        sim = Simulator()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", sanitize.SanitizerWarning)
+            with pytest.raises(ValueError):
+                sim.schedule(-0.5, lambda: None)
+        assert [v.check for v in sanitizer.violations()] == ["sim-schedule-past"]
+
+    def test_monotonic_regression_detected(self, sanitizer):
+        audit = sanitize.SimTimeAudit()
+        sim = object()
+        audit.on_event(sim, 1.0)
+        audit.on_event(sim, 2.0)
+        with pytest.warns(sanitize.SanitizerWarning):
+            audit.on_event(sim, 1.5)
+        assert [v.check for v in sanitizer.violations()] == [
+            "sim-time-regression"
+        ]
+
+    def test_clean_run_records_nothing(self, sanitizer):
+        from repro.mac.simulator import Simulator
+
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, lambda: log.append(sim.now))
+        sim.schedule(2.0, lambda: log.append(sim.now))
+        sim.run_until(3.0)
+        assert log == [1.0, 2.0]
+        assert sanitizer.violations() == []
+
+    def test_event_storm_cap_trips_deterministically(self, monkeypatch):
+        # The RL045 pattern at runtime: a handler rescheduling itself at
+        # delay 0 never lets time advance.  With the watchdog in raise
+        # mode the run fails after exactly the configured cap.
+        from repro.mac.simulator import Simulator
+
+        monkeypatch.setenv("REPRO_SANITIZE_STORM_CAP", "25")
+        sanitize.enable("raise")
+        try:
+            sim = Simulator()
+            fired = []
+
+            def poll():
+                fired.append(sim.now)
+                sim.schedule(0.0, poll)
+
+            sim.schedule(1e-3, poll)
+            with pytest.raises(sanitize.SanitizerError):
+                sim.run_until(1.0)
+            # The watchdog trips on the cap-th same-timestamp event
+            # before its callback runs, so cap-1 handlers fired.
+            assert len(fired) == 24
+            assert [v.check for v in sanitize.violations()] == ["sim-event-storm"]
+        finally:
+            sanitize.disable()
+            sanitize.clear_violations()
+
+    def test_storm_pattern_also_flagged_statically(self):
+        # Satellite pairing: the same zero-delay self-reschedule that
+        # trips the runtime cap above is an RL045 finding for --des.
+        from repro.lint.config import LintConfig
+        from repro.lint.flow import analyze_files
+
+        src = (
+            "class Poller:\n"
+            "    def __init__(self, sim):\n"
+            "        self.sim = sim\n"
+            "    def poll(self):\n"
+            "        self.sim.schedule(0.0, self.poll)\n"
+        )
+        findings, _ = analyze_files(
+            [("src/repro/mac/poller.py", src)], LintConfig(), passes=("des",)
+        )
+        assert [f.code for f in findings] == ["RL045"]
+
+    def test_storm_cap_env_fallback_on_invalid(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE_STORM_CAP", "not-a-number")
+        sanitize.enable("warn")
+        try:
+            from repro.mac import simulator as simulator_mod
+
+            cap = simulator_mod._AUDIT.max_events_per_timestamp
+            assert cap == sanitize.DEFAULT_EVENT_STORM_CAP
+        finally:
+            sanitize.disable()
+            sanitize.clear_violations()
+
+    def test_forget_resets_per_sim_state(self, sanitizer):
+        audit = sanitize.SimTimeAudit()
+        sim = object()
+        audit.on_event(sim, 2.0)
+        audit.forget(sim)
+        audit.on_event(sim, 1.0)  # earlier, but state was dropped
+        assert sanitizer.violations() == []
