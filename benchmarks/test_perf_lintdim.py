@@ -1,0 +1,81 @@
+"""Dimension-pass (``--dim``) performance over the full source tree.
+
+Times the RL050-RL056 physical-dimension/unit-scale pass plus the
+worklist build on the repository itself and writes the numbers to
+``benchmarks/results/BENCH_lintdim.json`` so CI runs leave a
+comparable perf trail.
+
+The assertions are deliberately loose (budget ceilings, not speedup
+floors): the dim pass must stay cheap enough to gate every commit, but
+container scheduling jitter must not flake the suite.
+"""
+
+import json
+import pathlib
+import time
+
+from repro.lint.config import load_config
+from repro.lint.engine import iter_python_files
+from repro.lint.flow import analyze_paths
+from repro.lint.flow.dims import DIM_WORKLIST_CODES
+from repro.lint.flow.shapes import build_worklist
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+RESULTS = pathlib.Path(__file__).parent / "results" / "BENCH_lintdim.json"
+
+#: Generous wall-clock budget (seconds) for a CI container.
+DIM_BUDGET_S = 60.0
+
+
+def test_perf_lint_dim_full_repo():
+    config = load_config(REPO_ROOT)
+    files = iter_python_files([SRC], config)
+    assert len(files) >= 60, "source tree unexpectedly small"
+
+    t0 = time.perf_counter()
+    findings, stats = analyze_paths([SRC], REPO_ROOT, config, passes=("dim",))
+    dim_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    worklist = build_worklist(findings, codes=DIM_WORKLIST_CODES)
+    worklist_s = time.perf_counter() - t0
+
+    # Determinism: a second run over the same tree must reproduce the
+    # findings and the worklist ordering exactly.
+    repeat, _ = analyze_paths([SRC], REPO_ROOT, config, passes=("dim",))
+    assert [f.sort_key() for f in findings] == [f.sort_key() for f in repeat]
+    assert [
+        e.to_dict() for e in build_worklist(repeat, codes=DIM_WORKLIST_CODES)
+    ] == [e.to_dict() for e in worklist]
+
+    doc = {
+        "files": len(files),
+        "dim_pass_s": round(dim_s, 4),
+        "worklist_build_s": round(worklist_s, 4),
+        "flow_modules": stats.modules,
+        "flow_functions": stats.functions,
+        "flow_call_edges": stats.call_edges,
+        "dim_findings": len(findings),
+        "dim_by_rule": {
+            code: count
+            for code, count in sorted(stats.by_rule.items())
+            if code.startswith("RL05")
+        },
+        "worklist_entries": len(worklist),
+    }
+    RESULTS.parent.mkdir(parents=True, exist_ok=True)
+    RESULTS.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+
+    # Every worklist entry must come from a dim-eligible rule.
+    for entry in worklist:
+        assert set(entry.codes) <= DIM_WORKLIST_CODES
+
+    print(
+        f"\nlint --dim perf ({len(files)} files): pass {dim_s:.2f} s, "
+        f"worklist {worklist_s * 1000:.1f} ms, "
+        f"{len(findings)} finding(s), {len(worklist)} worklist entr"
+        f"{'y' if len(worklist) == 1 else 'ies'}"
+    )
+
+    assert dim_s < DIM_BUDGET_S

@@ -12,6 +12,12 @@ counter-clockwise from the +x axis.  Helper functions accept and return
 degrees where that matches the paper's figures.
 """
 
+from repro.geometry.units import (
+    KMH_PER_MPS,
+    deg_wrap_180,
+    kmh_to_ms,
+    mps_to_kmh,
+)
 from repro.geometry.vec import (
     Vec2,
     angle_between,
@@ -24,6 +30,7 @@ from repro.geometry.segments import Segment, segment_intersection
 from repro.geometry.room import Obstacle, Room
 
 __all__ = [
+    "KMH_PER_MPS",
     "MATERIALS",
     "Material",
     "Obstacle",
@@ -32,6 +39,9 @@ __all__ = [
     "Vec2",
     "angle_between",
     "deg_to_rad",
+    "deg_wrap_180",
+    "kmh_to_ms",
+    "mps_to_kmh",
     "normalize_angle",
     "rad_to_deg",
     "segment_intersection",

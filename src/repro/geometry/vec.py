@@ -105,7 +105,10 @@ class Vec2:
         return (self.x, self.y)
 
     @staticmethod
-    def from_polar(radius: float, radians: float) -> "Vec2":
+    def from_polar(
+        radius: float,  # replint: unit=m
+        radians: float,
+    ) -> "Vec2":
         """Construct from polar coordinates."""
         return Vec2(radius * math.cos(radians), radius * math.sin(radians))
 

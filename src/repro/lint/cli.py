@@ -16,8 +16,10 @@ and exit-code machinery as the per-file rules.
 
 ``--vec`` runs the numpy shape/dtype flow and vectorization-readiness
 pass (RL030-RL036) over the same symbol table.  ``--des`` runs the
-discrete-event sim-time soundness pass (RL040-RL046).  ``--worklist``
-(with ``--vec``, ``--des``, or both) switches to an exclusive mode
+discrete-event sim-time soundness pass (RL040-RL046).  ``--dim`` runs
+the physical-dimension/unit-scale inference pass (RL050-RL056).
+``--worklist`` (with any of ``--vec``/``--des``/``--dim``) switches to
+an exclusive mode
 that prints the ranked burn-down worklist (finding sites grouped per
 function) and exits 0; add ``--profile <manifest|BENCH_*.json>`` to
 rank entries by measured hotness joined from obs metrics.
@@ -75,16 +77,16 @@ def run_lint(args: argparse.Namespace) -> int:
         return 2
 
     if args.worklist:
-        if not (args.vec or args.des):
+        if not (args.vec or args.des or args.dim):
             print(
-                "repro lint: --worklist requires --vec and/or --des",
+                "repro lint: --worklist requires --vec, --des, and/or --dim",
                 file=sys.stderr,
             )
             return 2
         return _run_worklist(args, root, config, paths)
-    if args.profile and not (args.vec or args.des):
+    if args.profile and not (args.vec or args.des or args.dim):
         print(
-            "repro lint: --profile requires --vec and/or --des",
+            "repro lint: --profile requires --vec, --des, and/or --dim",
             file=sys.stderr,
         )
         return 2
@@ -100,6 +102,8 @@ def run_lint(args: argparse.Namespace) -> int:
         flow_passes += ("vec",)
     if args.des:
         flow_passes += ("des",)
+    if args.dim:
+        flow_passes += ("dim",)
     if flow_passes:
         from repro.lint.flow import analyze_paths
 
@@ -168,6 +172,7 @@ def _run_worklist(
     from repro.lint.flow import Reporter
     from repro.lint.flow.callgraph import build_call_graph
     from repro.lint.flow.destime import DES_WORKLIST_CODES, DesPass
+    from repro.lint.flow.dims import DIM_WORKLIST_CODES, DimPass
     from repro.lint.flow.shapes import (
         WORKLIST_CODES,
         VecPass,
@@ -206,6 +211,9 @@ def _run_worklist(
     if args.des:
         DesPass(table, graph, config, reporter).run()
         codes |= DES_WORKLIST_CODES
+    if args.dim:
+        DimPass(table, graph, config, reporter).run()
+        codes |= DIM_WORKLIST_CODES
     findings = sorted(reporter.findings, key=Finding.sort_key)
     modules_by_path = {
         m.rel_path: m.name
@@ -234,6 +242,8 @@ def _run_worklist(
             titles.append("vectorization")
         if args.des:
             titles.append("DES-time")
+        if args.dim:
+            titles.append("unit-scale")
         print(render_worklist(entries, args.profile, title="/".join(titles)))
     return 0
 
@@ -324,17 +334,23 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         "(RL040-046); combines with --flow/--par/--vec",
     )
     parser.add_argument(
+        "--dim",
+        action="store_true",
+        help="also run the physical-dimension/unit-scale inference pass "
+        "(RL050-056); combines with --flow/--par/--vec/--des",
+    )
+    parser.add_argument(
         "--profile",
         default=None,
         metavar="PATH",
         help="run manifest or BENCH_*.json whose metrics rank the "
-        "--worklist entries by measured hotness (requires --vec/--des)",
+        "--worklist entries by measured hotness (requires --vec/--des/--dim)",
     )
     parser.add_argument(
         "--worklist",
         action="store_true",
         help="print the ranked burn-down worklist instead of findings "
-        "and exit 0 (requires --vec and/or --des)",
+        "and exit 0 (requires --vec, --des, and/or --dim)",
     )
     parser.add_argument(
         "--jobs",
@@ -383,13 +399,20 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
 
 
 def list_rules() -> int:
-    from repro.lint.flow import DES_RULES, FLOW_RULES, PAR_RULES, VEC_RULES
+    from repro.lint.flow import (
+        DES_RULES,
+        DIM_RULES,
+        FLOW_RULES,
+        PAR_RULES,
+        VEC_RULES,
+    )
 
     catalog = {code: (cls.name, cls.summary) for code, cls in RULES.items()}
     catalog.update(FLOW_RULES)
     catalog.update(PAR_RULES)
     catalog.update(VEC_RULES)
     catalog.update(DES_RULES)
+    catalog.update(DIM_RULES)
     for code in sorted(catalog):
         name, summary = catalog[code]
         print(f"{code}  {name:<26} {summary}")

@@ -16,6 +16,7 @@ Settings live in ``pyproject.toml`` under ``[tool.repro-lint]``::
     clock-modules = ["repro.obs.clock"]  # sanctioned clock shims
     vec-packages = ["repro.phy"]       # RL030-RL036 scope (--vec)
     des-packages = ["repro.mac"]       # RL040-RL046 scope (--des)
+    dim-packages = ["repro.phy"]       # RL053/RL055 scope (--dim)
 
     [tool.repro-lint.per-file-ignores]
     "src/repro/campaign/telemetry.py" = ["RL002"]
@@ -102,6 +103,12 @@ DEFAULT_VEC_PACKAGES = ("repro.phy", "repro.core", "repro.experiments")
 #: handler purity, cache-invalidation typestate) apply here (``--des``).
 DEFAULT_DES_PACKAGES = ("repro.mac", "repro.mobility", "repro.experiments")
 
+#: Packages whose geometry/mobility math must carry explicit unit
+#: scales; RL053 (unit-ambiguous public API) and RL055 (angle
+#: wraparound) apply here (``--dim``).  RL050-RL052/RL054/RL056 run
+#: tree-wide like the dB pass.
+DEFAULT_DIM_PACKAGES = ("repro.phy", "repro.geometry", "repro.mobility")
+
 
 @dataclass(frozen=True)
 class LintConfig:
@@ -121,6 +128,7 @@ class LintConfig:
     clock_modules: Tuple[str, ...] = DEFAULT_CLOCK_MODULES
     vec_packages: Tuple[str, ...] = DEFAULT_VEC_PACKAGES
     des_packages: Tuple[str, ...] = DEFAULT_DES_PACKAGES
+    dim_packages: Tuple[str, ...] = DEFAULT_DIM_PACKAGES
 
     def is_ignored(self, rel_path: str, code: str) -> bool:
         """True if ``code`` is switched off for ``rel_path`` by config."""
@@ -210,4 +218,5 @@ def load_config(root: pathlib.Path) -> LintConfig:
         clock_modules=_strings(section.get("clock-modules"), DEFAULT_CLOCK_MODULES),
         vec_packages=_strings(section.get("vec-packages"), DEFAULT_VEC_PACKAGES),
         des_packages=_strings(section.get("des-packages"), DEFAULT_DES_PACKAGES),
+        dim_packages=_strings(section.get("dim-packages"), DEFAULT_DIM_PACKAGES),
     )

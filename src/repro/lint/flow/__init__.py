@@ -12,7 +12,9 @@ then runs interprocedural passes on top of them:
 * :mod:`repro.lint.flow.shapes` — numpy shape/dtype inference and
   vectorization-readiness lints (RL030-RL036, ``--vec``);
 * :mod:`repro.lint.flow.destime` — discrete-event sim-time and
-  event-handler soundness (RL040-RL046, ``--des``).
+  event-handler soundness (RL040-RL046, ``--des``);
+* :mod:`repro.lint.flow.dims` — physical-dimension and unit-scale
+  inference (RL050-RL056, ``--dim``).
 
 Findings use the same :class:`repro.lint.engine.Finding` type as the
 per-file rules, honor the same inline ``# replint: disable=...``
@@ -31,6 +33,7 @@ from repro.lint.config import LintConfig
 from repro.lint.engine import _SUPPRESS_RE, Finding, iter_python_files
 from repro.lint.flow.callgraph import build_call_graph
 from repro.lint.flow.destime import DesPass
+from repro.lint.flow.dims import DimPass
 from repro.lint.flow.par import ParPass
 from repro.lint.flow.rngflow import RngPass
 from repro.lint.flow.shapes import VecPass
@@ -158,8 +161,40 @@ DES_RULES: Dict[str, Tuple[str, str]] = {
     ),
 }
 
+#: Rule catalog for the physical-dimension pass (``--dim``).
+DIM_RULES: Dict[str, Tuple[str, str]] = {
+    "RL050": (
+        "trig-on-degrees",
+        "trig on a degree-scaled angle, or degree/radian mixing",
+    ),
+    "RL051": (
+        "cross-dimension-arithmetic",
+        "arithmetic/comparison mixes physical dimensions (m + s, Hz vs GHz)",
+    ),
+    "RL052": (
+        "unit-scale-boundary-mismatch",
+        "km/h into an m/s parameter, ms into a seconds schedule delay",
+    ),
+    "RL053": (
+        "unit-ambiguous-api",
+        "public phy/geometry/mobility parameter with no unit suffix/annotation",
+    ),
+    "RL054": (
+        "wavelength-frequency-confusion",
+        "c*f where wavelength is c/f, or a frequency used as a wavelength",
+    ),
+    "RL055": (
+        "angle-wraparound-compare",
+        "comparison on a raw angle difference without wrap normalization",
+    ),
+    "RL056": (
+        "redundant-unit-conversion",
+        "double/cancelling conversion (deg2rad(radians(x)), *3.6 then /3.6)",
+    ),
+}
+
 #: Pass names accepted by :func:`analyze_files`, in execution order.
-PASS_NAMES = ("units", "rng", "par", "vec", "des")
+PASS_NAMES = ("units", "rng", "par", "vec", "des", "dim")
 
 
 @dataclass
@@ -269,6 +304,8 @@ def analyze_files(
         VecPass(table, graph, config, reporter).run()
     if "des" in passes:
         DesPass(table, graph, config, reporter).run()
+    if "dim" in passes:
+        DimPass(table, graph, config, reporter).run()
     findings = sorted(reporter.findings, key=Finding.sort_key)
     stats = FlowStats(
         files=len(files),
@@ -307,6 +344,7 @@ def analyze_paths(
 
 __all__ = [
     "DES_RULES",
+    "DIM_RULES",
     "FLOW_RULES",
     "PAR_RULES",
     "VEC_RULES",

@@ -137,6 +137,18 @@ _ANNOTATION_UNITS = {
     "none": NEUTRAL,
     "dimensionless": NEUTRAL,
     "neutral": NEUTRAL,
+    # Non-power dimension/scale spellings owned by the --dim pass
+    # (repro.lint.flow.dims): declared, just not on the dB/linear axis.
+    **{
+        scale: NEUTRAL
+        for scale in (
+            "rad", "deg", "radians", "degrees", "angle",
+            "m", "mm", "cm", "km", "meters", "length",
+            "s", "ms", "us", "ns", "seconds", "time",
+            "hz", "khz", "mhz", "ghz", "frequency",
+            "mps", "kmh", "speed", "ratio",
+        )
+    },
 }
 
 

@@ -30,23 +30,11 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.geometry.units import KMH_PER_MPS, kmh_to_mps, mps_to_kmh
 from repro.geometry.vec import Vec2
-
-#: Conversion factor between the road-sign unit and SI.
-KMH_PER_MPS = 3.6
 
 #: Typical indoor walking speed, m/s (matches repro.phy.blockage).
 PEDESTRIAN_SPEED_MPS = 1.2
-
-
-def kmh_to_mps(speed_kmh: float) -> float:
-    """Convert km/h to m/s."""
-    return speed_kmh / KMH_PER_MPS
-
-
-def mps_to_kmh(speed_mps: float) -> float:
-    """Convert m/s to km/h."""
-    return speed_mps * KMH_PER_MPS
 
 
 class Trajectory:

@@ -32,6 +32,7 @@ import numpy as np
 
 from repro import obs
 from repro.analysis.dbmath import db_to_linear, db_to_linear_scalar, linear_to_db
+from repro.geometry.units import deg_wrap_180
 from repro.sanitize import shape_contract
 
 #: Speed of light in vacuum, m/s.
@@ -603,11 +604,8 @@ class HornAntenna:
 
     def gain_toward(self, off_boresight_rad: float) -> float:  # replint: unit=dBi
         """Gain (dBi) toward a direction off the horn's boresight."""
-        off_deg = abs(math.degrees(off_boresight_rad))
         # Wrap into [0, 180]: the horn is symmetric in azimuth.
-        off_deg = off_deg % 360.0
-        if off_deg > 180.0:
-            off_deg = 360.0 - off_deg
+        off_deg = abs(deg_wrap_180(math.degrees(off_boresight_rad)))
         rel = -3.0 * (2.0 * off_deg / self._hpbw) ** 2
         return self._gain + max(rel, self._floor)
 

@@ -500,6 +500,20 @@ class TestSelfLint:
         out = capsys.readouterr().out
         assert rc == 0, f"repro lint --des found new violations:\n{out}"
 
+    def test_src_tree_clean_under_dim(self, capsys):
+        rc = main(
+            [
+                "lint",
+                "--dim",
+                "--baseline",
+                "--root",
+                str(REPO_ROOT),
+                str(REPO_ROOT / "src"),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0, f"repro lint --dim found new violations:\n{out}"
+
     def test_committed_baseline_not_stale(self, capsys):
         # The baseline is shared across passes, so staleness must be
         # checked with every pass enabled — a missing pass would make
@@ -511,6 +525,7 @@ class TestSelfLint:
                 "--par",
                 "--vec",
                 "--des",
+                "--dim",
                 "--check-baseline",
                 "--root",
                 str(REPO_ROOT),
@@ -537,6 +552,38 @@ class TestSelfLint:
         assert first == second
         json.loads(first)  # machine-readable
 
+    def test_dim_worklist_deterministic_across_runs(self, capsys):
+        args = [
+            "lint",
+            "--dim",
+            "--worklist",
+            "--json",
+            "--root",
+            str(REPO_ROOT),
+            str(REPO_ROOT / "src"),
+        ]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        json.loads(first)  # machine-readable
+
+    def test_dim_worklist_alone_renders_unit_scale_title(self, capsys):
+        rc = main(
+            [
+                "lint",
+                "--dim",
+                "--worklist",
+                "--root",
+                str(REPO_ROOT),
+                str(REPO_ROOT / "src"),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert out.startswith("unit-scale worklist")
+
     def test_worklist_requires_vec_or_des(self, capsys):
         rc = main(
             [
@@ -548,7 +595,9 @@ class TestSelfLint:
             ]
         )
         assert rc == 2
-        assert "--worklist requires" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        assert "--worklist requires" in err
+        assert "--dim" in err
 
     def test_combined_vec_des_worklist_merges_codes(self, capsys):
         rc = main(
@@ -565,6 +614,23 @@ class TestSelfLint:
         assert rc == 0
         out = capsys.readouterr().out
         assert out.startswith("vectorization/DES-time worklist")
+
+    def test_combined_vec_des_dim_worklist_merges_codes(self, capsys):
+        rc = main(
+            [
+                "lint",
+                "--vec",
+                "--des",
+                "--dim",
+                "--worklist",
+                "--root",
+                str(REPO_ROOT),
+                str(REPO_ROOT / "src"),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert out.startswith("vectorization/DES-time/unit-scale worklist")
 
     def test_committed_baseline_holds_only_vec_worklist_debt(self):
         # Per-file and flow/par findings were all fixed in-tree and

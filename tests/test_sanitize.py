@@ -1,6 +1,7 @@
 """Runtime sanitizer (:mod:`repro.sanitize`)."""
 
 import json
+import math
 import subprocess
 import sys
 import warnings
@@ -399,3 +400,98 @@ class TestSimTimeAudit:
         audit.forget(sim)
         audit.on_event(sim, 1.0)  # earlier, but state was dropped
         assert sanitizer.violations() == []
+
+
+class TestUnitAudit:
+    """Degree/radian unit auditing on ``math``/``numpy`` trig and
+    conversion functions."""
+
+    def test_trig_arg_cap_fires(self, sanitizer):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", sanitize.SanitizerWarning)
+            math.sin(1.0e6)
+        checks = [v.check for v in sanitizer.violations()]
+        assert "unit-trig-arg" in checks
+
+    def test_trig_on_degrees_fires(self, sanitizer):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", sanitize.SanitizerWarning)
+            azimuth_deg = math.degrees(1.0)
+            math.cos(azimuth_deg)  # forgot to convert back to radians
+        checks = [v.check for v in sanitizer.violations()]
+        assert "unit-trig-degrees" in checks
+
+    def test_double_conversion_fires_math_and_numpy(self, sanitizer):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", sanitize.SanitizerWarning)
+            math.radians(math.radians(30.0))
+        checks = [v.check for v in sanitizer.violations()]
+        assert checks.count("unit-double-conversion") == 1
+        sanitizer.clear_violations()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", sanitize.SanitizerWarning)
+            np.deg2rad(float(np.deg2rad(45.0)))
+        checks = [v.check for v in sanitizer.violations()]
+        assert "unit-double-conversion" in checks
+
+    def test_round_trip_is_silent(self, sanitizer):
+        # degrees(radians(x)) is a legitimate normalisation round trip.
+        back = math.degrees(math.radians(30.0))
+        assert back == pytest.approx(30.0)
+        assert sanitizer.violations() == []
+
+    def test_arrays_are_not_tracked(self, sanitizer):
+        arr = np.deg2rad(np.array([10.0, 20.0]))
+        np.deg2rad(arr)  # would be double conversion for scalars
+        np.cos(np.array([200.0, 300.0]))
+        assert sanitizer.violations() == []
+
+    def test_plausible_radian_usage_is_silent(self, sanitizer):
+        theta = math.radians(42.0)
+        math.sin(theta)
+        math.cos(theta)
+        assert sanitizer.violations() == []
+
+    def test_disable_restores_math_and_numpy_bindings(self):
+        sanitize.enable("warn")
+        assert hasattr(math.sin, "__repro_sanitize_wraps__")
+        assert hasattr(np.deg2rad, "__repro_sanitize_wraps__")
+        sanitize.disable()
+        sanitize.clear_violations()
+        assert not hasattr(math.sin, "__repro_sanitize_wraps__")
+        assert not hasattr(np.deg2rad, "__repro_sanitize_wraps__")
+
+    def test_trig_cap_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE_TRIG_CAP", "10")
+        sanitize.enable("warn")
+        sanitize.clear_violations()
+        try:
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", sanitize.SanitizerWarning)
+                math.sin(50.0)
+            checks = [v.check for v in sanitize.violations()]
+            assert "unit-trig-arg" in checks
+        finally:
+            sanitize.disable()
+            sanitize.clear_violations()
+
+    def test_trig_cap_env_fallback_on_invalid(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE_TRIG_CAP", "not-a-number")
+        sanitize.enable("warn")
+        try:
+            audit = sanitize._STATE.unit_audit
+            assert audit is not None
+            assert audit.trig_arg_cap == sanitize.DEFAULT_TRIG_ARG_CAP
+        finally:
+            sanitize.disable()
+            sanitize.clear_violations()
+
+    def test_raise_mode_raises_on_degree_trig(self):
+        sanitize.enable("raise")
+        try:
+            bearing_deg = math.degrees(0.5)
+            with pytest.raises(sanitize.SanitizerError):
+                math.sin(bearing_deg)
+        finally:
+            sanitize.disable()
+            sanitize.clear_violations()
