@@ -9,9 +9,18 @@ simulation speed show up:
 * ray tracing in the conference room (LOS + 1st + 2nd order);
 * the discrete-event MAC (simulated-seconds per wall-second);
 * trace synthesis + frame detection round trip.
+
+``test_perf_core_events_per_sec`` additionally writes the simulator's
+events/sec on the saturated link to
+``benchmarks/results/BENCH_core.json`` (unified :mod:`repro.obs.bench`
+schema) — the baseline number any event-engine change is measured
+against.  It deliberately avoids the pytest-benchmark fixture so CI
+can run it with plain pytest.
 """
 
 import math
+import pathlib
+import time
 
 import numpy as np
 import pytest
@@ -19,10 +28,36 @@ import pytest
 from repro.core.frames import FrameDetector
 from repro.geometry.room import conference_room
 from repro.geometry.vec import Vec2
+from repro.obs.bench import bench_entry, write_bench
 from repro.phy.antenna import PhaseShifterModel, UniformRectangularArray
 from repro.phy.codebook import Codebook
 from repro.phy.raytracing import RayTracer
 from repro.phy.signal import Emission, synthesize_trace
+
+RESULTS = pathlib.Path(__file__).parent / "results" / "BENCH_core.json"
+
+
+def run_50ms():
+    """A saturated WiGig link: 50 ms of DES time, ~1 Gbit/s of TCP."""
+    from repro.mac.simulator import Medium, Simulator, Station, StaticCoupling
+    from repro.mac.tcp import IperfFlow, TcpParameters
+    from repro.mac.wigig import WiGigLink
+
+    sim = Simulator(seed=1)
+    medium = Medium(
+        sim,
+        StaticCoupling({("tx", "rx"): -40.0, ("rx", "tx"): -40.0}),
+        capture_history=False,
+    )
+    tx = Station("tx", Vec2(0, 0))
+    rx = Station("rx", Vec2(2, 0))
+    medium.register(tx)
+    medium.register(rx)
+    link = WiGigLink(sim, medium, transmitter=tx, receiver=rx,
+                     snr_hint_db=35.0, send_beacons=False)
+    flow = IperfFlow(sim, link, TcpParameters(window_bytes=256 * 1024))
+    sim.run_until(0.05)
+    return sim, flow
 
 
 @pytest.fixture(scope="module")
@@ -57,30 +92,42 @@ def test_perf_ray_tracing(benchmark):
 
 def test_perf_mac_simulation(benchmark):
     """Simulated time per wall-clock: a saturated WiGig link."""
-
-    def run_50ms():
-        from repro.mac.simulator import Medium, Simulator, Station, StaticCoupling
-        from repro.mac.tcp import IperfFlow, TcpParameters
-        from repro.mac.wigig import WiGigLink
-
-        sim = Simulator(seed=1)
-        medium = Medium(
-            sim,
-            StaticCoupling({("tx", "rx"): -40.0, ("rx", "tx"): -40.0}),
-            capture_history=False,
-        )
-        tx = Station("tx", Vec2(0, 0))
-        rx = Station("rx", Vec2(2, 0))
-        medium.register(tx)
-        medium.register(rx)
-        link = WiGigLink(sim, medium, transmitter=tx, receiver=rx,
-                         snr_hint_db=35.0, send_beacons=False)
-        flow = IperfFlow(sim, link, TcpParameters(window_bytes=256 * 1024))
-        sim.run_until(0.05)
-        return flow
-
-    flow = benchmark.pedantic(run_50ms, rounds=3, iterations=1)
+    _, flow = benchmark.pedantic(run_50ms, rounds=3, iterations=1)
     assert flow.throughput_bps() > 0.8e9
+
+
+def test_perf_core_events_per_sec():
+    """Simulator events/sec baseline, written to BENCH_core.json."""
+    run_50ms()  # warm imports and allocator before timing
+
+    best_s = math.inf
+    events = 0
+    for _ in range(3):
+        t0 = time.perf_counter()
+        sim, flow = run_50ms()
+        elapsed = time.perf_counter() - t0
+        if elapsed < best_s:
+            best_s = elapsed
+            events = sim.events_processed
+    assert events > 10_000, "scenario no longer exercises the event loop"
+    assert flow.throughput_bps() > 0.8e9
+    events_per_s = events / best_s
+
+    write_bench(RESULTS, "core", [
+        # The headline number.  Wide tolerance — CI machines vary;
+        # the gate only flags order-of-magnitude regressions.
+        bench_entry("sim_events_per_s", round(events_per_s), "events/s",
+                    "higher", tolerance=5.0),
+        bench_entry("scenario_events", events, "events", "info"),
+        bench_entry("scenario_wall_s", round(best_s, 5), "s", "info"),
+        bench_entry("sim_seconds_per_wall_s", round(0.05 / best_s, 4), "s/s",
+                    "info"),
+    ])
+
+    print(
+        f"\ncore perf: {events} events in {best_s * 1e3:.1f} ms "
+        f"-> {events_per_s / 1e6:.2f}M events/s"
+    )
 
 
 def test_perf_trace_pipeline(benchmark):

@@ -3,20 +3,21 @@
 Times three configurations — per-file rules serially, per-file rules
 with ``--jobs 4``, and the whole-program flow passes (units + rng +
 par) — and writes the numbers to ``benchmarks/results/BENCH_lint.json``
-so CI runs leave a comparable perf trail.
+in the unified :mod:`repro.obs.bench` schema so CI runs leave a
+comparable perf trail.
 
 The assertions are deliberately loose (budget ceilings, not speedup
 floors): lint must stay cheap enough to run on every commit, but
 container scheduling jitter must not flake the suite.
 """
 
-import json
 import pathlib
 import time
 
 from repro.lint.config import load_config
 from repro.lint.engine import iter_python_files, lint_paths
 from repro.lint.flow import analyze_paths
+from repro.obs.bench import bench_entry, write_bench
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 SRC = REPO_ROOT / "src"
@@ -50,19 +51,23 @@ def test_perf_lint_full_repo():
     # --jobs must not change the result, only the wall clock.
     assert [f.sort_key() for f in serial] == [f.sort_key() for f in parallel]
 
-    doc = {
-        "files": len(files),
-        "per_file_serial_s": round(serial_s, 4),
-        "per_file_jobs4_s": round(parallel_s, 4),
-        "flow_units_rng_par_s": round(flow_s, 4),
-        "flow_modules": flow_stats.modules,
-        "flow_functions": flow_stats.functions,
-        "flow_call_edges": flow_stats.call_edges,
-        "per_file_findings": len(serial),
-        "flow_findings": len(flow_findings),
-    }
-    RESULTS.parent.mkdir(parents=True, exist_ok=True)
-    RESULTS.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    write_bench(RESULTS, "lint", [
+        # Wide tolerance — the hard budgets are asserted below; the
+        # regression gate only flags order-of-magnitude drift across
+        # heterogeneous CI machines.
+        bench_entry("per_file_serial_s", round(serial_s, 4), "s", "lower",
+                    tolerance=5.0),
+        bench_entry("flow_units_rng_par_s", round(flow_s, 4), "s", "lower",
+                    tolerance=5.0),
+        bench_entry("per_file_jobs4_s", round(parallel_s, 4), "s", "info"),
+        bench_entry("files", len(files), "files", "info"),
+        bench_entry("flow_modules", flow_stats.modules, "modules", "info"),
+        bench_entry("flow_functions", flow_stats.functions, "functions",
+                    "info"),
+        bench_entry("flow_call_edges", flow_stats.call_edges, "edges", "info"),
+        bench_entry("per_file_findings", len(serial), "findings", "info"),
+        bench_entry("flow_findings", len(flow_findings), "findings", "info"),
+    ])
 
     print(
         f"\nlint perf ({len(files)} files): per-file {serial_s:.2f} s "

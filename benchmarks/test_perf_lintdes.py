@@ -2,15 +2,15 @@
 
 Times the RL040-RL046 sim-time soundness pass plus the worklist build
 on the repository itself and writes the numbers to
-``benchmarks/results/BENCH_lintdes.json`` so CI runs leave a
-comparable perf trail.
+``benchmarks/results/BENCH_lintdes.json`` in the unified
+:mod:`repro.obs.bench` schema so CI runs leave a comparable perf
+trail.
 
 The assertions are deliberately loose (budget ceilings, not speedup
 floors): the des pass must stay cheap enough to gate every commit, but
 container scheduling jitter must not flake the suite.
 """
 
-import json
 import pathlib
 import time
 
@@ -19,6 +19,7 @@ from repro.lint.engine import iter_python_files
 from repro.lint.flow import analyze_paths
 from repro.lint.flow.destime import DES_WORKLIST_CODES
 from repro.lint.flow.shapes import build_worklist
+from repro.obs.bench import bench_entry, write_bench
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 SRC = REPO_ROOT / "src"
@@ -49,23 +50,19 @@ def test_perf_lint_des_full_repo():
         e.to_dict() for e in build_worklist(repeat, codes=DES_WORKLIST_CODES)
     ] == [e.to_dict() for e in worklist]
 
-    doc = {
-        "files": len(files),
-        "des_pass_s": round(des_s, 4),
-        "worklist_build_s": round(worklist_s, 4),
-        "flow_modules": stats.modules,
-        "flow_functions": stats.functions,
-        "flow_call_edges": stats.call_edges,
-        "des_findings": len(findings),
-        "des_by_rule": {
-            code: count
-            for code, count in sorted(stats.by_rule.items())
-            if code.startswith("RL04")
-        },
-        "worklist_entries": len(worklist),
-    }
-    RESULTS.parent.mkdir(parents=True, exist_ok=True)
-    RESULTS.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    write_bench(RESULTS, "lintdes", [
+        # Wide tolerance — the hard budget is asserted below; the
+        # regression gate only flags order-of-magnitude drift.
+        bench_entry("des_pass_s", round(des_s, 4), "s", "lower",
+                    tolerance=5.0),
+        bench_entry("worklist_build_s", round(worklist_s, 4), "s", "info"),
+        bench_entry("files", len(files), "files", "info"),
+        bench_entry("flow_modules", stats.modules, "modules", "info"),
+        bench_entry("flow_functions", stats.functions, "functions", "info"),
+        bench_entry("flow_call_edges", stats.call_edges, "edges", "info"),
+        bench_entry("des_findings", len(findings), "findings", "info"),
+        bench_entry("worklist_entries", len(worklist), "entries", "info"),
+    ])
 
     # Every worklist entry must come from a des-eligible rule.
     for entry in worklist:

@@ -2,17 +2,16 @@
 
 Times the RL030-RL036 shape/dtype flow pass plus the worklist build on
 the repository itself and writes the numbers to
-``benchmarks/results/BENCH_lintvec.json`` so CI runs leave a
-comparable perf trail.  The emitted file doubles as a profile-format
-smoke input: its numeric leaves flatten cleanly through
-``load_profile``.
+``benchmarks/results/BENCH_lintvec.json`` in the unified
+:mod:`repro.obs.bench` schema.  The emitted file doubles as a
+profile-format smoke input: ``load_profile`` flattens bench documents
+to ``bench.<suite>.<name>`` keys.
 
 The assertions are deliberately loose (budget ceilings, not speedup
 floors): the vec pass must stay cheap enough to gate every commit, but
 container scheduling jitter must not flake the suite.
 """
 
-import json
 import pathlib
 import time
 
@@ -20,6 +19,7 @@ from repro.lint.config import load_config
 from repro.lint.engine import iter_python_files
 from repro.lint.flow import analyze_paths
 from repro.lint.flow.shapes import WORKLIST_CODES, build_worklist, load_profile
+from repro.obs.bench import bench_entry, write_bench
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 SRC = REPO_ROOT / "src"
@@ -50,27 +50,24 @@ def test_perf_lint_vec_full_repo():
         e.to_dict() for e in worklist
     ]
 
-    doc = {
-        "files": len(files),
-        "vec_pass_s": round(vec_s, 4),
-        "worklist_build_s": round(worklist_s, 4),
-        "flow_modules": stats.modules,
-        "flow_functions": stats.functions,
-        "flow_call_edges": stats.call_edges,
-        "vec_findings": len(findings),
-        "vec_by_rule": {
-            code: count
-            for code, count in sorted(stats.by_rule.items())
-            if code.startswith("RL03")
-        },
-        "worklist_entries": len(worklist),
-    }
-    RESULTS.parent.mkdir(parents=True, exist_ok=True)
-    RESULTS.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    write_bench(RESULTS, "lintvec", [
+        # Wide tolerance — the hard budget is asserted below; the
+        # regression gate only flags order-of-magnitude drift.
+        bench_entry("vec_pass_s", round(vec_s, 4), "s", "lower",
+                    tolerance=5.0),
+        bench_entry("worklist_build_s", round(worklist_s, 4), "s", "info"),
+        bench_entry("files", len(files), "files", "info"),
+        bench_entry("flow_modules", stats.modules, "modules", "info"),
+        bench_entry("flow_functions", stats.functions, "functions", "info"),
+        bench_entry("flow_call_edges", stats.call_edges, "edges", "info"),
+        bench_entry("vec_findings", len(findings), "findings", "info"),
+        bench_entry("worklist_entries", len(worklist), "entries", "info"),
+    ])
 
-    # The file we just wrote must flatten as a worklist profile.
+    # The file we just wrote must flatten as a worklist profile
+    # (bench documents become bench.<suite>.<name> keys).
     flat = load_profile(RESULTS)
-    assert flat["vec_findings"] == float(len(findings))
+    assert flat["bench.lintvec.vec_findings"] == float(len(findings))
 
     # Every worklist entry must come from a worklist-eligible rule.
     for entry in worklist:

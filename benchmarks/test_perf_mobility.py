@@ -1,6 +1,7 @@
 """Mobility subsystem performance: sampling rate and DES cost.
 
-Two numbers CI tracks in ``benchmarks/results/BENCH_mobility.json``:
+Two numbers CI tracks in ``benchmarks/results/BENCH_mobility.json``
+(unified :mod:`repro.obs.bench` schema):
 
 * **trajectory sampling** — positions per second from the vectorized
   ``LinearTrajectory.sample_positions`` and the bisect-based
@@ -17,7 +18,6 @@ Soft floors are deliberately loose (10x below observed) — they catch
 order-of-magnitude regressions, not container jitter.
 """
 
-import json
 import math
 import pathlib
 import time
@@ -27,6 +27,7 @@ import numpy as np
 from repro.experiments.mobility import build_vehicular_scenario, run_vehicle_pass
 from repro.geometry.vec import Vec2
 from repro.mobility.trajectory import LinearTrajectory, WaypointWalker
+from repro.obs.bench import bench_entry, write_bench
 
 RESULTS = pathlib.Path(__file__).parent / "results" / "BENCH_mobility.json"
 
@@ -84,21 +85,28 @@ def test_perf_mobility():
     wall_per_sim_s = drive_s / sim_seconds
     events_per_s = result["events_simulated"] / drive_s
 
-    doc = {
-        "vector_samples_per_s": round(vector_rate),
-        "walker_positions_per_s": round(walker_rate),
-        "vehicular_sim_seconds": round(sim_seconds, 4),
-        "vehicular_wall_s": round(drive_s, 4),
-        "wall_per_sim_second": round(wall_per_sim_s, 4),
-        "des_events_per_s": round(events_per_s),
-        "retrains_per_sim_second": round(result["retrains"] / sim_seconds, 2),
-        "retrain_overhead_fraction": round(result["overhead_fraction"], 5),
-        "vector_floor": VECTOR_SAMPLES_PER_S_FLOOR,
-        "walker_floor": WALKER_CALLS_PER_S_FLOOR,
-        "wall_per_sim_second_ceiling": WALL_PER_SIM_SECOND_CEILING,
-    }
-    RESULTS.parent.mkdir(parents=True, exist_ok=True)
-    RESULTS.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    write_bench(RESULTS, "mobility", [
+        # Throughput rates: higher is better.  Wide tolerance — the
+        # hard floors/ceilings are asserted below; the regression gate
+        # only flags order-of-magnitude drift across CI machines.
+        bench_entry("vector_samples_per_s", round(vector_rate), "pos/s",
+                    "higher", tolerance=5.0),
+        bench_entry("walker_positions_per_s", round(walker_rate), "pos/s",
+                    "higher", tolerance=5.0),
+        bench_entry("des_events_per_s", round(events_per_s), "events/s",
+                    "higher", tolerance=5.0),
+        bench_entry("wall_per_sim_second", round(wall_per_sim_s, 4), "s/s",
+                    "lower", tolerance=5.0),
+        # Context: scenario shape (deterministic) and raw wall time.
+        bench_entry("vehicular_sim_seconds", round(sim_seconds, 4), "s",
+                    "info"),
+        bench_entry("vehicular_wall_s", round(drive_s, 4), "s", "info"),
+        bench_entry("retrains_per_sim_second",
+                    round(result["retrains"] / sim_seconds, 2), "1/s", "info"),
+        bench_entry("retrain_overhead_fraction",
+                    round(result["overhead_fraction"], 5), "fraction",
+                    "info"),
+    ])
 
     print(
         f"\nmobility perf: vector sampling {vector_rate / 1e6:.1f}M/s, "

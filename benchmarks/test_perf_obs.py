@@ -16,16 +16,17 @@ count) rather than by differencing two wall-clock runs, because a
 sub-2% delta on a ~100 ms scenario is far below container scheduling
 jitter; the enabled bound is a direct min-of-N ratio.
 
-Numbers land in ``benchmarks/results/BENCH_obs.json`` (same pattern as
-``BENCH_lint.json``) so CI runs leave a comparable perf trail.
+Numbers land in ``benchmarks/results/BENCH_obs.json`` in the unified
+:mod:`repro.obs.bench` schema so ``repro obs bench report`` / ``check``
+can track them PR-over-PR.
 """
 
-import json
 import pathlib
 import time
 
 from repro import obs
 from repro.geometry.vec import Vec2
+from repro.obs.bench import bench_entry, write_bench
 
 RESULTS = pathlib.Path(__file__).parent / "results" / "BENCH_obs.json"
 
@@ -96,7 +97,7 @@ def test_perf_obs_overhead():
         obs.begin_cell()
         flow = run_50ms()
         metric_ops = obs.registry().ops
-        _, spans = obs.collect_cell()
+        _, spans, _ = obs.collect_cell()
         span_count = len(spans)
         assert metric_ops > 1000, "scenario no longer hits instrumented paths"
         assert flow.throughput_bps() > 0.8e9
@@ -115,20 +116,26 @@ def test_perf_obs_overhead():
         obs.disable()
         obs.reset()
 
-    doc = {
-        "scenario_disabled_s": round(disabled_s, 5),
-        "scenario_metrics_s": round(enabled_s, 5),
-        "metric_ops_per_run": metric_ops,
-        "spans_per_run": span_count,
-        "disabled_site_cost_ns": round(guard_s * 1e9, 1),
-        "noop_span_cost_ns": round(noop_span_s * 1e9, 1),
-        "disabled_overhead_fraction": round(disabled_fraction, 5),
-        "enabled_overhead_fraction": round(enabled_fraction, 5),
-        "disabled_ceiling": DISABLED_OVERHEAD_CEILING,
-        "enabled_ceiling": ENABLED_OVERHEAD_CEILING,
-    }
-    RESULTS.parent.mkdir(parents=True, exist_ok=True)
-    RESULTS.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    write_bench(RESULTS, "obs", [
+        # The two contract numbers: overhead fractions, lower is better.
+        # Wide per-entry tolerance — the hard ceilings are asserted
+        # above; the gate only flags order-of-magnitude drift.
+        bench_entry("disabled_overhead_fraction", round(disabled_fraction, 5),
+                    "fraction", "lower", tolerance=5.0),
+        bench_entry("enabled_overhead_fraction", round(enabled_fraction, 5),
+                    "fraction", "lower", tolerance=5.0),
+        # Context: raw timings and per-run site counts.  Machine-
+        # dependent micro-timings are info (never regression-gated);
+        # the site counts are deterministic properties of the scenario.
+        bench_entry("scenario_disabled_s", round(disabled_s, 5), "s", "info"),
+        bench_entry("scenario_metrics_s", round(enabled_s, 5), "s", "info"),
+        bench_entry("metric_ops_per_run", metric_ops, "ops", "info"),
+        bench_entry("spans_per_run", span_count, "spans", "info"),
+        bench_entry("disabled_site_cost_ns", round(guard_s * 1e9, 1),
+                    "ns", "info"),
+        bench_entry("noop_span_cost_ns", round(noop_span_s * 1e9, 1),
+                    "ns", "info"),
+    ])
 
     print(
         f"\nobs perf: scenario {disabled_s * 1e3:.1f} ms, "

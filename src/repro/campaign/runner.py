@@ -36,6 +36,7 @@ from repro.campaign.telemetry import RunTelemetry
 from repro.obs import clock
 from repro.obs.export import TRACE_FILENAME
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.prof import merge_profile, span_aggregate
 from repro.obs.trace import complete_event
 
 #: Result key cells may use to report DES event counts to telemetry.
@@ -89,9 +90,10 @@ def execute_cell(
     events = int(result.get(EVENTS_KEY, 0))
     payload = {"result": result, "elapsed_s": elapsed, "events": events}
     if collect:
-        metrics, spans = obs.collect_cell()
+        metrics, spans, profile = obs.collect_cell()
         payload["metrics"] = metrics
         payload["spans"] = spans
+        payload["profile"] = profile
     return payload
 
 
@@ -112,6 +114,7 @@ class ScenarioOutcome:
     # canonical row text repro campaign verify compares is unchanged).
     metrics: Optional[Dict] = None
     spans: Optional[List[Dict]] = None
+    profile: Optional[Dict] = None
 
     @property
     def ok(self) -> bool:
@@ -194,10 +197,15 @@ class CampaignRunner:
             prove that claim rather than assume it.
         metrics: Collect per-cell :mod:`repro.obs` metrics and merge
             them (in expansion order, so the merge is byte-stable
-            regardless of worker count) into the v2 manifest.
+            regardless of worker count) into the manifest.
         trace: Additionally record spans — per-cell timelines from
             inside the workers plus runner-level cell/shard spans —
             exported as Chrome trace-event JSON.  Implies ``metrics``.
+        profile: Additionally attribute per-event wall time to DES
+            handler qualnames inside the workers; the per-cell
+            profiles merge (expansion order) into the manifest's
+            ``profile`` section for ``repro obs top`` / ``obs diff``
+            and the lint worklist.  Implies ``metrics``.
     """
 
     def __init__(
@@ -212,6 +220,7 @@ class CampaignRunner:
         shuffle_seed: Optional[int] = None,
         metrics: bool = False,
         trace: bool = False,
+        profile: bool = False,
     ):
         if retries < 0:
             raise ValueError("retries must be >= 0")
@@ -224,7 +233,8 @@ class CampaignRunner:
         self.max_backoff_s = max_backoff_s
         self.shuffle_seed = shuffle_seed
         self.trace = bool(trace)
-        self.metrics = bool(metrics) or self.trace
+        self.profile = bool(profile)
+        self.metrics = bool(metrics) or self.trace or self.profile
         # Runner-level trace events (pid 0) and per-shard activity
         # windows, rebuilt on every run() when tracing.
         self._runner_events: List[Dict] = []
@@ -268,6 +278,7 @@ class CampaignRunner:
         outcome.attempts = attempts
         outcome.metrics = payload.get("metrics")
         outcome.spans = payload.get("spans")
+        outcome.profile = payload.get("profile")
         telemetry.record_completed(payload["elapsed_s"], payload["events"])
         if self.cache is not None:
             self.cache.put(outcome.spec, payload["result"])
@@ -435,15 +446,26 @@ class CampaignRunner:
         pool workers (spawned workers re-read it at import; forked
         workers also inherit the in-memory STATE directly).
         """
-        previous = (obs.STATE.metrics, obs.STATE.tracing, os.environ.get(obs.OBS_ENV))
-        os.environ[obs.OBS_ENV] = "trace" if self.trace else "metrics"
-        obs.enable(metrics=True, trace=self.trace)
+        previous = (
+            obs.STATE.metrics,
+            obs.STATE.tracing,
+            obs.STATE.profiling,
+            os.environ.get(obs.OBS_ENV),
+        )
+        tokens = ["metrics"]
+        if self.trace:
+            tokens.append("trace")
+        if self.profile:
+            tokens.append("profile")
+        os.environ[obs.OBS_ENV] = ",".join(tokens)
+        obs.enable(metrics=True, trace=self.trace, profile=self.profile)
         return previous
 
     def _restore_obs(self, previous: tuple) -> None:
-        metrics, tracing, env = previous
+        metrics, tracing, profiling, env = previous
         obs.STATE.metrics = metrics
         obs.STATE.tracing = tracing
+        obs.STATE.profiling = profiling
         if env is None:
             os.environ.pop(obs.OBS_ENV, None)
         else:
@@ -473,6 +495,22 @@ class CampaignRunner:
             "campaign.cache.misses", telemetry.scenarios_total - telemetry.cached
         )
         return registry.snapshot()
+
+    def _merged_profile(self, outcomes: List[ScenarioOutcome]) -> Optional[Dict]:
+        """Merge per-cell handler profiles and span aggregates.
+
+        Merging happens in expansion order, mirroring the metrics
+        merge, so even the float time sums are bit-stable across
+        worker counts; the count fields (handler calls, span counts)
+        are additionally run-invariant and are what ``campaign
+        verify`` digests.
+        """
+        merged: Dict = {}
+        for outcome in outcomes:
+            merge_profile(merged, outcome.profile)
+            if outcome.spans:
+                merge_profile(merged, {"spans": span_aggregate(outcome.spans)})
+        return merged or None
 
     def _assemble_trace(
         self, outcomes: List[ScenarioOutcome], run_span: Dict
@@ -558,6 +596,7 @@ class CampaignRunner:
             )
             if self.metrics:
                 telemetry.metrics = self._merged_metrics(outcomes, telemetry)
+                telemetry.profile = self._merged_profile(outcomes)
             if self.trace:
                 run_span = complete_event(
                     "campaign.run",
@@ -582,6 +621,7 @@ def run_campaign(
     backoff_s: float = 0.05,
     metrics: bool = False,
     trace: bool = False,
+    profile: bool = False,
 ) -> CampaignResult:
     """Convenience wrapper around :class:`CampaignRunner`."""
     return CampaignRunner(
@@ -593,4 +633,5 @@ def run_campaign(
         backoff_s=backoff_s,
         metrics=metrics,
         trace=trace,
+        profile=profile,
     ).run()

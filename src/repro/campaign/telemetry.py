@@ -22,8 +22,11 @@ PathLike = Union[str, pathlib.Path]
 
 #: Bump when the manifest layout changes incompatibly.  v2 adds the
 #: ``metrics`` section (deterministic merged obs counters) and the
-#: ``spans_file`` pointer to the Chrome trace-event export.
-MANIFEST_SCHEMA_VERSION = 2
+#: ``spans_file`` pointer to the Chrome trace-event export.  v3 adds
+#: the ``profile`` section (merged handler attribution + span
+#: self-time aggregates consumed by ``repro obs top`` / ``obs diff``
+#: and ``repro lint --worklist --profile``).
+MANIFEST_SCHEMA_VERSION = 3
 
 MANIFEST_FILENAME = "manifest.json"
 
@@ -55,6 +58,7 @@ class RunTelemetry:
     finished_unix: Optional[float] = None
     metrics: Optional[Dict] = None
     spans_file: Optional[str] = None
+    profile: Optional[Dict] = None
     _t0: Optional[float] = field(default=None, repr=False)
 
     # -- lifecycle -------------------------------------------------------------
@@ -168,6 +172,7 @@ class RunTelemetry:
             "failures": list(self.failures),
             "metrics": self.metrics,
             "spans_file": self.spans_file,
+            "profile": self.profile,
         }
 
     def write_manifest(self, path: PathLike) -> pathlib.Path:
@@ -198,13 +203,15 @@ def upgrade_manifest(manifest: Dict) -> Dict:
     """Upgrade an older manifest dict to the current schema in place.
 
     v1 manifests predate observability: they gain ``metrics`` and
-    ``spans_file`` as ``None``.  Unknown (newer or garbage) versions
+    ``spans_file`` as ``None``.  v2 manifests predate profiling: they
+    gain ``profile`` as ``None``.  Unknown (newer or garbage) versions
     raise — a reader must not silently misinterpret them.
     """
     version = manifest.get("schema_version")
-    if version == 1:
+    if version in (1, 2):
         manifest.setdefault("metrics", None)
         manifest.setdefault("spans_file", None)
+        manifest.setdefault("profile", None)
         manifest["schema_version"] = MANIFEST_SCHEMA_VERSION
         return manifest
     if version != MANIFEST_SCHEMA_VERSION:
@@ -218,7 +225,7 @@ def upgrade_manifest(manifest: Dict) -> Dict:
 def read_manifest(path: PathLike) -> Dict:
     """Load a manifest written by :meth:`RunTelemetry.write_manifest`.
 
-    Accepts the current schema and v1 (upgraded on read via
+    Accepts the current schema plus v1/v2 (upgraded on read via
     :func:`upgrade_manifest`); anything else raises ``ValueError``.
     """
     with open(path, "r", encoding="utf-8") as fh:

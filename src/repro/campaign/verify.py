@@ -36,6 +36,7 @@ from repro.campaign.cache import ResultCache
 from repro.campaign.registry import resolve_cell
 from repro.campaign.runner import CampaignResult, CampaignRunner
 from repro.campaign.spec import CampaignSpec
+from repro.obs.prof import strip_time_fields
 
 #: Row fields that legitimately differ between runs of a deterministic
 #: campaign: wall-clock timings, retry counts, whether a result came
@@ -66,6 +67,21 @@ def canonical_metrics(result: CampaignResult) -> str:
     if metrics is None:
         return ""
     return json.dumps(metrics, sort_keys=True, separators=(",", ":"))
+
+
+def canonical_profile(result: CampaignResult) -> str:
+    """Canonical text of a run's profile, count-derived fields only.
+
+    Handler wall times are measurements and legitimately differ run to
+    run; the handler names, call counts, and span counts must not —
+    they are a function of the deterministic event schedule.
+    """
+    profile = result.telemetry.profile
+    if not profile:
+        return ""
+    return json.dumps(
+        strip_time_fields(profile), sort_keys=True, separators=(",", ":")
+    )
 
 
 @dataclass
@@ -107,6 +123,9 @@ class VerifyReport:
     metrics_serial_digest: str = ""
     metrics_parallel_digest: str = ""
     metrics_ok: bool = True
+    profile_serial_digest: str = ""
+    profile_parallel_digest: str = ""
+    profile_ok: bool = True
     audits: List[CellAudit] = field(default_factory=list)
     audited: int = 0
     impure: int = 0
@@ -122,6 +141,7 @@ class VerifyReport:
         return (
             self.determinism_ok
             and self.metrics_ok
+            and self.profile_ok
             and self.purity_ok
             and self.cache_ok
         )
@@ -138,6 +158,9 @@ class VerifyReport:
             "metrics_serial_digest": self.metrics_serial_digest,
             "metrics_parallel_digest": self.metrics_parallel_digest,
             "metrics_ok": self.metrics_ok,
+            "profile_serial_digest": self.profile_serial_digest,
+            "profile_parallel_digest": self.profile_parallel_digest,
+            "profile_ok": self.profile_ok,
             "audited": self.audited,
             "impure": self.impure,
             "purity_ok": self.purity_ok,
@@ -215,12 +238,22 @@ def verify_campaign(
         report.impure = sum(1 for a in report.audits if not a.pure)
         report.purity_ok = report.impure == 0
 
-    # Both determinism legs run with obs metrics on: the merged
-    # ``metrics`` manifest section must be byte-identical between the
-    # serial reference and the shuffled parallel run, same as the rows.
-    serial = CampaignRunner(campaign, cache=None, workers=1, metrics=True).run()
+    # Both determinism legs run with obs metrics AND profiling on: the
+    # merged ``metrics`` manifest section must be byte-identical
+    # between the serial reference and the shuffled parallel run, and
+    # the ``profile`` section's count-derived projection (handler
+    # names, call counts, span counts — never the wall times) must
+    # match too.
+    serial = CampaignRunner(
+        campaign, cache=None, workers=1, metrics=True, profile=True
+    ).run()
     parallel = CampaignRunner(
-        campaign, cache=None, workers=workers, shuffle_seed=shuffle_seed, metrics=True
+        campaign,
+        cache=None,
+        workers=workers,
+        shuffle_seed=shuffle_seed,
+        metrics=True,
+        profile=True,
     ).run()
     serial_text = canonical_rows(serial)
     parallel_text = canonical_rows(parallel)
@@ -234,6 +267,11 @@ def verify_campaign(
     report.metrics_serial_digest = rows_digest(serial_metrics)
     report.metrics_parallel_digest = rows_digest(parallel_metrics)
     report.metrics_ok = serial_metrics == parallel_metrics
+    serial_profile = canonical_profile(serial)
+    parallel_profile = canonical_profile(parallel)
+    report.profile_serial_digest = rows_digest(serial_profile)
+    report.profile_parallel_digest = rows_digest(parallel_profile)
+    report.profile_ok = serial_profile == parallel_profile
 
     if cache_check:
         report.cache_checked = True
@@ -265,6 +303,9 @@ def render_report(report: VerifyReport) -> str:
         f"  metrics digest:  {report.metrics_serial_digest} vs "
         f"{report.metrics_parallel_digest}"
         + ("  [MATCH]" if report.metrics_ok else "  [DIVERGED]"),
+        f"  profile digest:  {report.profile_serial_digest} vs "
+        f"{report.profile_parallel_digest} (count fields)"
+        + ("  [MATCH]" if report.profile_ok else "  [DIVERGED]"),
     ]
     if report.first_divergence:
         lines.append(f"  first divergence: {report.first_divergence}")
@@ -297,6 +338,7 @@ __all__ = [
     "CellAudit",
     "VerifyReport",
     "canonical_metrics",
+    "canonical_profile",
     "canonical_rows",
     "rows_digest",
     "verify_campaign",

@@ -13,9 +13,13 @@ Usage::
     python -m repro campaign run beam-patterns --workers 4
     python -m repro campaign status beam-patterns
     python -m repro campaign verify beam-patterns --workers 4
-    python -m repro campaign run beam-patterns --trace
-    python -m repro obs report campaign_runs/beam-patterns
+    python -m repro campaign run beam-patterns --trace --profile
+    python -m repro obs report campaign_runs/beam-patterns [--json]
     python -m repro obs export campaign_runs/beam-patterns --check
+    python -m repro obs top campaign_runs/beam-patterns
+    python -m repro obs diff <run_a> <run_b>
+    python -m repro obs bench report
+    python -m repro obs bench check --baseline <dir>
     python -m repro lint [--flow] [--par] [--baseline] [--json] [paths...]
     python -m repro sanitize -- python -m repro nlos
 
@@ -312,11 +316,13 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
         timeout_s=args.timeout,
         retries=args.retries,
         trace=args.trace,
+        profile=args.profile,
     )
     print(f"campaign {spec.name}: {spec.scenario_count()} cells, "
           f"{args.workers} worker(s), cache "
           f"{'off' if cache is None else cache.root}"
-          f"{', tracing on' if args.trace else ''}")
+          f"{', tracing on' if args.trace else ''}"
+          f"{', profiling on' if args.profile else ''}")
     result = runner.run()
     out_dir = pathlib.Path(args.output) if args.output else (
         pathlib.Path("campaign_runs") / spec.name
@@ -335,6 +341,9 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
     if t.spans_file:
         print(f"trace: {out_dir / t.spans_file} "
               f"(open in https://ui.perfetto.dev or via 'repro obs report')")
+    if t.profile:
+        print(f"profile: merged into manifest "
+              f"(inspect via 'repro obs top {out_dir}')")
     return 0 if any(o.ok for o in result.outcomes) else 1
 
 
@@ -345,13 +354,81 @@ def _cmd_obs_report(args: argparse.Namespace) -> int:
     if not (run_dir / "manifest.json").is_file():
         print(f"error: no manifest.json in {run_dir}", file=sys.stderr)
         return 2
-    print(report_run(run_dir))
+    print(report_run(run_dir, as_json=args.json), end="" if args.json else "\n")
     return 0
+
+
+def _cmd_obs_top(args: argparse.Namespace) -> int:
+    from repro.campaign.store import load_manifest
+    from repro.obs.prof import render_top
+
+    run_dir = pathlib.Path(args.run_dir)
+    if not (run_dir / "manifest.json").is_file():
+        print(f"error: no manifest.json in {run_dir}", file=sys.stderr)
+        return 2
+    print(render_top(load_manifest(run_dir), limit=args.limit))
+    return 0
+
+
+def _cmd_obs_diff(args: argparse.Namespace) -> int:
+    from repro.campaign.store import load_manifest
+    from repro.obs.prof import diff_manifests, render_diff
+
+    manifests = []
+    for run_dir in (args.run_a, args.run_b):
+        run_dir = pathlib.Path(run_dir)
+        if not (run_dir / "manifest.json").is_file():
+            print(f"error: no manifest.json in {run_dir}", file=sys.stderr)
+            return 2
+        manifests.append(load_manifest(run_dir))
+    diff = diff_manifests(manifests[0], manifests[1])
+    if args.json:
+        print(json.dumps(diff, indent=2, sort_keys=True))
+    else:
+        print(render_diff(diff, show_all=args.all))
+    return 0 if diff["counted_changed"] == 0 else 1
+
+
+def _cmd_obs_bench_report(args: argparse.Namespace) -> int:
+    from repro.obs.bench import load_results, render_report
+
+    try:
+        results = load_results(args.results)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(render_report(results))
+    return 0
+
+
+def _cmd_obs_bench_check(args: argparse.Namespace) -> int:
+    from repro.obs.bench import (
+        DEFAULT_TOLERANCE,
+        check_results,
+        load_results,
+        render_check,
+    )
+
+    try:
+        current = load_results(args.results)
+        baseline = load_results(args.baseline)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not baseline:
+        print(f"error: no BENCH_*.json in baseline dir {args.baseline}",
+              file=sys.stderr)
+        return 2
+    tolerance = DEFAULT_TOLERANCE if args.tolerance is None else args.tolerance
+    rows = check_results(current, baseline, tolerance=tolerance)
+    print(render_check(rows))
+    return 0 if all(row["ok"] for row in rows) else 1
 
 
 def _cmd_obs_export(args: argparse.Namespace) -> int:
     from repro.campaign.store import load_manifest
     from repro.obs.export import TRACE_FILENAME, read_trace, validate_trace
+    from repro.obs.report import dropped_span_count
 
     run_dir = pathlib.Path(args.run_dir)
     if not (run_dir / "manifest.json").is_file():
@@ -370,8 +447,13 @@ def _cmd_obs_export(args: argparse.Namespace) -> int:
             print(f"invalid: {problem}", file=sys.stderr)
         return 1
     events = len(doc.get("traceEvents", []))
+    dropped = dropped_span_count(doc)
     if args.check:
-        print(f"{trace_path}: valid trace-event JSON ({events} events)")
+        print(f"{trace_path}: valid trace-event JSON ({events} events, "
+              f"{dropped} dropped)")
+        if dropped:
+            print(f"WARNING: trace buffer dropped {dropped:,} span(s) — "
+                  "the timeline is incomplete", file=sys.stderr)
         return 0
     out_path = pathlib.Path(args.output) if args.output else trace_path
     if out_path != trace_path:
@@ -578,6 +660,10 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--trace", action="store_true",
                    help="record obs spans/metrics; writes trace.json "
                         "(Perfetto) and a metrics section in the manifest")
+    c.add_argument("--profile", action="store_true",
+                   help="attribute DES event wall time per handler; "
+                        "writes a profile section in the manifest "
+                        "(inspect with 'repro obs top')")
     c.set_defaults(func=_cmd_campaign, campaign_func=_cmd_campaign_run)
 
     c = csub.add_parser("status", help="cache coverage of a campaign")
@@ -606,12 +692,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "obs",
-        help="observability: run traces, metrics, and reports",
+        help="observability: traces, metrics, profiles, benchmarks",
     )
     osub = p.add_subparsers(dest="obs_command", required=True)
 
     o = osub.add_parser("report", help="summary table for a traced run")
     o.add_argument("run_dir", help="campaign run directory (manifest.json)")
+    o.add_argument("--json", action="store_true",
+                   help="byte-deterministic machine-readable report")
     o.set_defaults(func=_cmd_obs, obs_func=_cmd_obs_report)
 
     o = osub.add_parser(
@@ -624,6 +712,52 @@ def build_parser() -> argparse.ArgumentParser:
     o.add_argument("--check", action="store_true",
                    help="validate against the exporter schema and exit")
     o.set_defaults(func=_cmd_obs, obs_func=_cmd_obs_export)
+
+    o = osub.add_parser(
+        "top",
+        help="hot-path table from a profiled run (handlers + span self-time)",
+    )
+    o.add_argument("run_dir", help="campaign run directory (manifest.json)")
+    o.add_argument("--limit", type=int, default=30,
+                   help="max rows per section (default 30)")
+    o.set_defaults(func=_cmd_obs, obs_func=_cmd_obs_top)
+
+    o = osub.add_parser(
+        "diff",
+        help="compare two run manifests (stable order, signed deltas; "
+             "exit 1 when count-derived fields differ)",
+    )
+    o.add_argument("run_a", help="first run directory (manifest.json)")
+    o.add_argument("run_b", help="second run directory (manifest.json)")
+    o.add_argument("--all", action="store_true",
+                   help="show unchanged fields too")
+    o.add_argument("--json", action="store_true",
+                   help="machine-readable diff")
+    o.set_defaults(func=_cmd_obs, obs_func=_cmd_obs_diff)
+
+    o = osub.add_parser(
+        "bench",
+        help="benchmark trajectory report / regression gate",
+    )
+    bsub = o.add_subparsers(dest="bench_command", required=True)
+
+    b = bsub.add_parser("report", help="trajectory table over BENCH_*.json")
+    b.add_argument("--results", default="benchmarks/results",
+                   help="results directory (default benchmarks/results)")
+    b.set_defaults(func=_cmd_obs, obs_func=_cmd_obs_bench_report)
+
+    b = bsub.add_parser(
+        "check",
+        help="fail when a gated benchmark regressed past the tolerance",
+    )
+    b.add_argument("--results", default="benchmarks/results",
+                   help="current results directory (default benchmarks/results)")
+    b.add_argument("--baseline", required=True,
+                   help="baseline results directory to compare against")
+    b.add_argument("--tolerance", type=float, default=None,
+                   help="default allowed degradation ratio "
+                        "(default 3.0; per-entry 'tolerance' overrides)")
+    b.set_defaults(func=_cmd_obs, obs_func=_cmd_obs_bench_check)
 
     p = sub.add_parser(
         "lint",

@@ -1578,10 +1578,19 @@ WORKLIST_CODES = frozenset({"RL030", "RL033", "RL034", "RL035"})
 def load_profile(path: pathlib.Path) -> Dict[str, float]:
     """Flatten a run manifest / metrics snapshot / BENCH json to metrics.
 
-    Every numeric leaf becomes a dotted key (``counters.phy.raytracing.
-    traces``).  Histograms contribute their counts; booleans are
-    skipped.  Raises ``ValueError`` on unreadable input so the CLI can
-    exit 2.
+    Three shapes are recognized:
+
+    * a **campaign run manifest** (``schema_version`` + ``campaign``):
+      only its deterministic sections contribute — merged metrics,
+      profile handler call counts, and span counts.  Wall-time fields
+      are dropped so the hotness ranking is itself deterministic.
+    * a **benchmark-result document** (:mod:`repro.obs.bench` schema):
+      entries flatten to ``bench.<suite>.<name>``.
+    * anything else: every numeric leaf becomes a dotted key
+      (``counters.phy.raytracing.traces``).  Histograms contribute
+      their counts; booleans are skipped.
+
+    Raises ``ValueError`` on unreadable input so the CLI can exit 2.
     """
     try:
         with open(path, "r", encoding="utf-8") as fh:
@@ -1589,6 +1598,25 @@ def load_profile(path: pathlib.Path) -> Dict[str, float]:
     except (OSError, json.JSONDecodeError) as exc:
         raise ValueError(f"unreadable profile {path}: {exc}") from None
     flat: Dict[str, float] = {}
+    from repro.obs.bench import is_bench_doc
+
+    if is_bench_doc(data):
+        suite = data["suite"]
+        for entry in data["entries"]:
+            if isinstance(entry, dict) and isinstance(
+                entry.get("value"), (int, float)
+            ):
+                key = f"bench.{suite}.{entry.get('name')}"
+                flat[key] = flat.get(key, 0.0) + float(entry["value"])
+        return flat
+    if isinstance(data, dict) and "schema_version" in data and "campaign" in data:
+        _flatten_numeric(data.get("metrics") or {}, "", flat)
+        profile = data.get("profile") or {}
+        for name, stats in (profile.get("handlers") or {}).items():
+            flat[f"profile.handlers.{name}.calls"] = float(stats.get("calls", 0))
+        for name, stats in (profile.get("spans") or {}).items():
+            flat[f"profile.spans.{name}.count"] = float(stats.get("count", 0))
+        return flat
     _flatten_numeric(data, "", flat)
     return flat
 

@@ -28,6 +28,8 @@ import numpy as np
 
 from repro import obs
 from repro.analysis.dbmath import db_to_linear_scalar, linear_to_db_scalar
+from repro.obs import clock
+from repro.obs.prof import handler_qualname
 from repro.geometry.vec import Vec2
 from repro.mac.frames import FrameKind, FrameRecord
 from repro.phy.antenna import AntennaPattern
@@ -214,8 +216,15 @@ class Simulator:
         self.schedule(time_s - self._now, callback)
 
     def run_until(self, end_s: float) -> None:
-        """Process events until simulated time reaches ``end_s``."""
+        """Process events until simulated time reaches ``end_s``.
+
+        When profiling is enabled each event's wall time is attributed
+        to its callback qualname (``obs.record_handler``); the flag is
+        read once before the loop so the disabled hot path stays a
+        single truthiness check per ``run_until`` call, not per event.
+        """
         start_events = self.events_processed
+        profiling = obs.STATE.profiling
         with obs.span("mac.simulator.run", end_s=end_s):
             while self._queue and self._queue[0][0] <= end_s:
                 time, _, callback = heapq.heappop(self._queue)
@@ -223,7 +232,14 @@ class Simulator:
                     _AUDIT.on_event(self, time)
                 self._now = time
                 self.events_processed += 1
-                callback()
+                if profiling:
+                    t0 = clock.perf_counter_ns()
+                    callback()
+                    obs.record_handler(
+                        handler_qualname(callback), clock.perf_counter_ns() - t0
+                    )
+                else:
+                    callback()
             self._now = max(self._now, end_s)
         if obs.STATE.metrics:
             obs.add("mac.simulator.events", self.events_processed - start_events)

@@ -37,68 +37,82 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.obs import clock  # noqa: F401  (re-exported: the sanctioned shim)
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.prof import ProfileAccumulator
 from repro.obs.trace import NOOP_SPAN, Span, TraceBuffer
 
 #: Environment variable that switches observability on in spawned /
-#: forked campaign workers: ``"metrics"`` or ``"trace"``.
+#: forked campaign workers.  Comma-joined tokens from {``"metrics"``,
+#: ``"trace"``, ``"profile"``}; the legacy single values ``"metrics"``,
+#: ``"trace"`` and ``"1"`` keep their original meaning.
 OBS_ENV = "REPRO_OBS"
 
 
 class ObsState:
     """Process-global enable flags, designed for cheap reads.
 
-    ``STATE.metrics`` / ``STATE.tracing`` are plain attributes so the
-    disabled-path cost at an instrumented site is one attribute load
-    and a falsy check.
+    ``STATE.metrics`` / ``STATE.tracing`` / ``STATE.profiling`` are
+    plain attributes so the disabled-path cost at an instrumented site
+    is one attribute load and a falsy check.
     """
 
-    __slots__ = ("metrics", "tracing")
+    __slots__ = ("metrics", "tracing", "profiling")
 
     def __init__(self) -> None:
         self.metrics = False
         self.tracing = False
+        self.profiling = False
 
     @property
     def enabled(self) -> bool:
-        return self.metrics or self.tracing
+        return self.metrics or self.tracing or self.profiling
 
 
 STATE = ObsState()
 
 _REGISTRY = MetricsRegistry()
 _BUFFER = TraceBuffer()
+_PROFILE = ProfileAccumulator()
 
 
-def enable(metrics: bool = True, trace: bool = False) -> None:
+def enable(metrics: bool = True, trace: bool = False, profile: bool = False) -> None:
     """Switch observability on for this process."""
     STATE.metrics = bool(metrics)
     STATE.tracing = bool(trace)
+    STATE.profiling = bool(profile)
 
 
 def disable() -> None:
     """Switch all observability off (the default state)."""
     STATE.metrics = False
     STATE.tracing = False
+    STATE.profiling = False
 
 
 def reset() -> None:
-    """Clear all recorded metrics and buffered spans."""
+    """Clear all recorded metrics, buffered spans, and profile data."""
     _REGISTRY.reset()
     _BUFFER.reset()
+    _PROFILE.reset()
 
 
 def configure_from_env(environ: Optional[Dict[str, str]] = None) -> None:
     """Apply the ``REPRO_OBS`` environment setting, if any.
 
     Called at import time so campaign workers (forked or spawned)
-    inherit the parent's observability mode.
+    inherit the parent's observability mode.  The value is a
+    comma-joined token set, e.g. ``"metrics,trace,profile"``; metrics
+    are implied whenever anything is enabled.
     """
     env = os.environ if environ is None else environ
     mode = env.get(OBS_ENV, "").strip().lower()
-    if mode in ("trace", "1"):
-        enable(metrics=True, trace=True)
-    elif mode == "metrics":
-        enable(metrics=True, trace=False)
+    if not mode:
+        return
+    tokens = {token.strip() for token in mode.split(",") if token.strip()}
+    trace = bool(tokens & {"trace", "1"})
+    profile = "profile" in tokens
+    metrics = bool(tokens & {"metrics"}) or trace or profile
+    if metrics:
+        enable(metrics=True, trace=trace, profile=profile)
 
 
 # -- recording API -------------------------------------------------------------
@@ -134,9 +148,24 @@ def observe(name: str, value: float, buckets: Sequence[float]) -> None:
         _REGISTRY.observe(name, value, buckets)
 
 
+def record_handler(name: str, elapsed_ns: int) -> None:
+    """Attribute one DES event's wall time to its handler qualname.
+
+    Called by the simulator hot loop only when ``STATE.profiling`` is
+    on; the guard lives at the call site so the disabled path pays one
+    attribute read before the loop, not per event.
+    """
+    _PROFILE.record(name, elapsed_ns)
+
+
 def metrics_snapshot() -> Optional[Dict]:
     """Deterministic snapshot of this process's registry (or ``None``)."""
     return _REGISTRY.snapshot()
+
+
+def profile_snapshot() -> Optional[Dict]:
+    """Deterministic snapshot of the handler profile (or ``None``)."""
+    return _PROFILE.snapshot()
 
 
 def registry() -> MetricsRegistry:
@@ -151,12 +180,13 @@ def begin_cell() -> None:
     """Reset per-cell state before executing a campaign cell."""
     _REGISTRY.reset()
     _BUFFER.reset()
+    _PROFILE.reset()
 
 
-def collect_cell() -> Tuple[Optional[Dict], List[Dict]]:
-    """Collect (metrics snapshot, span events) recorded since
-    :func:`begin_cell`; drains the buffers."""
-    return _REGISTRY.snapshot(), _BUFFER.drain()
+def collect_cell() -> Tuple[Optional[Dict], List[Dict], Optional[Dict]]:
+    """Collect (metrics snapshot, span events, profile snapshot)
+    recorded since :func:`begin_cell`; drains the buffers."""
+    return _REGISTRY.snapshot(), _BUFFER.drain(), _PROFILE.snapshot()
 
 
 configure_from_env()
@@ -165,6 +195,7 @@ __all__ = [
     "OBS_ENV",
     "STATE",
     "MetricsRegistry",
+    "ProfileAccumulator",
     "add",
     "begin_cell",
     "clock",
@@ -174,6 +205,8 @@ __all__ = [
     "enable",
     "metrics_snapshot",
     "observe",
+    "profile_snapshot",
+    "record_handler",
     "registry",
     "reset",
     "set_gauge",

@@ -114,9 +114,27 @@ class MetricsRegistry:
         only the histogram ``sum`` float depends on merge order, which
         is why callers that need byte-identity (the campaign runner)
         merge in a fixed canonical order.
+
+        All histogram bucket bounds are validated against this
+        registry *before* anything is mutated: a mismatch raises a
+        deterministic ``ValueError`` (mismatched names in sorted
+        order) and leaves the registry exactly as it was — a
+        half-merged registry would silently corrupt every later
+        snapshot.
         """
         if not snap:
             return
+        mismatched = sorted(
+            name
+            for name, data in snap.get("histograms", {}).items()
+            if name in self.histograms
+            and list(self.histograms[name].bounds) != list(data["buckets"])
+        )
+        if mismatched:
+            raise ValueError(
+                "cannot merge snapshot: bucket bounds differ for "
+                f"histogram(s) {mismatched}; registry left unmodified"
+            )
         for name, value in snap.get("counters", {}).items():
             self.counters[name] = self.counters.get(name, 0) + int(value)
         for name, value in snap.get("gauges", {}).items():
@@ -127,10 +145,6 @@ class MetricsRegistry:
             if hist is None:
                 hist = Histogram(data["buckets"])
                 self.histograms[name] = hist
-            elif list(hist.bounds) != list(data["buckets"]):
-                raise ValueError(
-                    f"cannot merge histogram {name!r}: bucket bounds differ"
-                )
             for i, c in enumerate(data["counts"]):
                 hist.counts[i] += int(c)
             hist.count += int(data["count"])

@@ -1,19 +1,37 @@
 """Human-readable summary of a traced campaign run.
 
-``repro obs report <run-dir>`` reads the run manifest (v1 or v2) and,
-when present, the trace-event file, and renders the metrics section
-plus a per-span-name aggregation (count / total / mean / max) — the
-quick look you take before opening the full timeline in Perfetto.
+``repro obs report <run-dir>`` reads the run manifest (any supported
+schema version) and, when present, the trace-event file, and renders
+the metrics section plus a per-span-name aggregation (count / total /
+mean / max) — the quick look you take before opening the full
+timeline in Perfetto.  ``--json`` emits the same data as a
+byte-deterministic machine-readable document instead of the table.
+
+Dropped spans are surfaced loudly: when the
+:class:`~repro.obs.trace.TraceBuffer` overflowed, every aggregate
+below is an undercount, and a report that hid that would be lying.
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
 from typing import Dict, List, Optional, Union
 
 from repro.obs.export import TRACE_FILENAME, read_trace
 
 PathLike = Union[str, pathlib.Path]
+
+
+def dropped_span_count(trace_doc: Optional[Dict]) -> int:
+    """Total spans the TraceBuffer dropped, from its counter events."""
+    if not trace_doc:
+        return 0
+    total = 0
+    for event in trace_doc.get("traceEvents", []):
+        if event.get("ph") == "C" and event.get("name") == "obs.dropped_spans":
+            total += int((event.get("args") or {}).get("dropped", 0))
+    return total
 
 
 def aggregate_spans(doc: Dict) -> List[Dict]:
@@ -104,10 +122,52 @@ def render_report(manifest: Dict, trace_doc: Optional[Dict]) -> str:
             )
     else:
         lines.append("spans: (no trace.json in run directory)")
+    dropped = dropped_span_count(trace_doc)
+    if dropped:
+        lines.append(
+            f"WARNING: trace buffer dropped {dropped:,} span(s) — "
+            "span aggregates above are undercounts"
+        )
+    profile = manifest.get("profile")
+    if profile:
+        handlers = len(profile.get("handlers") or {})
+        span_names = len(profile.get("spans") or {})
+        lines.append(
+            f"profile: {handlers} handler(s), {span_names} span name(s) "
+            "— see `repro obs top`"
+        )
     return "\n".join(lines)
 
 
-def report_run(run_dir: PathLike) -> str:
+def report_doc(manifest: Dict, trace_doc: Optional[Dict]) -> Dict:
+    """Machine-readable report document (``repro obs report --json``).
+
+    Contains everything the text report renders — metrics, span
+    aggregates, profile, dropped-span count — keyed and typed for
+    tooling.  Serialization with ``sort_keys=True`` is byte-identical
+    across repeated invocations on the same run directory.
+    """
+    return {
+        "campaign": manifest.get("campaign"),
+        "schema_version": manifest.get("schema_version"),
+        "workers": manifest.get("workers"),
+        "scenarios": manifest.get("scenarios"),
+        "timing": manifest.get("timing"),
+        "des": manifest.get("des"),
+        "metrics": manifest.get("metrics"),
+        "profile": manifest.get("profile"),
+        "spans": aggregate_spans(trace_doc) if trace_doc is not None else None,
+        "dropped_spans": dropped_span_count(trace_doc),
+    }
+
+
+def render_report_json(manifest: Dict, trace_doc: Optional[Dict]) -> str:
+    """Canonical JSON rendering of :func:`report_doc`."""
+    doc = report_doc(manifest, trace_doc)
+    return json.dumps(doc, sort_keys=True, indent=2) + "\n"
+
+
+def report_run(run_dir: PathLike, as_json: bool = False) -> str:
     """Build the report for a run directory (manifest + optional trace)."""
     from repro.campaign.store import load_manifest
 
@@ -115,12 +175,17 @@ def report_run(run_dir: PathLike) -> str:
     manifest = load_manifest(run_dir)
     trace_path = run_dir / (manifest.get("spans_file") or TRACE_FILENAME)
     trace_doc = read_trace(trace_path) if trace_path.exists() else None
+    if as_json:
+        return render_report_json(manifest, trace_doc)
     return render_report(manifest, trace_doc)
 
 
 __all__ = [
     "aggregate_spans",
+    "dropped_span_count",
     "render_metrics",
     "render_report",
+    "render_report_json",
+    "report_doc",
     "report_run",
 ]

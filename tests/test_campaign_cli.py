@@ -147,9 +147,9 @@ class TestObsCli:
         assert rc == 0
         return out
 
-    def test_trace_flag_produces_v2_manifest_and_trace(self, capsys, traced_run):
+    def test_trace_flag_produces_manifest_and_trace(self, capsys, traced_run):
         manifest = read_manifest(traced_run / "manifest.json")
-        assert manifest["schema_version"] == 2
+        assert manifest["schema_version"] == 3
         assert manifest["spans_file"] == "trace.json"
         assert (traced_run / "trace.json").is_file()
         counters = manifest["metrics"]["counters"]
@@ -167,6 +167,16 @@ class TestObsCli:
         assert "campaign beam-patterns" in out
         assert "metrics:" in out
         assert "spans:" in out
+
+    def test_obs_report_json_byte_deterministic(self, traced_run, capsys):
+        assert main(["obs", "report", str(traced_run), "--json"]) == 0
+        first = capsys.readouterr().out
+        assert main(["obs", "report", str(traced_run), "--json"]) == 0
+        assert capsys.readouterr().out == first
+        doc = json.loads(first)
+        assert doc["campaign"] == "beam-patterns"
+        assert doc["metrics"]["counters"]["campaign.cells.total"] == 9
+        assert doc["dropped_spans"] == 0
 
     def test_obs_export_check(self, traced_run, capsys):
         assert main(["obs", "export", str(traced_run), "--check"]) == 0

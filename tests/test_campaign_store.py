@@ -80,7 +80,7 @@ class TestWriteRun:
 
 
 class TestManifestSchema:
-    def test_v2_schema_locked(self, result, tmp_path):
+    def test_v3_schema_locked(self, result, tmp_path):
         # The manifest is the contract external tooling reads; lock the
         # exact top-level key set so additions are deliberate (and
         # versioned), mirroring the lint --json schema lock.
@@ -94,6 +94,7 @@ class TestManifestSchema:
             "failures",
             "finished_unix",
             "metrics",
+            "profile",
             "scenarios",
             "schema_version",
             "shard_sizes",
@@ -102,7 +103,7 @@ class TestManifestSchema:
             "timing",
             "workers",
         ]
-        assert manifest["schema_version"] == MANIFEST_SCHEMA_VERSION == 2
+        assert manifest["schema_version"] == MANIFEST_SCHEMA_VERSION == 3
         assert sorted(manifest["scenarios"]) == [
             "cached",
             "completed",
@@ -132,16 +133,38 @@ class TestManifestSchema:
         path = tmp_path / "manifest.json"
         path.write_text(json.dumps(v1))
         manifest = read_manifest(path)
-        assert manifest["schema_version"] == 2
+        assert manifest["schema_version"] == 3
         assert manifest["metrics"] is None
         assert manifest["spans_file"] is None
+        assert manifest["profile"] is None
         assert manifest["campaign"] == "legacy"
+
+    def test_v2_manifest_upgraded_on_read(self, tmp_path):
+        # A pre-profiling manifest (schema 2, metrics but no profile)
+        # must stay readable: the shim upgrades it in place.
+        v2 = {
+            "schema_version": 2,
+            "campaign": "legacy-v2",
+            "campaign_digest": "def",
+            "workers": 1,
+            "scenarios": {"total": 1, "completed": 1, "cached": 0, "failed": 0},
+            "timing": {"wall_clock_s": 0.5, "worker_time_s": 0.5},
+            "metrics": {"counters": {"n": 1}, "gauges": {}, "histograms": {}},
+            "spans_file": None,
+        }
+        path = tmp_path / "manifest.json"
+        path.write_text(json.dumps(v2))
+        manifest = read_manifest(path)
+        assert manifest["schema_version"] == 3
+        assert manifest["metrics"]["counters"] == {"n": 1}
+        assert manifest["profile"] is None
 
     def test_load_manifest_is_the_run_dir_shim(self, result, tmp_path):
         out = write_run(result, tmp_path / "run")
         manifest = load_manifest(out)
-        assert manifest["schema_version"] == 2
+        assert manifest["schema_version"] == 3
         assert "metrics" in manifest and "spans_file" in manifest
+        assert "profile" in manifest
 
     def test_unknown_version_rejected(self):
         with pytest.raises(ValueError, match="unsupported manifest schema"):

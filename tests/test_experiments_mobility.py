@@ -126,7 +126,7 @@ class TestObsMergeDeterminism:
         try:
             obs.begin_cell()
             vehicular_cell(**cell_kwargs)
-            snap, _spans = obs.collect_cell()
+            snap, _spans, _profile = obs.collect_cell()
         finally:
             obs.disable()
             obs.reset()

@@ -110,6 +110,27 @@ class TestMetricsRegistry:
         with pytest.raises(ValueError):
             reg.merge_snapshot(other.snapshot())
 
+    def test_merge_mismatch_is_loud_deterministic_and_nonmutating(self):
+        reg = MetricsRegistry()
+        reg.add("n", 1)
+        reg.observe("b.hist", 1, buckets=(1.0, 2.0))
+        reg.observe("a.hist", 1, buckets=(5.0,))
+        other = MetricsRegistry()
+        other.add("n", 9)
+        other.observe("b.hist", 1, buckets=(1.0, 3.0))
+        other.observe("a.hist", 1, buckets=(6.0,))
+        before = json.dumps(reg.snapshot(), sort_keys=True)
+        with pytest.raises(ValueError) as exc:
+            reg.merge_snapshot(other.snapshot())
+        message = str(exc.value)
+        # Every mismatched name, in sorted order — the same message on
+        # every run, never just whichever dict iteration hit first.
+        assert "['a.hist', 'b.hist']" in message
+        assert "registry left unmodified" in message
+        # Nothing merged — not even the counters that would have been
+        # valid on their own.
+        assert json.dumps(reg.snapshot(), sort_keys=True) == before
+
     def test_histogram_overflow_bin(self):
         hist = Histogram((1.0, 2.0))
         hist.observe(99.0)
@@ -132,7 +153,7 @@ class TestSpans:
         obs.enable(metrics=True, trace=True)
         with obs.span("mac.beam_training.sls", initiator="tx"):
             pass
-        _, spans = obs.collect_cell()
+        _, spans, _ = obs.collect_cell()
         assert len(spans) == 1
         event = spans[0]
         assert event["name"] == "mac.beam_training.sls"
@@ -157,7 +178,7 @@ class TestSpans:
         with obs.span("x.y.z"):
             pass
         obs.begin_cell()
-        metrics, spans = obs.collect_cell()
+        metrics, spans, _ = obs.collect_cell()
         assert metrics is None
         assert spans == []
 
@@ -240,6 +261,85 @@ class TestReport:
         assert "no metrics recorded" in text
         assert "no trace.json" in text
 
+    def test_report_json_is_byte_deterministic(self):
+        from repro.obs.report import render_report_json
+
+        manifest = {
+            "campaign": "demo",
+            "workers": 2,
+            "schema_version": 3,
+            "scenarios": {"total": 4},
+            "timing": {"wall_clock_s": 1.25},
+            "metrics": {"counters": {"n": 1}, "gauges": {}, "histograms": {}},
+            "profile": {"handlers": {"h": {"calls": 1, "total_ns": 5}}},
+        }
+        doc = build_trace_doc([complete_event("mac.simulator.run", 0, 2000)])
+        first = render_report_json(manifest, doc)
+        # Key insertion order must not leak into the bytes.
+        shuffled = json.loads(json.dumps(manifest, sort_keys=True))
+        shuffled["profile"] = dict(reversed(list(shuffled["profile"].items())))
+        assert render_report_json(shuffled, doc) == first
+        parsed = json.loads(first)
+        assert parsed["dropped_spans"] == 0
+        assert parsed["profile"]["handlers"]["h"]["calls"] == 1
+        assert parsed["spans"][0]["name"] == "mac.simulator.run"
+
+
+class TestDroppedSpans:
+    """Buffer overflow is surfaced loudly, never silently undercounted."""
+
+    def _overflowed_run(self, tmp_path, monkeypatch):
+        from repro import obs as obs_module
+
+        monkeypatch.setattr(obs_module, "_BUFFER", TraceBuffer(max_events=2))
+        obs.enable(metrics=True, trace=True)
+        obs.begin_cell()
+        for _ in range(6):
+            with obs.span("x.y.z"):
+                pass
+        _, spans, _ = obs.collect_cell()
+        run_dir = tmp_path / "run"
+        run_dir.mkdir()
+        write_trace(run_dir / TRACE_FILENAME, spans, label="demo")
+        manifest = {
+            "schema_version": 3,
+            "campaign": "demo",
+            "workers": 1,
+            "scenarios": {"total": 1},
+            "timing": {"wall_clock_s": 0.1},
+            "spans_file": TRACE_FILENAME,
+            "metrics": None,
+            "profile": None,
+        }
+        (run_dir / "manifest.json").write_text(json.dumps(manifest))
+        return run_dir, spans
+
+    def test_collect_cell_appends_drop_counter(self, tmp_path, monkeypatch):
+        _, spans = self._overflowed_run(tmp_path, monkeypatch)
+        # 2 recorded + 1 synthetic counter for the 4 dropped spans.
+        assert len(spans) == 3
+        assert spans[-1]["name"] == "obs.dropped_spans"
+        assert spans[-1]["args"]["dropped"] == 4
+
+    def test_export_check_reports_drop_count(self, tmp_path, monkeypatch, capsys):
+        from repro.cli import main
+
+        run_dir, _ = self._overflowed_run(tmp_path, monkeypatch)
+        assert main(["obs", "export", str(run_dir), "--check"]) == 0
+        captured = capsys.readouterr()
+        assert "4 dropped" in captured.out
+        assert "WARNING" in captured.err
+        assert "incomplete" in captured.err
+
+    def test_report_warns_and_json_counts(self, tmp_path, monkeypatch, capsys):
+        from repro.cli import main
+
+        run_dir, _ = self._overflowed_run(tmp_path, monkeypatch)
+        assert main(["obs", "report", str(run_dir)]) == 0
+        assert "dropped 4 span(s)" in capsys.readouterr().out
+        assert main(["obs", "report", str(run_dir), "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["dropped_spans"] == 4
+
 
 class TestInstrumentation:
     """The hot paths actually feed the registry when enabled."""
@@ -263,7 +363,7 @@ class TestInstrumentation:
         obs.enable(metrics=True, trace=True)
         tracer = RayTracer(Room.rectangular(6.0, 4.0))
         paths = tracer.trace(Vec2(1.0, 1.0), Vec2(5.0, 3.0))
-        snap, spans = obs.collect_cell()
+        snap, spans, _ = obs.collect_cell()
         assert snap["counters"]["phy.raytracing.traces"] == 1
         assert snap["counters"]["phy.raytracing.paths"] == len(paths)
         assert any(e["name"] == "phy.raytracing.trace" for e in spans)

@@ -124,7 +124,7 @@ class TestTraceCollection:
         doc = read_trace(out / "trace.json")
         assert validate_trace(doc) == []
         manifest = load_manifest(out)
-        assert manifest["schema_version"] == 2
+        assert manifest["schema_version"] == 3
         assert manifest["spans_file"] == "trace.json"
         assert manifest["metrics"]["counters"]["campaign.cells.total"] == 4
 
